@@ -1,0 +1,53 @@
+"""Warm the benchmark result cache, one experiment at a time.
+
+The regeneration benches share expensive (task, model) training runs
+through a disk cache (``benchmarks/.cache``).  This script fills that
+cache incrementally so environments with per-command time limits can
+split the warm-up across invocations:
+
+    python benchmarks/warm_cache.py            # list pending entries
+    python benchmarks/warm_cache.py 0 1 2      # compute entries 0..2
+    python benchmarks/warm_cache.py all        # compute everything
+"""
+
+import sys
+import time
+
+from conftest import ExperimentSuite
+from repro.models import MODEL_CATALOG
+
+
+def entries():
+    jobs = []
+    for task_name, models in MODEL_CATALOG.items():
+        if task_name == "dnn_code_generation":
+            continue
+        for model_name in models:
+            jobs.append(("pair", task_name, model_name))
+    jobs.append(("regression", "dnn_code_generation", "Tlp"))
+    return jobs
+
+
+def main(argv):
+    suite = ExperimentSuite(seed=0)
+    jobs = entries()
+    if not argv:
+        for i, job in enumerate(jobs):
+            print(i, *job)
+        return
+    if argv == ["all"]:
+        indices = range(len(jobs))
+    else:
+        indices = [int(a) for a in argv]
+    for i in indices:
+        kind, task_name, model_name = jobs[i]
+        started = time.time()
+        if kind == "pair":
+            suite.pair_result(task_name, model_name)
+        else:
+            suite.regression_summary()
+        print(f"[{i}] {task_name}/{model_name} done in {time.time() - started:.1f}s")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,31 @@
+"""Case study C5: a TLP-style cost model with Prom's regression support.
+
+Trains the transformer cost model on BERT-base schedules, deploys it on
+BERT-tiny/medium/large (unseen matmul shapes), and uses PromRegressor —
+k-NN ground-truth approximation plus K-means pseudo-labels — to decide
+which schedules to profile.  Profiling just the flagged budget and
+fine-tuning online recovers most of the search quality (paper Table 3).
+
+Run:  python examples/cost_model_regression.py
+"""
+
+from repro.experiments import run_regression, table3_dnn_codegen
+from repro.tasks import DnnCodeGenerationTask
+
+
+def main():
+    task = DnnCodeGenerationTask(schedules_per_network=200, seed=0)
+    summary = run_regression(task, seed=0)
+    print(table3_dnn_codegen(summary))
+    print()
+    for network, result in summary["networks"].items():
+        d = result.detection
+        flagged = sum(1 for dec in result.decisions if dec.drifting)
+        print(
+            f"{network}: flagged {flagged}/{len(result.decisions)} schedules, "
+            f"detection recall {d.recall:.2f} precision {d.precision:.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

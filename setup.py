@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline evaluation environment lacks the ``wheel`` package, so
+``pip install -e .`` cannot build a PEP-517 editable wheel there; this
+shim keeps ``python setup.py develop`` working as a fallback.  All
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""repro — reproduction of Prom (CGO 2025).
+
+Deployment-time drift detection for ML models in code analysis and
+optimization, built on conformal prediction with adaptive calibration
+weighting and an ensemble of nonconformity functions.
+
+Public entry points::
+
+    from repro import PromClassifier, PromRegressor, ModelInterface
+    from repro import ml, tasks, baselines
+"""
+
+from .core import (
+    APS,
+    LAC,
+    RAPS,
+    AbsoluteErrorScore,
+    ModelInterface,
+    NonconformityFunction,
+    NormalizedErrorScore,
+    PromClassifier,
+    PromRegressor,
+    TopK,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APS",
+    "AbsoluteErrorScore",
+    "LAC",
+    "ModelInterface",
+    "NonconformityFunction",
+    "NormalizedErrorScore",
+    "PromClassifier",
+    "PromRegressor",
+    "RAPS",
+    "TopK",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Comparator drift detectors (paper Sec. 7.5 / Figure 10)."""
+
+from .naive_cp import NaiveCPDetector
+from .rise import RiseDetector
+from .tesseract import TesseractDetector
+
+BASELINE_FACTORIES = {
+    "RISE": RiseDetector,
+    "TESSERACT": TesseractDetector,
+    "MAPIE-PUNCC": NaiveCPDetector,
+}
+
+__all__ = [
+    "BASELINE_FACTORIES",
+    "NaiveCPDetector",
+    "RiseDetector",
+    "TesseractDetector",
+]

@@ -1,0 +1,63 @@
+"""Naive conformal prediction baseline (MAPIE/PUNCC stand-in).
+
+Represents how a standard CP library would be used for outlier/drift
+detection: a *single* nonconformity function (LAC), the *full*
+calibration set with uniform weights, and a plain p-value threshold —
+no adaptive subsetting, no confidence score, no committee.  This is
+the "Naive CP" / "MAPIE-PUNCC" comparator of the paper's Figure 10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.nonconformity import LAC, NonconformityFunction
+
+
+class NaiveCPDetector:
+    """Single-function, full-calibration CP drift detector.
+
+    Args:
+        function: the nonconformity function (default LAC).
+        epsilon: rejection threshold on the p-value.
+    """
+
+    def __init__(self, function: NonconformityFunction | None = None, epsilon: float = 0.1):
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+        self.function = function or LAC()
+        self.epsilon = epsilon
+
+    def calibrate(self, features, probabilities, labels) -> "NaiveCPDetector":
+        """Precompute calibration scores (features are ignored)."""
+        probabilities = np.asarray(probabilities, dtype=float)
+        labels = np.asarray(labels, dtype=int)
+        if len(probabilities) == 0:
+            raise ValueError("calibration set is empty")
+        self._scores = self.function.score(probabilities, labels)
+        self._labels = labels
+        return self
+
+    def pvalue(self, probability_row, predicted_label: int) -> float:
+        """Unweighted conditional p-value of the predicted label."""
+        probability_row = np.asarray(probability_row, dtype=float).reshape(1, -1)
+        test_score = float(
+            self.function.score(probability_row, np.asarray([predicted_label]))[0]
+        )
+        mask = self._labels == predicted_label
+        n_label = int(mask.sum())
+        if n_label == 0:
+            return 0.0
+        count = int(np.sum(self._scores[mask] >= test_score))
+        return count / (n_label + 1.0)
+
+    def evaluate(self, features, probabilities, predicted_labels=None) -> np.ndarray:
+        """Return a boolean rejected-mask for a batch of samples."""
+        probabilities = np.asarray(probabilities, dtype=float)
+        if predicted_labels is None:
+            predicted_labels = np.argmax(probabilities, axis=1)
+        rejected = np.empty(len(probabilities), dtype=bool)
+        for i in range(len(probabilities)):
+            p = self.pvalue(probabilities[i], int(predicted_labels[i]))
+            rejected[i] = p < self.epsilon
+        return rejected

@@ -1,0 +1,89 @@
+"""RISE-style drift detector (Zhai et al., MobiCom '21).
+
+RISE learns a supervised misprediction detector: it computes CP-style
+credibility/confidence features for held-out samples, labels each as
+correct/incorrect using the known ground truth, and trains an SVM to
+predict mispredictions from those features.  Unlike Prom's model-free
+committee, the detector itself can overfit the calibration window —
+the failure mode the paper observes on uneven or many-label tasks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.nonconformity import LAC, NonconformityFunction
+from ..ml.svm import LinearSVC
+
+
+class RiseDetector:
+    """SVM-over-CP-features misprediction detector.
+
+    Args:
+        function: nonconformity function producing the score feature.
+        seed: RNG seed for the internal SVM.
+    """
+
+    def __init__(self, function: NonconformityFunction | None = None, seed: int = 0):
+        self.function = function or LAC()
+        self.seed = seed
+
+    def _cp_features(self, probabilities, predicted_labels) -> np.ndarray:
+        """Per-sample detector features: credibility, margin, entropy."""
+        probabilities = np.asarray(probabilities, dtype=float)
+        n = len(probabilities)
+        features = np.empty((n, 3))
+        for i in range(n):
+            label = int(predicted_labels[i])
+            test_score = float(
+                self.function.score(probabilities[i].reshape(1, -1), np.asarray([label]))[0]
+            )
+            mask = self._labels == label
+            if mask.any():
+                credibility = float(np.sum(self._scores[mask] >= test_score)) / (
+                    mask.sum() + 1.0
+                )
+            else:
+                credibility = 0.0
+            ordered = np.sort(probabilities[i])[::-1]
+            margin = ordered[0] - (ordered[1] if len(ordered) > 1 else 0.0)
+            clipped = np.clip(probabilities[i], 1e-12, 1.0)
+            entropy = float(-np.sum(clipped * np.log(clipped)))
+            features[i] = (credibility, margin, entropy)
+        return features
+
+    def calibrate(self, features, probabilities, labels) -> "RiseDetector":
+        """Fit the SVM on calibration CP features vs correctness labels."""
+        probabilities = np.asarray(probabilities, dtype=float)
+        labels = np.asarray(labels, dtype=int)
+        if len(probabilities) == 0:
+            raise ValueError("calibration set is empty")
+        self._scores = self.function.score(probabilities, labels)
+        self._labels = labels
+
+        predicted = np.argmax(probabilities, axis=1)
+        cp_features = self._cp_features(probabilities, predicted)
+        mispredicted = (predicted != labels).astype(int)
+        if mispredicted.min() == mispredicted.max():
+            # Degenerate calibration window (all correct or all wrong):
+            # fall back to a threshold rule instead of a one-class SVM.
+            self._svm = None
+            self._constant = int(mispredicted.max())
+        else:
+            self._svm = LinearSVC(epochs=60, seed=self.seed)
+            self._svm.fit(cp_features, mispredicted)
+            self._constant = None
+        return self
+
+    def evaluate(self, features, probabilities, predicted_labels=None) -> np.ndarray:
+        """Return a boolean rejected-mask for a batch of samples."""
+        probabilities = np.asarray(probabilities, dtype=float)
+        if predicted_labels is None:
+            predicted_labels = np.argmax(probabilities, axis=1)
+        cp_features = self._cp_features(probabilities, predicted_labels)
+        if self._svm is None:
+            if self._constant == 1:
+                return np.ones(len(probabilities), dtype=bool)
+            # All-correct calibration: reject only strongly strange samples.
+            return cp_features[:, 0] < 0.05
+        return self._svm.predict(cp_features).astype(bool)

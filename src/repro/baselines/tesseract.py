@@ -1,0 +1,79 @@
+"""TESSERACT-style drift detector (Pendlebury et al., USENIX Sec '19).
+
+TESSERACT rejects predictions whose conformal credibility *and*
+probability-based confidence fall below thresholds learned on a
+held-out window, using a single nonconformity function over the full
+calibration set.  Compared to Prom it lacks the adaptive calibration
+subset, the distance weighting and the multi-function committee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.nonconformity import LAC, NonconformityFunction
+
+
+class TesseractDetector:
+    """Single-function credibility+confidence detector.
+
+    Args:
+        function: nonconformity function (default LAC).
+        epsilon: credibility rejection threshold.
+        confidence_threshold: threshold on the probability margin
+            between the top-2 classes (TESSERACT's proxy confidence).
+    """
+
+    def __init__(
+        self,
+        function: NonconformityFunction | None = None,
+        epsilon: float = 0.1,
+        confidence_threshold: float = 0.5,
+    ):
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+        self.function = function or LAC()
+        self.epsilon = epsilon
+        self.confidence_threshold = confidence_threshold
+
+    def calibrate(self, features, probabilities, labels) -> "TesseractDetector":
+        probabilities = np.asarray(probabilities, dtype=float)
+        labels = np.asarray(labels, dtype=int)
+        if len(probabilities) == 0:
+            raise ValueError("calibration set is empty")
+        self._scores = self.function.score(probabilities, labels)
+        self._labels = labels
+        return self
+
+    def _credibility(self, probability_row, predicted_label: int) -> float:
+        probability_row = np.asarray(probability_row, dtype=float).reshape(1, -1)
+        test_score = float(
+            self.function.score(probability_row, np.asarray([predicted_label]))[0]
+        )
+        mask = self._labels == predicted_label
+        if not mask.any():
+            return 0.0
+        return float(np.sum(self._scores[mask] >= test_score)) / (mask.sum() + 1.0)
+
+    @staticmethod
+    def _confidence(probability_row) -> float:
+        """Top-1 minus top-2 probability margin."""
+        ordered = np.sort(np.asarray(probability_row, dtype=float))[::-1]
+        if len(ordered) < 2:
+            return float(ordered[0])
+        return float(ordered[0] - ordered[1])
+
+    def evaluate(self, features, probabilities, predicted_labels=None) -> np.ndarray:
+        """Return a boolean rejected-mask for a batch of samples."""
+        probabilities = np.asarray(probabilities, dtype=float)
+        if predicted_labels is None:
+            predicted_labels = np.argmax(probabilities, axis=1)
+        rejected = np.empty(len(probabilities), dtype=bool)
+        for i in range(len(probabilities)):
+            credibility = self._credibility(probabilities[i], int(predicted_labels[i]))
+            confidence = self._confidence(probabilities[i])
+            rejected[i] = (
+                credibility < self.epsilon
+                and confidence < self.confidence_threshold
+            )
+        return rejected

@@ -1,0 +1,113 @@
+"""Prom core: conformal-prediction drift detection (the paper's contribution)."""
+
+from .assessment import (
+    CoverageReport,
+    GridSearchResult,
+    coverage_assessment,
+    grid_search,
+)
+from .clustering import CalibrationClusterer
+from .committee import Decision, ExpertCommittee, unanimous_assessment
+from .exceptions import (
+    CalibrationError,
+    InitializationWarningError,
+    NotCalibratedError,
+    PromError,
+)
+from .incremental import (
+    IncrementalResult,
+    incremental_learning_round,
+    select_relabel_budget,
+)
+from .interface import ModelInterface, RegressionModelInterface
+from .metrics import (
+    DetectionMetrics,
+    coverage_deviation,
+    detection_metrics,
+    f1_score,
+    geometric_mean,
+    misprediction_mask_classification,
+    misprediction_mask_performance,
+    misprediction_mask_regression,
+    performance_to_oracle,
+)
+from .nonconformity import (
+    APS,
+    LAC,
+    RAPS,
+    AbsoluteErrorScore,
+    NonconformityFunction,
+    NormalizedErrorScore,
+    RegressionScore,
+    SquaredErrorScore,
+    TopK,
+    default_classification_functions,
+    default_regression_scores,
+)
+from .prom import PromClassifier, PromRegressor, accepted_indices, drifting_indices
+from .report import DriftMonitor, DriftReport, summarize_decisions
+from .pvalue import classification_pvalue, pvalues_all_labels, regression_pvalue
+from .scores import (
+    ExpertAssessment,
+    assess,
+    confidence_from_set_size,
+    prediction_set,
+)
+from .weighting import AdaptiveWeighting, CalibrationSubset, UniformWeighting
+
+__all__ = [
+    "APS",
+    "AbsoluteErrorScore",
+    "AdaptiveWeighting",
+    "CalibrationClusterer",
+    "CalibrationError",
+    "CalibrationSubset",
+    "CoverageReport",
+    "Decision",
+    "DetectionMetrics",
+    "DriftMonitor",
+    "DriftReport",
+    "ExpertAssessment",
+    "ExpertCommittee",
+    "GridSearchResult",
+    "IncrementalResult",
+    "InitializationWarningError",
+    "LAC",
+    "ModelInterface",
+    "NonconformityFunction",
+    "NormalizedErrorScore",
+    "NotCalibratedError",
+    "PromClassifier",
+    "PromError",
+    "PromRegressor",
+    "RAPS",
+    "RegressionModelInterface",
+    "RegressionScore",
+    "SquaredErrorScore",
+    "TopK",
+    "UniformWeighting",
+    "accepted_indices",
+    "assess",
+    "classification_pvalue",
+    "confidence_from_set_size",
+    "coverage_assessment",
+    "coverage_deviation",
+    "default_classification_functions",
+    "default_regression_scores",
+    "detection_metrics",
+    "drifting_indices",
+    "f1_score",
+    "geometric_mean",
+    "grid_search",
+    "incremental_learning_round",
+    "misprediction_mask_classification",
+    "misprediction_mask_performance",
+    "misprediction_mask_regression",
+    "performance_to_oracle",
+    "prediction_set",
+    "pvalues_all_labels",
+    "regression_pvalue",
+    "select_relabel_budget",
+    "summarize_decisions",
+    "unanimous_assessment",
+]

@@ -1,0 +1,172 @@
+"""Initialization assessment and hyperparameter search (paper Sec. 5.2).
+
+``coverage_assessment`` cross-validates the calibration set: it is
+split R times (default 3) into an internal 80% calibration part and a
+20% validation part; the Prom prediction region computed from the
+internal calibration part should contain the true label of roughly
+``1 - epsilon`` of the validation samples.  A deviation above the
+tolerance (default 0.1) signals a poorly initialized framework.
+
+``grid_search`` evaluates candidate parameter settings on a validation
+split and returns the configuration maximizing drift-detection F1.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from .metrics import coverage_deviation, detection_metrics
+from .prom import PromClassifier
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Result of the initialization assessment."""
+
+    coverage: float
+    deviation: float
+    epsilon: float
+    per_round: tuple
+    ok: bool
+
+    def __str__(self) -> str:
+        status = "ok" if self.ok else "ALERT: large deviation"
+        return (
+            f"coverage={self.coverage:.3f} target={1 - self.epsilon:.3f} "
+            f"deviation={self.deviation:.3f} ({status})"
+        )
+
+
+def coverage_assessment(
+    prom_factory,
+    features,
+    probabilities,
+    labels,
+    epsilon: float = 0.1,
+    n_rounds: int = 3,
+    validation_fraction: float = 0.2,
+    tolerance: float = 0.1,
+    seed: int = 0,
+) -> CoverageReport:
+    """Cross-validated coverage of the Prom prediction region (Eq. 3).
+
+    Args:
+        prom_factory: zero-argument callable returning a fresh,
+            uncalibrated :class:`PromClassifier` (so each round gets an
+            independent instance).
+        features, probabilities, labels: the full calibration dataset.
+        epsilon: significance parameter the region is built at.
+        n_rounds: R in the paper (default 3).
+        validation_fraction: internal validation share (default 20%).
+        tolerance: maximum acceptable |coverage - (1 - epsilon)|.
+    """
+    features = np.asarray(features, dtype=float)
+    probabilities = np.asarray(probabilities, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    n = len(features)
+    if n < 5:
+        raise ValueError("need at least 5 calibration samples to assess coverage")
+    rng = np.random.default_rng(seed)
+
+    per_round = []
+    for _ in range(n_rounds):
+        order = rng.permutation(n)
+        n_val = max(1, int(round(n * validation_fraction)))
+        val_idx = order[:n_val]
+        cal_idx = order[n_val:]
+        prom = prom_factory()
+        prom.epsilon = epsilon
+        prom.calibrate(features[cal_idx], probabilities[cal_idx], labels[cal_idx])
+        hits = 0
+        for i in val_idx:
+            region = prom.prediction_region(features[i], probabilities[i])
+            if labels[i] in region:
+                hits += 1
+        per_round.append(hits / n_val)
+
+    coverage = float(np.mean(per_round))
+    deviation = coverage_deviation(coverage, epsilon)
+    return CoverageReport(
+        coverage=coverage,
+        deviation=deviation,
+        epsilon=epsilon,
+        per_round=tuple(per_round),
+        ok=deviation <= tolerance,
+    )
+
+
+@dataclass(frozen=True)
+class GridSearchResult:
+    """Best parameters found by :func:`grid_search` and all trials."""
+
+    best_params: dict
+    best_f1: float
+    trials: tuple
+
+
+def grid_search(
+    features,
+    probabilities,
+    labels,
+    predictions,
+    param_grid: dict | None = None,
+    validation_fraction: float = 0.3,
+    seed: int = 0,
+    prom_factory=None,
+) -> GridSearchResult:
+    """Search Prom hyperparameters maximizing detection F1.
+
+    The calibration data is split into an internal calibration and
+    validation part; on the validation part the underlying model's
+    mispredictions are known (``predictions`` vs ``labels``), so each
+    candidate configuration can be scored with real detection F1.
+
+    Args:
+        param_grid: mapping of PromClassifier constructor argument
+            names to candidate value lists.  Defaults to a small grid
+            over epsilon and gaussian_scale.
+        prom_factory: callable accepting the grid kwargs and returning
+            an uncalibrated PromClassifier; defaults to PromClassifier.
+    """
+    if param_grid is None:
+        param_grid = {"epsilon": [0.05, 0.1, 0.2], "gaussian_scale": [1.0, 2.0, 3.0]}
+    if prom_factory is None:
+        prom_factory = PromClassifier
+
+    features = np.asarray(features, dtype=float)
+    probabilities = np.asarray(probabilities, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    predictions = np.asarray(predictions, dtype=int)
+
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(features))
+    n_val = max(1, int(round(len(features) * validation_fraction)))
+    val_idx = order[:n_val]
+    cal_idx = order[n_val:]
+
+    mispredicted = predictions[val_idx] != labels[val_idx]
+    names = sorted(param_grid)
+    trials = []
+    best_f1 = -1.0
+    best_params: dict = {}
+    for combo in itertools.product(*(param_grid[name] for name in names)):
+        params = dict(zip(names, combo))
+        prom = prom_factory(**params)
+        prom.calibrate(features[cal_idx], probabilities[cal_idx], labels[cal_idx])
+        decisions = prom.evaluate(
+            features[val_idx], probabilities[val_idx], predictions[val_idx]
+        )
+        rejected = [decision.drifting for decision in decisions]
+        if mispredicted.any():
+            f1 = detection_metrics(mispredicted, rejected).f1
+        else:
+            # No mispredictions to detect: prefer fewer false alarms.
+            f1 = 1.0 - float(np.mean(rejected))
+        trials.append((params, f1))
+        if f1 > best_f1:
+            best_f1 = f1
+            best_params = params
+    return GridSearchResult(best_params=best_params, best_f1=best_f1, trials=tuple(trials))

@@ -1,0 +1,71 @@
+"""Pseudo-labelling for regression tasks (paper Sec. 5.1.2).
+
+Prom extends classification p-values to regression by clustering the
+calibration feature vectors with K-means, choosing K via the Gap
+statistic (2..20), and assigning a test sample the cluster of its
+nearest calibration neighbour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.cluster import KMeans, gap_statistic
+from ..ml.knn import pairwise_euclidean
+
+
+class CalibrationClusterer:
+    """Clusters calibration features into regression pseudo-labels.
+
+    Args:
+        n_clusters: fixed cluster count; ``None`` (default) chooses K by
+            the Gap statistic over ``k_min..k_max``.
+        k_min, k_max: Gap statistic search range (paper: 2..20).
+        seed: RNG seed for K-means and the Gap references.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int | None = None,
+        k_min: int = 2,
+        k_max: int = 20,
+        seed: int = 0,
+    ):
+        if n_clusters is not None and n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1 when given")
+        if k_min < 1 or k_max < k_min:
+            raise ValueError("need 1 <= k_min <= k_max")
+        self.n_clusters = n_clusters
+        self.k_min = k_min
+        self.k_max = k_max
+        self.seed = seed
+
+    def fit(self, calibration_features) -> "CalibrationClusterer":
+        """Cluster the calibration features; stores labels and centers."""
+        features = np.asarray(calibration_features, dtype=float)
+        if features.ndim != 2 or len(features) == 0:
+            raise ValueError("calibration_features must be a non-empty 2-D array")
+        if self.n_clusters is not None:
+            k = min(self.n_clusters, len(features))
+        else:
+            k, gaps = gap_statistic(
+                features, k_min=self.k_min, k_max=self.k_max, seed=self.seed
+            )
+            self.gap_values_ = gaps
+        self.k_ = max(1, k)
+        model = KMeans(n_clusters=self.k_, seed=self.seed).fit(features)
+        self.labels_ = model.labels_
+        self.centers_ = model.cluster_centers_
+        self._features = features
+        return self
+
+    def assign(self, test_features) -> np.ndarray:
+        """Assign each test sample the cluster of its nearest calibration sample."""
+        if not hasattr(self, "labels_"):
+            raise RuntimeError("CalibrationClusterer is not fitted; call fit() first")
+        test = np.asarray(test_features, dtype=float)
+        if test.ndim == 1:
+            test = test.reshape(1, -1)
+        distances = pairwise_euclidean(test, self._features)
+        nearest = np.argmin(distances, axis=1)
+        return self.labels_[nearest]

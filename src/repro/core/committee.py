@@ -1,0 +1,81 @@
+"""The expert committee: majority voting over nonconformity functions.
+
+Each nonconformity function is one "expert"; its accept/reject verdict
+on a test sample is aggregated by majority vote (paper Sec. 5,
+Figure 5).  Ties are resolved conservatively as *reject* so that an
+evenly split committee asks for human verification rather than
+silently trusting the prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .scores import ExpertAssessment
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The committee's aggregated verdict for one test sample.
+
+    Attributes:
+        accepted: final accept (True) / drifting (False) outcome.
+        credibility: median credibility across experts.
+        confidence: median confidence across experts.
+        votes: the individual expert assessments.
+    """
+
+    accepted: bool
+    credibility: float
+    confidence: float
+    votes: tuple = field(default_factory=tuple)
+
+    @property
+    def drifting(self) -> bool:
+        """True when the committee flags this sample as drifting."""
+        return not self.accepted
+
+
+class ExpertCommittee:
+    """Aggregates expert assessments by (configurable) majority vote.
+
+    Args:
+        vote_threshold: fraction of experts that must *accept* for the
+            committee to accept; the default 0.5 with strict comparison
+            implements "reject on ties" majority voting.
+    """
+
+    def __init__(self, vote_threshold: float = 0.5):
+        if not 0.0 < vote_threshold <= 1.0:
+            raise ValueError(f"vote_threshold must be in (0, 1], got {vote_threshold}")
+        self.vote_threshold = vote_threshold
+
+    def decide(self, assessments) -> Decision:
+        """Combine per-expert assessments into one :class:`Decision`."""
+        votes = tuple(assessments)
+        if not votes:
+            raise ValueError("committee needs at least one expert assessment")
+        accepts = sum(1 for vote in votes if vote.accept)
+        accepted = accepts > self.vote_threshold * len(votes)
+        credibility = float(np.median([vote.credibility for vote in votes]))
+        confidence = float(np.median([vote.confidence for vote in votes]))
+        return Decision(
+            accepted=accepted,
+            credibility=credibility,
+            confidence=confidence,
+            votes=votes,
+        )
+
+
+def unanimous_assessment(assessments) -> Decision:
+    """Ablation aggregator: accept only when every expert accepts."""
+    votes = tuple(assessments)
+    accepted = all(vote.accept for vote in votes)
+    return Decision(
+        accepted=accepted,
+        credibility=float(np.median([vote.credibility for vote in votes])),
+        confidence=float(np.median([vote.confidence for vote in votes])),
+        votes=votes,
+    )

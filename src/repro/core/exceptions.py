@@ -1,0 +1,18 @@
+"""Exception types raised by the Prom core."""
+
+
+class PromError(Exception):
+    """Base class for all Prom-specific errors."""
+
+
+class NotCalibratedError(PromError):
+    """An operation requiring calibration was invoked before calibrate()."""
+
+
+class CalibrationError(PromError):
+    """The supplied calibration data is unusable (empty, mismatched, ...)."""
+
+
+class InitializationWarningError(PromError):
+    """Raised by strict initialization assessment when coverage deviates
+    from the configured significance level by more than the tolerance."""

@@ -1,0 +1,231 @@
+"""The user-facing model integration interface (paper Figure 4).
+
+Model developers wrap their trained model in a subclass of
+:class:`ModelInterface` (classification) or
+:class:`RegressionModelInterface`, overriding ``feature_extraction``
+(and optionally ``data_partitioning``).  The interface owns a Prom
+detector, handles the train/calibration split, and exposes a
+``predict`` that returns the underlying prediction together with the
+drift verdict.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from .exceptions import CalibrationError
+from .prom import PromClassifier, PromRegressor
+
+
+def _split_indices(n: int, calibration_ratio: float, max_calibration: int, seed: int):
+    if not 0.0 < calibration_ratio < 1.0:
+        raise CalibrationError(
+            f"calibration_ratio must be in (0, 1), got {calibration_ratio}"
+        )
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    n_cal = min(max(1, int(round(n * calibration_ratio))), max_calibration, n - 1)
+    return order[n_cal:], order[:n_cal]
+
+
+class ModelInterface(abc.ABC):
+    """Wraps a probabilistic classifier with Prom drift detection.
+
+    The underlying model must provide ``fit(X, y)``, ``predict_proba(X)``
+    and expose classes via ``classes_``; ``partial_fit`` is used for
+    incremental updates when available.
+
+    Args:
+        model: the (untrained or trained) underlying model object.
+        calibration_ratio: share of training data held out for
+            calibration (paper default 10%).
+        max_calibration: cap on the calibration-set size (paper: 1000).
+        prom: a preconfigured :class:`PromClassifier`; a default one is
+            created when omitted.
+        seed: RNG seed for the data partition.
+    """
+
+    def __init__(
+        self,
+        model,
+        calibration_ratio: float = 0.1,
+        max_calibration: int = 1000,
+        prom: PromClassifier | None = None,
+        seed: int = 0,
+    ):
+        self.model = model
+        self.calibration_ratio = calibration_ratio
+        self.max_calibration = max_calibration
+        self.prom = prom or PromClassifier()
+        self.seed = seed
+
+    # -- hooks the user overrides ------------------------------------------------
+    @abc.abstractmethod
+    def feature_extraction(self, X) -> np.ndarray:
+        """Convert raw model inputs into numeric feature vectors.
+
+        For neural models this is typically the hidden-layer embedding;
+        for classical models the input features themselves.
+        """
+
+    def data_partitioning(self, X, y, calibration_ratio: float | None = None):
+        """Split training data into training and calibration parts.
+
+        Returns ``(X_train, y_train, X_cal, y_cal)``.  Override to use
+        a custom (e.g. stratified or temporal) split.
+        """
+        ratio = calibration_ratio if calibration_ratio is not None else self.calibration_ratio
+        train_idx, cal_idx = _split_indices(
+            len(X), ratio, self.max_calibration, self.seed
+        )
+        X = np.asarray(X)
+        y = np.asarray(y)
+        return X[train_idx], y[train_idx], X[cal_idx], y[cal_idx]
+
+    # -- design-time workflow -----------------------------------------------------
+    def train(self, X, y) -> "ModelInterface":
+        """Partition the data, fit the underlying model, calibrate Prom."""
+        X_train, y_train, X_cal, y_cal = self.data_partitioning(X, y)
+        self.model.fit(X_train, y_train)
+        self._X_train = X_train
+        self._y_train = y_train
+        self._X_cal = X_cal
+        self._y_cal = y_cal
+        self.calibrate(X_cal, y_cal)
+        return self
+
+    def calibrate(self, X_cal, y_cal) -> "ModelInterface":
+        """(Re)calibrate Prom from held-out samples and the fitted model."""
+        probabilities = self.model.predict_proba(X_cal)
+        label_index = self._label_indices(y_cal)
+        self.prom.calibrate(self.feature_extraction(X_cal), probabilities, label_index)
+        self._X_cal = np.asarray(X_cal)
+        self._y_cal = np.asarray(y_cal)
+        return self
+
+    def _label_indices(self, y) -> np.ndarray:
+        classes = list(np.asarray(self.model.classes_).tolist())
+        index_of = {label: i for i, label in enumerate(classes)}
+        try:
+            return np.asarray([index_of[label] for label in np.asarray(y).tolist()])
+        except KeyError as err:
+            raise CalibrationError(f"calibration label {err} unknown to the model") from err
+
+    # -- deployment ---------------------------------------------------------------
+    def predict(self, X):
+        """Return ``(predictions, decisions)`` for a batch of inputs.
+
+        ``predictions`` are the underlying model's labels; ``decisions``
+        are the per-sample committee verdicts whose ``drifting`` flag
+        marks samples to route to fallback strategies or relabelling.
+        """
+        probabilities = self.model.predict_proba(X)
+        predicted_index = np.argmax(probabilities, axis=1)
+        predictions = np.asarray(self.model.classes_)[predicted_index]
+        decisions = self.prom.evaluate(
+            self.feature_extraction(X), probabilities, predicted_index
+        )
+        return predictions, decisions
+
+    # -- incremental learning -------------------------------------------------------
+    def incremental_update(self, X_new, y_new, epochs: int = 20) -> "ModelInterface":
+        """Fold relabelled drifting samples back into the deployed model.
+
+        Uses ``partial_fit`` when the underlying model supports it,
+        otherwise refits on the original training data plus the new
+        samples (paper Sec. 8, "Overfitting").  Prom is recalibrated on
+        the original calibration set extended with the new samples so
+        the detector adapts alongside the model.
+        """
+        X_new = np.asarray(X_new)
+        y_new = np.asarray(y_new)
+        if hasattr(self.model, "partial_fit"):
+            self.model.partial_fit(X_new, y_new, epochs=epochs)
+        else:
+            X_all = np.concatenate([self._X_train, X_new])
+            y_all = np.concatenate([self._y_train, y_new])
+            self.model = self.model.clone()
+            self.model.fit(X_all, y_all)
+        X_cal = np.concatenate([self._X_cal, X_new])
+        y_cal = np.concatenate([self._y_cal, y_new])
+        self.calibrate(X_cal, y_cal)
+        return self
+
+
+class RegressionModelInterface(abc.ABC):
+    """Regression counterpart of :class:`ModelInterface`.
+
+    The underlying model must provide ``fit(X, y)`` and ``predict(X)``
+    returning scalars; ``partial_fit`` enables incremental updates.
+    """
+
+    def __init__(
+        self,
+        model,
+        calibration_ratio: float = 0.1,
+        max_calibration: int = 1000,
+        prom: PromRegressor | None = None,
+        seed: int = 0,
+    ):
+        self.model = model
+        self.calibration_ratio = calibration_ratio
+        self.max_calibration = max_calibration
+        self.prom = prom or PromRegressor()
+        self.seed = seed
+
+    @abc.abstractmethod
+    def feature_extraction(self, X) -> np.ndarray:
+        """Convert raw model inputs into numeric feature vectors."""
+
+    def data_partitioning(self, X, y, calibration_ratio: float | None = None):
+        """Split training data into training and calibration parts."""
+        ratio = calibration_ratio if calibration_ratio is not None else self.calibration_ratio
+        train_idx, cal_idx = _split_indices(
+            len(X), ratio, self.max_calibration, self.seed
+        )
+        X = np.asarray(X)
+        y = np.asarray(y)
+        return X[train_idx], y[train_idx], X[cal_idx], y[cal_idx]
+
+    def train(self, X, y) -> "RegressionModelInterface":
+        """Partition the data, fit the underlying model, calibrate Prom."""
+        X_train, y_train, X_cal, y_cal = self.data_partitioning(X, y)
+        self.model.fit(X_train, y_train)
+        self._X_train = X_train
+        self._y_train = y_train
+        self.calibrate(X_cal, y_cal)
+        return self
+
+    def calibrate(self, X_cal, y_cal) -> "RegressionModelInterface":
+        """(Re)calibrate Prom from held-out samples and the fitted model."""
+        predictions = self.model.predict(X_cal)
+        self.prom.calibrate(
+            self.feature_extraction(X_cal), predictions, np.asarray(y_cal, dtype=float)
+        )
+        self._X_cal = np.asarray(X_cal)
+        self._y_cal = np.asarray(y_cal, dtype=float)
+        return self
+
+    def predict(self, X):
+        """Return ``(predictions, decisions)`` for a batch of inputs."""
+        predictions = np.asarray(self.model.predict(X), dtype=float)
+        decisions = self.prom.evaluate(self.feature_extraction(X), predictions)
+        return predictions, decisions
+
+    def incremental_update(self, X_new, y_new, epochs: int = 20):
+        """Fold relabelled drifting samples back into the deployed model."""
+        X_new = np.asarray(X_new)
+        y_new = np.asarray(y_new, dtype=float)
+        if hasattr(self.model, "partial_fit"):
+            self.model.partial_fit(X_new, y_new, epochs=epochs)
+        else:
+            X_all = np.concatenate([self._X_train, X_new])
+            y_all = np.concatenate([self._y_train, y_new])
+            self.model = self.model.clone()
+            self.model.fit(X_all, y_all)
+        X_cal = np.concatenate([self._X_cal, X_new])
+        y_cal = np.concatenate([self._y_cal, y_new])
+        self.calibrate(X_cal, y_cal)
+        return self

@@ -1,0 +1,156 @@
+"""Evaluation metrics (paper Sec. 6.6).
+
+Drift-detection metrics treat a *misprediction by the underlying
+model* as the positive class and *Prom rejecting the prediction* as a
+positive detection.  Code-optimization metrics express achieved
+performance relative to an exhaustive oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DetectionMetrics:
+    """Confusion-style summary of drift detection quality."""
+
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+    false_positive_rate: float
+    false_negative_rate: float
+    n_samples: int
+    n_mispredictions: int
+
+    def as_dict(self) -> dict:
+        return {
+            "accuracy": self.accuracy,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "false_positive_rate": self.false_positive_rate,
+            "false_negative_rate": self.false_negative_rate,
+            "n_samples": self.n_samples,
+            "n_mispredictions": self.n_mispredictions,
+        }
+
+
+def detection_metrics(mispredicted, rejected) -> DetectionMetrics:
+    """Score drift detection: mispredictions are positives.
+
+    Args:
+        mispredicted: boolean array — True where the underlying model
+            got the sample wrong (ground truth).
+        rejected: boolean array — True where Prom rejected the sample.
+    """
+    mispredicted = np.asarray(mispredicted, dtype=bool)
+    rejected = np.asarray(rejected, dtype=bool)
+    if mispredicted.shape != rejected.shape:
+        raise ValueError("mispredicted and rejected must align")
+    n = len(mispredicted)
+    if n == 0:
+        raise ValueError("cannot compute metrics on zero samples")
+
+    tp = int(np.sum(mispredicted & rejected))
+    fp = int(np.sum(~mispredicted & rejected))
+    fn = int(np.sum(mispredicted & ~rejected))
+    tn = int(np.sum(~mispredicted & ~rejected))
+
+    accuracy = (tp + tn) / n
+    precision = tp / (tp + fp) if (tp + fp) > 0 else 1.0
+    recall = tp / (tp + fn) if (tp + fn) > 0 else 1.0
+    f1 = (
+        2.0 * precision * recall / (precision + recall)
+        if (precision + recall) > 0
+        else 0.0
+    )
+    fpr = fp / (fp + tn) if (fp + tn) > 0 else 0.0
+    fnr = fn / (fn + tp) if (fn + tp) > 0 else 0.0
+    return DetectionMetrics(
+        accuracy=accuracy,
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        false_positive_rate=fpr,
+        false_negative_rate=fnr,
+        n_samples=n,
+        n_mispredictions=int(mispredicted.sum()),
+    )
+
+
+def performance_to_oracle(achieved, oracle) -> np.ndarray:
+    """Per-sample ratio of achieved performance to the oracle's best.
+
+    Performance is "higher is better" (e.g. speedup); ratios are capped
+    at 1.0 since the oracle is an exhaustive best.
+    """
+    achieved = np.asarray(achieved, dtype=float)
+    oracle = np.asarray(oracle, dtype=float)
+    if achieved.shape != oracle.shape:
+        raise ValueError("achieved and oracle must align")
+    if np.any(oracle <= 0):
+        raise ValueError("oracle performance must be positive")
+    return np.clip(achieved / oracle, 0.0, 1.0)
+
+
+def misprediction_mask_classification(predictions, labels) -> np.ndarray:
+    """Classification misprediction: predicted label differs from truth."""
+    return np.asarray(predictions) != np.asarray(labels)
+
+
+def misprediction_mask_performance(
+    achieved, oracle, threshold: float = 0.2
+) -> np.ndarray:
+    """Code-optimization misprediction (case studies 1-3).
+
+    A prediction counts as wrong when runtime performance is
+    ``threshold`` (default 20%) or more below the oracle.
+    """
+    ratios = performance_to_oracle(achieved, oracle)
+    return ratios < (1.0 - threshold)
+
+
+def misprediction_mask_regression(
+    predictions, targets, threshold: float = 0.2
+) -> np.ndarray:
+    """Regression misprediction (case study 5).
+
+    A prediction counts as wrong when it deviates from the profiled
+    value by ``threshold`` (default 20%) or more, relative to the
+    target magnitude.
+    """
+    predictions = np.asarray(predictions, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    scale = np.maximum(np.abs(targets), 1e-12)
+    return np.abs(predictions - targets) / scale >= threshold
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive values (used for F1 summaries)."""
+    values = np.asarray(values, dtype=float)
+    if np.any(values <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(values))))
+
+
+def f1_score(y_true, y_pred) -> float:
+    """Binary F1 with True as the positive class."""
+    y_true = np.asarray(y_true, dtype=bool)
+    y_pred = np.asarray(y_pred, dtype=bool)
+    tp = int(np.sum(y_true & y_pred))
+    fp = int(np.sum(~y_true & y_pred))
+    fn = int(np.sum(y_true & ~y_pred))
+    if tp == 0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def coverage_deviation(coverage: float, epsilon: float) -> float:
+    """Smaller-is-better gap between observed coverage and ``1 - epsilon``."""
+    return abs(coverage - (1.0 - epsilon))

@@ -1,0 +1,213 @@
+"""Nonconformity functions (paper Sec. 5.1.1 and the supplement).
+
+A nonconformity function maps the underlying model's intermediate
+output (class-probability vectors for classification, point predictions
+for regression) to a scalar "strangeness" per sample: *larger score =
+stranger*.  Prom ships the four classification functions from the paper
+(LAC, Top-K, APS, RAPS) and two regression residual scores, all behind
+one abstract interface so new functions drop in by subclassing.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+def _check_probabilities(probabilities) -> np.ndarray:
+    probs = np.asarray(probabilities, dtype=float)
+    if probs.ndim == 1:
+        probs = probs.reshape(1, -1)
+    if probs.ndim != 2:
+        raise ValueError(f"expected (n, n_classes) probabilities, got {probs.shape}")
+    if np.any(probs < -1e-9):
+        raise ValueError("probabilities must be non-negative")
+    return probs
+
+
+class NonconformityFunction(abc.ABC):
+    """Abstract base for classification nonconformity functions."""
+
+    #: short name used in reports and committee vote summaries
+    name: str = "base"
+
+    #: which tail of the calibration score distribution signals
+    #: strangeness.  ``"right"``: larger score = stranger (LAC, TopK).
+    #: ``"both"``: scores unusually small OR large are strange — needed
+    #: for cumulative-mass scores (APS, RAPS) whose value at the
+    #: predicted label *shrinks* when the model is uncertain, so a
+    #: drifted low-confidence prediction sits in the LEFT tail of a
+    #: well-trained model's calibration scores.
+    tail: str = "right"
+
+    @abc.abstractmethod
+    def score(self, probabilities, labels) -> np.ndarray:
+        """Return per-sample nonconformity of ``labels`` under ``probabilities``.
+
+        ``probabilities`` is ``(n, n_classes)``; ``labels`` is an
+        integer array of class indices, one per row.  Higher scores mean
+        the label conforms *less* with the model's output.
+        """
+
+    def score_all_labels(self, probabilities) -> np.ndarray:
+        """Return the ``(n, n_classes)`` score of every candidate label."""
+        probs = _check_probabilities(probabilities)
+        n, n_classes = probs.shape
+        out = np.empty((n, n_classes))
+        for label in range(n_classes):
+            out[:, label] = self.score(probs, np.full(n, label))
+        return out
+
+    def __repr__(self) -> str:
+        return f"{self.__class__.__name__}()"
+
+
+class LAC(NonconformityFunction):
+    """Least Ambiguous set-valued Classifier score: ``1 - p_label``."""
+
+    name = "LAC"
+
+    def score(self, probabilities, labels) -> np.ndarray:
+        probs = _check_probabilities(probabilities)
+        labels = np.asarray(labels, dtype=int)
+        return 1.0 - probs[np.arange(len(probs)), labels]
+
+
+class TopK(NonconformityFunction):
+    """Rank of the label when classes are sorted by descending probability.
+
+    The most probable class has score 1, the second 2, and so on —
+    matching the supplement's Top-K definition.
+    """
+
+    name = "TopK"
+
+    def score(self, probabilities, labels) -> np.ndarray:
+        probs = _check_probabilities(probabilities)
+        labels = np.asarray(labels, dtype=int)
+        # rank = number of classes with strictly higher probability + 1.
+        label_probs = probs[np.arange(len(probs)), labels]
+        ranks = np.sum(probs > label_probs[:, None], axis=1) + 1
+        return ranks.astype(float)
+
+
+class APS(NonconformityFunction):
+    """Adaptive Prediction Sets score: cumulative probability mass.
+
+    Sum of class probabilities from the most probable class down to and
+    including the scored label.
+    """
+
+    name = "APS"
+    tail = "both"
+
+    def score(self, probabilities, labels) -> np.ndarray:
+        probs = _check_probabilities(probabilities)
+        labels = np.asarray(labels, dtype=int)
+        label_probs = probs[np.arange(len(probs)), labels]
+        above = probs * (probs > label_probs[:, None])
+        return above.sum(axis=1) + label_probs
+
+
+class RAPS(NonconformityFunction):
+    """Regularized APS: APS plus a rank penalty ``lambda * (k - k_reg)+``."""
+
+    name = "RAPS"
+    tail = "both"
+
+    def __init__(self, lam: float = 0.05, k_reg: int = 1):
+        if lam < 0:
+            raise ValueError("lam must be non-negative")
+        if k_reg < 0:
+            raise ValueError("k_reg must be non-negative")
+        self.lam = lam
+        self.k_reg = k_reg
+
+    def score(self, probabilities, labels) -> np.ndarray:
+        probs = _check_probabilities(probabilities)
+        labels = np.asarray(labels, dtype=int)
+        label_probs = probs[np.arange(len(probs)), labels]
+        above = probs * (probs > label_probs[:, None])
+        aps = above.sum(axis=1) + label_probs
+        ranks = np.sum(probs > label_probs[:, None], axis=1) + 1
+        penalty = self.lam * np.clip(ranks - self.k_reg, 0, None)
+        return aps + penalty
+
+    def __repr__(self) -> str:
+        return f"RAPS(lam={self.lam}, k_reg={self.k_reg})"
+
+
+DEFAULT_CLASSIFICATION_FUNCTIONS = (LAC, TopK, APS, RAPS)
+
+
+def default_classification_functions() -> list:
+    """Return fresh instances of the paper's four default functions."""
+    return [factory() for factory in DEFAULT_CLASSIFICATION_FUNCTIONS]
+
+
+class RegressionScore(abc.ABC):
+    """Abstract base for regression nonconformity scores.
+
+    Regression scores compare a point prediction against a (possibly
+    approximated) ground-truth value; higher = stranger.
+    """
+
+    name: str = "reg-base"
+
+    @abc.abstractmethod
+    def score(self, predictions, targets) -> np.ndarray:
+        """Return per-sample nonconformity of predictions vs targets."""
+
+    def __repr__(self) -> str:
+        return f"{self.__class__.__name__}()"
+
+
+class AbsoluteErrorScore(RegressionScore):
+    """Plain absolute residual ``|y - y_hat|``."""
+
+    name = "AbsErr"
+
+    def score(self, predictions, targets) -> np.ndarray:
+        predictions = np.asarray(predictions, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        return np.abs(targets - predictions)
+
+
+class NormalizedErrorScore(RegressionScore):
+    """Residual normalized by the target magnitude.
+
+    ``|y - y_hat| / (|y| + beta)`` — robust to tasks whose target spans
+    orders of magnitude (e.g. schedule throughputs).
+    """
+
+    name = "NormErr"
+
+    def __init__(self, beta: float = 1e-6):
+        if beta <= 0:
+            raise ValueError("beta must be positive")
+        self.beta = beta
+
+    def score(self, predictions, targets) -> np.ndarray:
+        predictions = np.asarray(predictions, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        return np.abs(targets - predictions) / (np.abs(targets) + self.beta)
+
+    def __repr__(self) -> str:
+        return f"NormalizedErrorScore(beta={self.beta})"
+
+
+class SquaredErrorScore(RegressionScore):
+    """Squared residual ``(y - y_hat)^2`` — emphasizes large deviations."""
+
+    name = "SqErr"
+
+    def score(self, predictions, targets) -> np.ndarray:
+        predictions = np.asarray(predictions, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        return (targets - predictions) ** 2
+
+
+def default_regression_scores() -> list:
+    """Return fresh instances of the default regression score ensemble."""
+    return [AbsoluteErrorScore(), NormalizedErrorScore(), SquaredErrorScore()]

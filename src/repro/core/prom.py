@@ -1,0 +1,391 @@
+"""PromClassifier and PromRegressor — the top-level drift detectors.
+
+Workflow (paper Figures 3 and 5):
+
+1. **Design time** — ``calibrate()`` with the held-out calibration set:
+   feature vectors, the underlying model's outputs, and ground truth.
+   Per-sample nonconformity scores are precomputed offline for every
+   expert (nonconformity function).
+2. **Deployment** — ``evaluate()`` each test sample: select and weight
+   the nearest calibration subset, compute per-expert credibility
+   (p-value of the predicted label) and confidence (Gaussian of the
+   prediction-set size), and majority-vote the accept/reject decision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .clustering import CalibrationClusterer
+from .committee import Decision, ExpertCommittee
+from .exceptions import CalibrationError, NotCalibratedError
+from .nonconformity import (
+    default_classification_functions,
+    default_regression_scores,
+)
+from .pvalue import pvalues_all_labels
+from .scores import assess
+from .weighting import AdaptiveWeighting
+
+
+def _check_calibration_inputs(features, outputs, targets):
+    features = np.asarray(features, dtype=float)
+    outputs = np.asarray(outputs, dtype=float)
+    targets = np.asarray(targets)
+    if features.ndim != 2:
+        raise CalibrationError("calibration features must be 2-D")
+    if len(features) == 0:
+        raise CalibrationError("calibration set is empty")
+    if len(features) != len(outputs) or len(features) != len(targets):
+        raise CalibrationError(
+            "calibration features, model outputs and targets must align"
+        )
+    return features, outputs, targets
+
+
+class PromClassifier:
+    """Drift detector for probabilistic classifiers.
+
+    Args:
+        functions: nonconformity functions forming the expert
+            committee; defaults to the paper's LAC/TopK/APS/RAPS.
+        epsilon: significance parameter (paper default 0.1); the CP
+            prediction region keeps labels with p-value > epsilon.
+        fraction, min_calibration, tau: adaptive-weighting parameters
+            (paper defaults 0.5, 200, 500).
+        gaussian_scale: the ``c`` of the confidence Gaussian.
+        credibility_threshold: reject-side threshold on the p-value
+            (default: epsilon).
+        confidence_threshold: reject-side threshold on confidence.
+        vote_threshold: committee acceptance fraction (0.5 = majority,
+            ties reject).
+    """
+
+    def __init__(
+        self,
+        functions=None,
+        epsilon: float = 0.1,
+        fraction: float = 0.5,
+        min_calibration: int = 200,
+        tau: float | None = None,
+        gaussian_scale: float = 1.0,
+        credibility_threshold: float | None = None,
+        confidence_threshold: float = 0.9,
+        vote_threshold: float = 0.5,
+        weight_mode: str = "count",
+        weighting: AdaptiveWeighting | None = None,
+    ):
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+        self.functions = (
+            list(functions)
+            if functions is not None
+            else default_classification_functions()
+        )
+        if not self.functions:
+            raise ValueError("need at least one nonconformity function")
+        self.epsilon = epsilon
+        self.gaussian_scale = gaussian_scale
+        self.credibility_threshold = credibility_threshold
+        self.confidence_threshold = confidence_threshold
+        self.weight_mode = weight_mode
+        self.weighting = weighting or AdaptiveWeighting(
+            fraction=fraction, min_samples=min_calibration, tau=tau
+        )
+        self.committee = ExpertCommittee(vote_threshold=vote_threshold)
+
+    # -- design time -----------------------------------------------------------
+    def calibrate(self, features, probabilities, labels) -> "PromClassifier":
+        """Precompute per-expert nonconformity scores on the calibration set.
+
+        Args:
+            features: ``(n, d)`` feature vectors from the model's
+                feature-extraction function.
+            probabilities: ``(n, n_classes)`` model probability vectors.
+            labels: true label indices (column indices of
+                ``probabilities``).
+        """
+        features, probabilities, labels = _check_calibration_inputs(
+            features, probabilities, labels
+        )
+        labels = labels.astype(int)
+        if probabilities.ndim != 2:
+            raise CalibrationError("probabilities must be (n, n_classes)")
+        if labels.max(initial=0) >= probabilities.shape[1]:
+            raise CalibrationError("label index exceeds probability columns")
+        self._features = features
+        self._labels = labels
+        self._n_classes = probabilities.shape[1]
+        self.weighting.resolve_tau(features)
+        self._scores = [
+            function.score(probabilities, labels) for function in self.functions
+        ]
+        return self
+
+    @property
+    def is_calibrated(self) -> bool:
+        return hasattr(self, "_features")
+
+    def _require_calibrated(self):
+        if not self.is_calibrated:
+            raise NotCalibratedError("call calibrate() before evaluating samples")
+
+    # -- deployment --------------------------------------------------------------
+    def evaluate_one(self, feature, probability_row, predicted_label=None) -> Decision:
+        """Assess one test sample; returns the committee :class:`Decision`."""
+        self._require_calibrated()
+        probability_row = np.asarray(probability_row, dtype=float).ravel()
+        if probability_row.shape[0] != self._n_classes:
+            raise ValueError(
+                f"probability vector has {probability_row.shape[0]} entries, "
+                f"calibration used {self._n_classes} classes"
+            )
+        if predicted_label is None:
+            predicted_label = int(np.argmax(probability_row))
+        subset = self.weighting.select(self._features, np.asarray(feature, dtype=float))
+
+        assessments = []
+        for function, calibration_scores in zip(self.functions, self._scores):
+            test_scores = function.score_all_labels(probability_row.reshape(1, -1))[0]
+            pvalues = pvalues_all_labels(
+                calibration_scores,
+                self._labels,
+                subset,
+                test_scores,
+                self._n_classes,
+                weight_mode=self.weight_mode,
+                tail=function.tail,
+            )
+            assessments.append(
+                assess(
+                    pvalues,
+                    predicted_label,
+                    epsilon=self.epsilon,
+                    gaussian_scale=self.gaussian_scale,
+                    credibility_threshold=self.credibility_threshold,
+                    confidence_threshold=self.confidence_threshold,
+                    function_name=function.name,
+                )
+            )
+        return self.committee.decide(assessments)
+
+    def evaluate(self, features, probabilities, predicted_labels=None) -> list:
+        """Assess a batch of test samples; returns one Decision each."""
+        features = np.asarray(features, dtype=float)
+        probabilities = np.asarray(probabilities, dtype=float)
+        if features.ndim == 1:
+            features = features.reshape(1, -1)
+        if probabilities.ndim == 1:
+            probabilities = probabilities.reshape(1, -1)
+        if predicted_labels is None:
+            predicted_labels = np.argmax(probabilities, axis=1)
+        return [
+            self.evaluate_one(features[i], probabilities[i], int(predicted_labels[i]))
+            for i in range(len(features))
+        ]
+
+    def prediction_region(self, feature, probability_row) -> np.ndarray:
+        """Return the committee prediction region for one sample.
+
+        A label is in the region when a majority of experts include it
+        in their CP prediction set at level epsilon.  Used by the
+        initialization assessment's coverage computation.
+        """
+        self._require_calibrated()
+        probability_row = np.asarray(probability_row, dtype=float).ravel()
+        subset = self.weighting.select(self._features, np.asarray(feature, dtype=float))
+        inclusion_votes = np.zeros(self._n_classes)
+        for function, calibration_scores in zip(self.functions, self._scores):
+            test_scores = function.score_all_labels(probability_row.reshape(1, -1))[0]
+            pvalues = pvalues_all_labels(
+                calibration_scores,
+                self._labels,
+                subset,
+                test_scores,
+                self._n_classes,
+                weight_mode=self.weight_mode,
+                tail=function.tail,
+            )
+            inclusion_votes += (pvalues > self.epsilon).astype(float)
+        return np.flatnonzero(inclusion_votes > 0.5 * len(self.functions))
+
+
+class PromRegressor:
+    """Drift detector for regression models (paper Sec. 5.1.1/5.1.2).
+
+    Ground truth is unavailable at deployment, so the test residual is
+    approximated against the k-NN average of calibration targets
+    (k=3 by default).  Classification-style p-values operate over
+    K-means cluster pseudo-labels of the calibration features, with K
+    chosen by the Gap statistic unless fixed.
+
+    ``calibration_residuals`` controls how the *calibration* scores are
+    computed: ``"loo"`` (default) approximates each calibration
+    sample's target with leave-one-out k-NN, exactly mirroring how the
+    test score is built, which keeps calibration and test scores
+    exchangeable even when the underlying model is very accurate;
+    ``"true"`` uses the known calibration ground truth (the paper's
+    literal formulation).
+    """
+
+    def __init__(
+        self,
+        score_functions=None,
+        epsilon: float = 0.1,
+        k_neighbors: int = 3,
+        n_clusters: int | None = None,
+        fraction: float = 0.5,
+        min_calibration: int = 200,
+        tau: float | None = None,
+        gaussian_scale: float = 1.0,
+        credibility_threshold: float | None = None,
+        confidence_threshold: float = 0.9,
+        vote_threshold: float = 0.5,
+        weight_mode: str = "count",
+        calibration_residuals: str = "loo",
+        seed: int = 0,
+        weighting: AdaptiveWeighting | None = None,
+    ):
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+        if k_neighbors < 1:
+            raise ValueError("k_neighbors must be >= 1")
+        if calibration_residuals not in ("loo", "true"):
+            raise ValueError(
+                f"calibration_residuals must be 'loo' or 'true', "
+                f"got {calibration_residuals!r}"
+            )
+        self.score_functions = (
+            list(score_functions)
+            if score_functions is not None
+            else default_regression_scores()
+        )
+        if not self.score_functions:
+            raise ValueError("need at least one regression score function")
+        self.epsilon = epsilon
+        self.k_neighbors = k_neighbors
+        self.n_clusters = n_clusters
+        self.gaussian_scale = gaussian_scale
+        self.credibility_threshold = credibility_threshold
+        self.confidence_threshold = confidence_threshold
+        self.weight_mode = weight_mode
+        self.calibration_residuals = calibration_residuals
+        self.seed = seed
+        self.weighting = weighting or AdaptiveWeighting(
+            fraction=fraction, min_samples=min_calibration, tau=tau
+        )
+        self.committee = ExpertCommittee(vote_threshold=vote_threshold)
+
+    # -- design time -----------------------------------------------------------
+    def calibrate(self, features, predictions, targets) -> "PromRegressor":
+        """Precompute residual scores and cluster pseudo-labels offline."""
+        features, predictions, targets = _check_calibration_inputs(
+            features, predictions, targets
+        )
+        predictions = predictions.astype(float).ravel()
+        targets = np.asarray(targets, dtype=float).ravel()
+        self._features = features
+        self._targets = targets
+        self.weighting.resolve_tau(features)
+        if self.calibration_residuals == "loo":
+            reference = self._loo_targets(features, targets)
+        else:
+            reference = targets
+        self._scores = [
+            function.score(predictions, reference) for function in self.score_functions
+        ]
+        self.clusterer_ = CalibrationClusterer(
+            n_clusters=self.n_clusters, seed=self.seed
+        ).fit(features)
+        self._clusters = self.clusterer_.labels_
+        return self
+
+    @property
+    def is_calibrated(self) -> bool:
+        return hasattr(self, "_features")
+
+    def _require_calibrated(self):
+        if not self.is_calibrated:
+            raise NotCalibratedError("call calibrate() before evaluating samples")
+
+    def _loo_targets(self, features: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Leave-one-out k-NN approximation of each calibration target."""
+        n = len(features)
+        k = min(self.k_neighbors, max(1, n - 1))
+        squared = (
+            np.sum(features * features, axis=1)[:, None]
+            + np.sum(features * features, axis=1)[None, :]
+            - 2.0 * features @ features.T
+        )
+        np.fill_diagonal(squared, np.inf)
+        nearest = np.argpartition(squared, k - 1, axis=1)[:, :k]
+        return targets[nearest].mean(axis=1)
+
+    def approximate_target(self, feature) -> float:
+        """k-NN estimate of the unseen ground truth for one test sample."""
+        self._require_calibrated()
+        feature = np.asarray(feature, dtype=float).ravel()
+        distances = np.sqrt(np.sum((self._features - feature) ** 2, axis=1))
+        k = min(self.k_neighbors, len(distances))
+        nearest = np.argpartition(distances, k - 1)[:k]
+        return float(self._targets[nearest].mean())
+
+    # -- deployment --------------------------------------------------------------
+    def evaluate_one(self, feature, prediction: float) -> Decision:
+        """Assess one regression prediction; returns the committee Decision."""
+        self._require_calibrated()
+        feature = np.asarray(feature, dtype=float).ravel()
+        approx_target = self.approximate_target(feature)
+        subset = self.weighting.select(self._features, feature)
+        assigned_cluster = int(self.clusterer_.assign(feature.reshape(1, -1))[0])
+        n_clusters = self.clusterer_.k_
+
+        assessments = []
+        for function, calibration_scores in zip(self.score_functions, self._scores):
+            test_score = float(
+                function.score(
+                    np.asarray([prediction], dtype=float),
+                    np.asarray([approx_target], dtype=float),
+                )[0]
+            )
+            pvalues = pvalues_all_labels(
+                calibration_scores,
+                self._clusters,
+                subset,
+                np.full(n_clusters, test_score),
+                n_clusters,
+                weight_mode=self.weight_mode,
+            )
+            assessments.append(
+                assess(
+                    pvalues,
+                    assigned_cluster,
+                    epsilon=self.epsilon,
+                    gaussian_scale=self.gaussian_scale,
+                    credibility_threshold=self.credibility_threshold,
+                    confidence_threshold=self.confidence_threshold,
+                    function_name=function.name,
+                )
+            )
+        return self.committee.decide(assessments)
+
+    def evaluate(self, features, predictions) -> list:
+        """Assess a batch of regression predictions."""
+        features = np.asarray(features, dtype=float)
+        predictions = np.asarray(predictions, dtype=float).ravel()
+        if features.ndim == 1:
+            features = features.reshape(1, -1)
+        return [
+            self.evaluate_one(features[i], float(predictions[i]))
+            for i in range(len(features))
+        ]
+
+
+def drifting_indices(decisions) -> np.ndarray:
+    """Return the positions of decisions flagged as drifting."""
+    return np.flatnonzero([decision.drifting for decision in decisions])
+
+
+def accepted_indices(decisions) -> np.ndarray:
+    """Return the positions of decisions the committee accepted."""
+    return np.flatnonzero([decision.accepted for decision in decisions])

@@ -1,0 +1,164 @@
+"""Deployment drift reports: summarize a stream of committee decisions.
+
+Production users of Prom want more than a per-sample bit: operators
+watch rejection rates over time, per-class rejection skew, and the
+credibility distribution to decide *when* to trigger relabelling or
+retraining.  :func:`summarize_decisions` condenses a decision stream
+into those quantities, and :class:`DriftMonitor` tracks a rolling
+window with an alert threshold.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Aggregate view of a batch of Prom decisions.
+
+    Attributes:
+        n_samples: decisions summarized.
+        n_rejected: how many the committee flagged as drifting.
+        rejection_rate: ``n_rejected / n_samples``.
+        mean_credibility / mean_confidence: averages over the stream.
+        credibility_quantiles: (q10, q50, q90) of credibility.
+        per_label_rejection: rejection rate per predicted label, when
+            predicted labels were supplied.
+        expert_disagreement: fraction of samples on which the experts
+            were not unanimous — a leading indicator of drift onset.
+    """
+
+    n_samples: int
+    n_rejected: int
+    rejection_rate: float
+    mean_credibility: float
+    mean_confidence: float
+    credibility_quantiles: tuple
+    per_label_rejection: dict = field(default_factory=dict)
+    expert_disagreement: float = 0.0
+
+    def __str__(self) -> str:
+        q10, q50, q90 = self.credibility_quantiles
+        lines = [
+            f"drift report over {self.n_samples} samples:",
+            f"  rejected          {self.n_rejected} ({self.rejection_rate:.1%})",
+            f"  credibility       mean {self.mean_credibility:.3f} "
+            f"(q10 {q10:.3f}, median {q50:.3f}, q90 {q90:.3f})",
+            f"  confidence        mean {self.mean_confidence:.3f}",
+            f"  expert split rate {self.expert_disagreement:.1%}",
+        ]
+        for label, rate in sorted(self.per_label_rejection.items()):
+            lines.append(f"  label {label}: rejected {rate:.1%}")
+        return "\n".join(lines)
+
+
+def summarize_decisions(decisions, predicted_labels=None) -> DriftReport:
+    """Condense a list of committee decisions into a :class:`DriftReport`."""
+    decisions = list(decisions)
+    if not decisions:
+        raise ValueError("cannot summarize an empty decision stream")
+    rejected = np.asarray([d.drifting for d in decisions])
+    credibilities = np.asarray([d.credibility for d in decisions])
+    confidences = np.asarray([d.confidence for d in decisions])
+    disagreements = np.asarray(
+        [
+            0.0 if not d.votes else float(
+                0 < sum(1 for v in d.votes if v.accept) < len(d.votes)
+            )
+            for d in decisions
+        ]
+    )
+
+    per_label = {}
+    if predicted_labels is not None:
+        predicted_labels = np.asarray(predicted_labels)
+        if len(predicted_labels) != len(decisions):
+            raise ValueError("predicted_labels must align with decisions")
+        for label in np.unique(predicted_labels):
+            mask = predicted_labels == label
+            per_label[label.item() if hasattr(label, "item") else label] = float(
+                rejected[mask].mean()
+            )
+
+    return DriftReport(
+        n_samples=len(decisions),
+        n_rejected=int(rejected.sum()),
+        rejection_rate=float(rejected.mean()),
+        mean_credibility=float(credibilities.mean()),
+        mean_confidence=float(confidences.mean()),
+        credibility_quantiles=tuple(
+            float(q) for q in np.percentile(credibilities, [10, 50, 90])
+        ),
+        per_label_rejection=per_label,
+        expert_disagreement=float(disagreements.mean()),
+    )
+
+
+class DriftMonitor:
+    """Rolling-window drift alarm over a live decision stream.
+
+    Feed decisions one at a time (or in batches); the monitor keeps the
+    most recent ``window`` of them and raises its ``alert`` flag when
+    the windowed rejection rate exceeds ``alert_threshold``.  The
+    threshold should sit well above the false-positive rate observed at
+    design time (e.g. 2-3x epsilon).
+    """
+
+    def __init__(self, window: int = 100, alert_threshold: float = 0.3):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0.0 < alert_threshold <= 1.0:
+            raise ValueError("alert_threshold must be in (0, 1]")
+        self.window = window
+        self.alert_threshold = alert_threshold
+        self._flags = deque(maxlen=window)
+        self._total_seen = 0
+        self._total_rejected = 0
+
+    def observe(self, decision) -> bool:
+        """Record one decision; returns the current alert state."""
+        self._flags.append(bool(decision.drifting))
+        self._total_seen += 1
+        self._total_rejected += int(decision.drifting)
+        return self.alert
+
+    def observe_batch(self, decisions) -> bool:
+        """Record a batch of decisions; returns the current alert state."""
+        for decision in decisions:
+            self.observe(decision)
+        return self.alert
+
+    @property
+    def rejection_rate(self) -> float:
+        """Rejection rate over the current window (0 when empty)."""
+        if not self._flags:
+            return 0.0
+        return sum(self._flags) / len(self._flags)
+
+    @property
+    def alert(self) -> bool:
+        """True when the windowed rejection rate crosses the threshold.
+
+        Requires a full-enough window (at least 10 samples or the whole
+        window size, whichever is smaller) so a single early rejection
+        cannot trip the alarm.
+        """
+        minimum = min(10, self.window)
+        if len(self._flags) < minimum:
+            return False
+        return self.rejection_rate >= self.alert_threshold
+
+    @property
+    def lifetime_rejection_rate(self) -> float:
+        """Rejection rate since the monitor was created."""
+        if self._total_seen == 0:
+            return 0.0
+        return self._total_rejected / self._total_seen
+
+    def reset(self) -> None:
+        """Clear the window (e.g. after a model update)."""
+        self._flags.clear()

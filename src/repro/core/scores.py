@@ -1,0 +1,93 @@
+"""Credibility and confidence evaluation (paper Sec. 5.3).
+
+* **Credibility** of a prediction is the conformal p-value of the
+  predicted label — high when the test sample resembles calibration
+  samples that carry the same label.
+* **Confidence** is a Gaussian function of the prediction-set size,
+  ``f(x) = exp(-(x - 1)^2 / (2 c^2))``: exactly one conforming label is
+  the ideal; an empty set (no label conforms) or many conforming labels
+  (ambiguity) both lower confidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def prediction_set(pvalues: np.ndarray, epsilon: float) -> np.ndarray:
+    """Return the label indices whose p-value exceeds ``epsilon``.
+
+    This is the standard CP prediction region at significance level
+    ``1 - epsilon``: labels that cannot be rejected at level epsilon.
+    """
+    pvalues = np.asarray(pvalues, dtype=float)
+    return np.flatnonzero(pvalues > epsilon)
+
+
+def confidence_from_set_size(set_size: int, gaussian_scale: float = 1.0) -> float:
+    """Map a prediction-set size to a confidence score in ``(0, 1]``.
+
+    ``gaussian_scale`` is the constant ``c`` of the paper's Gaussian;
+    the paper discusses c in 1..4 (Fig. 13(c)).  We default to ``c=1``
+    because with small label spaces (binary tasks) larger scales make
+    the confidence score insensitive to set size; the paper's own
+    sensitivity analysis covers the same trade-off.
+    """
+    if gaussian_scale <= 0:
+        raise ValueError("gaussian_scale must be positive")
+    return float(np.exp(-((set_size - 1.0) ** 2) / (2.0 * gaussian_scale**2)))
+
+
+@dataclass(frozen=True)
+class ExpertAssessment:
+    """One nonconformity function's verdict on one test sample."""
+
+    function_name: str
+    credibility: float
+    confidence: float
+    prediction_set_size: int
+    accept: bool
+
+
+def assess(
+    pvalues: np.ndarray,
+    predicted_label: int,
+    epsilon: float,
+    gaussian_scale: float = 1.0,
+    credibility_threshold: float | None = None,
+    confidence_threshold: float = 0.9,
+    require_predicted_in_set: bool = True,
+    function_name: str = "",
+) -> ExpertAssessment:
+    """Produce one expert's accept/reject verdict for one test sample.
+
+    A sample is flagged as drifting when *both* scores fall below their
+    thresholds (paper Sec. 5.3): credibility below
+    ``credibility_threshold`` (default: epsilon) and confidence below
+    ``confidence_threshold``.
+
+    When ``require_predicted_in_set`` is true (default), a prediction
+    region that does not contain the predicted label provides no
+    endorsement: the effective set size for the confidence score is
+    then 0, so a conforming-looking singleton around a *different*
+    label cannot vouch for the model's actual output.
+    """
+    if credibility_threshold is None:
+        credibility_threshold = epsilon
+    pvalues = np.asarray(pvalues, dtype=float)
+    credibility = float(pvalues[predicted_label])
+    region = prediction_set(pvalues, epsilon)
+    effective_size = len(region)
+    if require_predicted_in_set and predicted_label not in region:
+        effective_size = 0
+    confidence = confidence_from_set_size(effective_size, gaussian_scale)
+    reject = credibility < credibility_threshold and confidence < confidence_threshold
+    return ExpertAssessment(
+        function_name=function_name,
+        credibility=credibility,
+        confidence=confidence,
+        prediction_set_size=len(region),
+        accept=not reject,
+    )

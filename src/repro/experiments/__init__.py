@@ -1,0 +1,48 @@
+"""Experiment harness: runners and table/figure renderers."""
+
+from .figures import (
+    distribution_summary,
+    figure7_drift_impact,
+    figure8_detection,
+    figure9_incremental,
+    figure10_comparison,
+    figure11_nonconformity,
+    figure12_overhead,
+    figure13_sensitivity,
+)
+from .runner import (
+    ClassificationResult,
+    IncrementalResult,
+    RegressionResult,
+    reevaluate_with_prom,
+    run_baseline_comparison,
+    run_classification,
+    run_incremental,
+    run_nonconformity_ablation,
+    run_regression,
+)
+from .tables import detection_table, format_table, table2_summary, table3_dnn_codegen
+
+__all__ = [
+    "ClassificationResult",
+    "IncrementalResult",
+    "RegressionResult",
+    "detection_table",
+    "distribution_summary",
+    "figure10_comparison",
+    "figure11_nonconformity",
+    "figure12_overhead",
+    "figure13_sensitivity",
+    "figure7_drift_impact",
+    "figure8_detection",
+    "figure9_incremental",
+    "format_table",
+    "reevaluate_with_prom",
+    "run_baseline_comparison",
+    "run_classification",
+    "run_incremental",
+    "run_nonconformity_ablation",
+    "run_regression",
+    "table2_summary",
+    "table3_dnn_codegen",
+]

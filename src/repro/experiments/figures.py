@@ -1,0 +1,156 @@
+"""Plain-text rendering of the paper's figures.
+
+Each helper turns experiment outputs into the series/rows the figure
+plots, rendered as aligned text (the artifact's scripts print the same
+numbers the figures visualize).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tables import format_table
+
+
+def distribution_summary(values) -> dict:
+    """Violin-plot summary: min/quartiles/median/max of a distribution."""
+    values = np.asarray(values, dtype=float)
+    if len(values) == 0:
+        raise ValueError("empty distribution")
+    return {
+        "min": float(values.min()),
+        "q1": float(np.percentile(values, 25)),
+        "median": float(np.median(values)),
+        "q3": float(np.percentile(values, 75)),
+        "max": float(values.max()),
+        "mean": float(values.mean()),
+    }
+
+
+def violin_row(label: str, values) -> list:
+    stats = distribution_summary(values)
+    return [
+        label,
+        f"{stats['min']:.2f}",
+        f"{stats['q1']:.2f}",
+        f"{stats['median']:.2f}",
+        f"{stats['q3']:.2f}",
+        f"{stats['max']:.2f}",
+        f"{stats['mean']:.2f}",
+    ]
+
+
+VIOLIN_HEADERS = ["Series", "min", "q1", "median", "q3", "max", "mean"]
+
+
+def figure7_drift_impact(results) -> str:
+    """Figure 7: design-time vs deployment performance distributions."""
+    rows = []
+    for result in results:
+        rows.append(violin_row(f"{result.task}/{result.model} design", result.design_ratios))
+        rows.append(violin_row(f"{result.task}/{result.model} deploy", result.deploy_ratios))
+    return format_table(
+        VIOLIN_HEADERS, rows, title="Figure 7: impact of drifting data"
+    )
+
+
+def figure8_detection(results) -> str:
+    """Figure 8: Prom's detection metrics per case study and model."""
+    rows = [
+        [
+            f"{r.task}/{r.model}",
+            f"{r.detection.accuracy:.3f}",
+            f"{r.detection.precision:.3f}",
+            f"{r.detection.recall:.3f}",
+            f"{r.detection.f1:.3f}",
+        ]
+        for r in results
+    ]
+    return format_table(
+        ["Series", "Accuracy", "Precision", "Recall", "F1"],
+        rows,
+        title="Figure 8: detecting drifting samples",
+    )
+
+
+def figure9_incremental(results) -> str:
+    """Figure 9: native vs Prom-assisted deployment distributions."""
+    rows = []
+    for result in results:
+        rows.append(violin_row(f"{result.task}/{result.model} native", result.native_ratios))
+        rows.append(
+            violin_row(f"{result.task}/{result.model} +PROM", result.improved_ratios)
+        )
+    return format_table(
+        VIOLIN_HEADERS, rows, title="Figure 9: incremental learning"
+    )
+
+
+def figure10_comparison(per_task_scores) -> str:
+    """Figure 10: F1 of RISE / TESSERACT / naive CP / Prom per case study.
+
+    Args:
+        per_task_scores: mapping task name -> {detector: f1}.
+    """
+    detectors = ["RISE", "TESSERACT", "MAPIE-PUNCC", "PROM"]
+    rows = []
+    for task, scores in per_task_scores.items():
+        rows.append([task] + [f"{scores.get(d, float('nan')):.3f}" for d in detectors])
+    return format_table(
+        ["Case study"] + detectors,
+        rows,
+        title="Figure 10: F1 vs prior CP-based detectors",
+    )
+
+
+def figure11_nonconformity(per_task_outcomes) -> str:
+    """Figure 11: individual nonconformity functions vs the committee."""
+    functions = ["LAC", "TopK", "APS", "RAPS", "PROM"]
+    rows = []
+    for task, outcomes in per_task_outcomes.items():
+        for metric in ("accuracy", "precision", "recall", "f1"):
+            rows.append(
+                [f"{task} {metric}"]
+                + [
+                    f"{getattr(outcomes[f], metric):.3f}" if f in outcomes else "-"
+                    for f in functions
+                ]
+            )
+    return format_table(
+        ["Series"] + functions,
+        rows,
+        title="Figure 11: individual nonconformity functions",
+    )
+
+
+def figure12_overhead(rows) -> str:
+    """Figure 12: training vs incremental-learning wall-clock seconds.
+
+    Args:
+        rows: list of (case study, initial seconds, incremental seconds).
+    """
+    formatted = [
+        [task, f"{initial:.2f}s", f"{incremental:.2f}s"]
+        for task, initial, incremental in rows
+    ]
+    return format_table(
+        ["Case study", "Initial training", "Incremental learning"],
+        formatted,
+        title="Figure 12: training overhead",
+    )
+
+
+def figure13_sensitivity(series: dict, title: str) -> str:
+    """Figure 13 panels: metric values over a swept parameter.
+
+    Args:
+        series: mapping series name -> list of (x, value) pairs.
+    """
+    xs = sorted({x for points in series.values() for x, _ in points})
+    rows = []
+    for name, points in series.items():
+        lookup = dict(points)
+        rows.append(
+            [name] + [f"{lookup[x]:.3f}" if x in lookup else "-" for x in xs]
+        )
+    return format_table(["Series"] + [str(x) for x in xs], rows, title=title)

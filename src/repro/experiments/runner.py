@@ -1,0 +1,475 @@
+"""Experiment harness: end-to-end runs behind every table and figure.
+
+Each function reproduces one experimental protocol from the paper:
+
+* :func:`run_classification` — train on the drift split, calibrate
+  Prom, deploy on the held-out side; also measures the design-time
+  (random-split) reference.  Feeds Figures 7 and 8 and Table 2.
+* :func:`run_incremental` — adds the relabel-and-retrain round on the
+  flagged samples.  Feeds Figure 9 and Table 2/3.
+* :func:`run_regression` — the C5 protocol: TLP trained on BERT-base,
+  deployed on the other variants.  Feeds Table 3 and Figure 8(e).
+* :func:`run_baseline_comparison` — RISE/TESSERACT/naive-CP vs Prom.
+  Feeds Figure 10.
+* :func:`run_nonconformity_ablation` — each nonconformity function
+  alone vs the committee.  Feeds Figure 11.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines import BASELINE_FACTORIES
+from ..core import (
+    Decision,
+    DetectionMetrics,
+    PromClassifier,
+    PromRegressor,
+    detection_metrics,
+    drifting_indices,
+    select_relabel_budget,
+)
+from ..core.nonconformity import default_classification_functions
+from ..models import tlp as tlp_factory
+from ..tasks import DnnCodeGenerationTask
+from ..tasks.base import CaseStudy, Split
+
+
+def _calibration_split(train_indices, calibration_ratio, max_calibration, seed):
+    """Carve a calibration part out of a training index set."""
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(train_indices)
+    n_cal = min(
+        max(1, int(round(len(order) * calibration_ratio))),
+        max_calibration,
+        len(order) - 1,
+    )
+    return order[n_cal:], order[:n_cal]
+
+
+@dataclass
+class ClassificationResult:
+    """One (task, model) run: design reference + drifted deployment."""
+
+    task: str
+    model: str
+    design_ratios: np.ndarray
+    deploy_ratios: np.ndarray
+    design_accuracy: float
+    deploy_accuracy: float
+    detection: DetectionMetrics
+    decisions: list = field(repr=False, default_factory=list)
+    mispredicted: np.ndarray = field(repr=False, default=None)
+    test_indices: np.ndarray = field(repr=False, default=None)
+    predicted_labels: np.ndarray = field(repr=False, default=None)
+    predicted_columns: np.ndarray = field(repr=False, default=None)
+    train_seconds: float = 0.0
+    # fitted artefacts for follow-up experiments (incremental learning)
+    fitted_model: object = field(repr=False, default=None)
+    prom: PromClassifier = field(repr=False, default=None)
+    calibration_indices: np.ndarray = field(repr=False, default=None)
+    calibration_columns: np.ndarray = field(repr=False, default=None)
+
+
+def _fit_and_detect(
+    task: CaseStudy,
+    model_factory,
+    split: Split,
+    prom_kwargs: dict,
+    calibration_ratio: float,
+    max_calibration: int,
+    misprediction_threshold: float,
+    seed: int,
+):
+    """Train a model on a split, calibrate Prom, assess the test side."""
+    train_idx, cal_idx = _calibration_split(
+        split.train, calibration_ratio, max_calibration, seed
+    )
+    model = model_factory(seed=seed)
+    started = time.perf_counter()
+    model.fit(task.subset(train_idx), task.labels[train_idx])
+    train_seconds = time.perf_counter() - started
+
+    # The model only knows the classes present in its training subset;
+    # its probability columns index into model.classes_ (global label
+    # indices).  Calibration samples whose true label the model has
+    # never seen carry no conformity information and are dropped.
+    model_classes = np.asarray(model.classes_)
+    column_of = {int(c): i for i, c in enumerate(model_classes)}
+    cal_keep = np.asarray(
+        [i for i in cal_idx if int(task.labels[i]) in column_of]
+    )
+    if len(cal_keep) == 0:
+        raise ValueError("calibration set shares no classes with the model")
+    cal_columns = np.asarray([column_of[int(task.labels[i])] for i in cal_keep])
+
+    prom = PromClassifier(**prom_kwargs)
+    cal_samples = task.subset(cal_keep)
+    prom.calibrate(
+        model.features(cal_samples),
+        model.predict_proba(cal_samples),
+        cal_columns,
+    )
+
+    test_samples = task.subset(split.test)
+    probabilities = model.predict_proba(test_samples)
+    predicted_columns = np.argmax(probabilities, axis=1)
+    predicted = model_classes[predicted_columns]
+    decisions = prom.evaluate(
+        model.features(test_samples), probabilities, predicted_columns
+    )
+
+    ratios = task.performance_ratios(split.test, predicted)
+    accuracy = float(np.mean(predicted == task.labels[split.test]))
+    mispredicted = task.misprediction_mask(
+        split.test, predicted, threshold=misprediction_threshold
+    )
+    return {
+        "model": model,
+        "prom": prom,
+        "decisions": decisions,
+        "ratios": ratios,
+        "accuracy": accuracy,
+        "mispredicted": mispredicted,
+        "predicted": predicted,
+        "predicted_columns": predicted_columns,
+        "train_seconds": train_seconds,
+        "calibration_indices": cal_keep,
+        "calibration_columns": cal_columns,
+    }
+
+
+def run_classification(
+    task: CaseStudy,
+    model_factory,
+    model_name: str | None = None,
+    epsilon: float = 0.1,
+    calibration_ratio: float = 0.2,
+    max_calibration: int = 1000,
+    misprediction_threshold: float = 0.2,
+    prom_kwargs: dict | None = None,
+    drift_kwargs: dict | None = None,
+    seed: int = 0,
+) -> ClassificationResult:
+    """Full design-vs-deployment protocol for one (task, model) pair."""
+    prom_kwargs = dict(prom_kwargs or {})
+    prom_kwargs.setdefault("epsilon", epsilon)
+
+    # Design-time reference: random split, no drift.
+    design = task.design_split(seed=seed)
+    design_run = _fit_and_detect(
+        task, model_factory, design, prom_kwargs,
+        calibration_ratio, max_calibration, misprediction_threshold, seed,
+    )
+
+    # Deployment: drift split.
+    drift = task.drift_split(**(drift_kwargs or {}))
+    drift_run = _fit_and_detect(
+        task, model_factory, drift, prom_kwargs,
+        calibration_ratio, max_calibration, misprediction_threshold, seed,
+    )
+
+    rejected = np.asarray([d.drifting for d in drift_run["decisions"]])
+    if drift_run["mispredicted"].any() or rejected.any():
+        detection = detection_metrics(drift_run["mispredicted"], rejected)
+    else:
+        detection = detection_metrics(
+            np.asarray([False]), np.asarray([False])
+        )
+    return ClassificationResult(
+        task=task.name,
+        model=model_name or getattr(design_run["model"], "name", "model"),
+        design_ratios=design_run["ratios"],
+        deploy_ratios=drift_run["ratios"],
+        design_accuracy=design_run["accuracy"],
+        deploy_accuracy=drift_run["accuracy"],
+        detection=detection,
+        decisions=drift_run["decisions"],
+        mispredicted=drift_run["mispredicted"],
+        test_indices=drift.test,
+        predicted_labels=drift_run["predicted"],
+        predicted_columns=drift_run["predicted_columns"],
+        train_seconds=design_run["train_seconds"] + drift_run["train_seconds"],
+        fitted_model=drift_run["model"],
+        prom=drift_run["prom"],
+        calibration_indices=drift_run["calibration_indices"],
+        calibration_columns=drift_run["calibration_columns"],
+    )
+
+
+@dataclass
+class IncrementalResult:
+    """Before/after comparison of one incremental-learning round."""
+
+    task: str
+    model: str
+    native_ratios: np.ndarray
+    improved_ratios: np.ndarray
+    native_accuracy: float
+    improved_accuracy: float
+    n_flagged: int
+    n_relabelled: int
+    update_seconds: float
+
+
+def run_incremental(
+    task: CaseStudy,
+    model_factory,
+    model_name: str | None = None,
+    budget_fraction: float = 0.05,
+    epochs: int = 25,
+    base_result: ClassificationResult | None = None,
+    seed: int = 0,
+    **classification_kwargs,
+) -> IncrementalResult:
+    """Relabel flagged samples, update the model, re-measure deployment.
+
+    Pass a precomputed ``base_result`` to reuse the trained model and
+    decisions from :func:`run_classification` (the benches do this to
+    avoid retraining).
+    """
+    if base_result is None:
+        base_result = run_classification(
+            task, model_factory, model_name=model_name, seed=seed,
+            **classification_kwargs,
+        )
+    # Work on a copy so the caller's cached result stays pristine (its
+    # fitted model may be reused by other experiments).
+    model = copy.deepcopy(base_result.fitted_model)
+    decisions = base_result.decisions
+    test_indices = base_result.test_indices
+
+    chosen_positions = select_relabel_budget(decisions, budget_fraction)
+    started = time.perf_counter()
+    if len(chosen_positions) > 0:
+        chosen_global = test_indices[chosen_positions]
+        # Models updated via partial_fit keep their class head; relabelled
+        # samples with classes the model never observed cannot be folded
+        # in without resizing the head, so they are skipped.
+        known = set(int(c) for c in np.asarray(model.classes_))
+        chosen_global = np.asarray(
+            [i for i in chosen_global if int(task.labels[i]) in known]
+        )
+        if len(chosen_global) > 0:
+            model.partial_fit(
+                task.subset(chosen_global), task.labels[chosen_global], epochs=epochs
+            )
+    update_seconds = time.perf_counter() - started
+
+    test_samples = task.subset(test_indices)
+    probabilities = model.predict_proba(test_samples)
+    predicted = np.argmax(probabilities, axis=1)
+    improved_ratios = task.performance_ratios(test_indices, predicted)
+    improved_accuracy = float(np.mean(predicted == task.labels[test_indices]))
+
+    return IncrementalResult(
+        task=task.name,
+        model=base_result.model,
+        native_ratios=base_result.deploy_ratios,
+        improved_ratios=improved_ratios,
+        native_accuracy=base_result.deploy_accuracy,
+        improved_accuracy=improved_accuracy,
+        n_flagged=len(drifting_indices(decisions)),
+        n_relabelled=len(chosen_positions),
+        update_seconds=update_seconds,
+    )
+
+
+@dataclass
+class RegressionResult:
+    """C5 outcome for one deployment network."""
+
+    network: str
+    native_ratio: float
+    prom_ratio: float
+    detection: DetectionMetrics
+    decisions: list = field(repr=False, default_factory=list)
+
+
+def run_regression(
+    dnn_task: DnnCodeGenerationTask | None = None,
+    networks=("bert-tiny", "bert-medium", "bert-large"),
+    epsilon: float = 0.1,
+    n_clusters: int | None = 6,
+    budget_fraction: float = 0.05,
+    relabel_epochs: int = 8,
+    misprediction_threshold: float = 0.2,
+    seed: int = 0,
+) -> dict:
+    """The full C5 protocol (Table 3): native and Prom-assisted rows.
+
+    Returns a dict with ``base_ratio`` (design-time BERT-base search
+    quality) and one :class:`RegressionResult` per deployment network.
+    """
+    task = dnn_task or DnnCodeGenerationTask(schedules_per_network=300, seed=seed)
+    base = task.dataset("bert-base")
+    train_idx, test_idx = task.design_data(seed=seed)
+    scale = float(base["throughputs"][train_idx].mean())
+
+    model = tlp_factory(seed=seed)
+    model.fit(base["tokens"][train_idx], base["throughputs"][train_idx] / scale)
+
+    # Calibration: a slice of the base training pool.
+    rng = np.random.default_rng(seed)
+    cal_idx = rng.choice(train_idx, size=min(150, len(train_idx) // 2), replace=False)
+    prom = PromRegressor(epsilon=epsilon, n_clusters=n_clusters, seed=seed)
+
+    def calibrate():
+        predictions = model.predict(base["tokens"][cal_idx]) * scale
+        prom.calibrate(
+            model.hidden_embedding(base["tokens"][cal_idx]),
+            predictions,
+            base["throughputs"][cal_idx],
+        )
+
+    calibrate()
+
+    base_pred = model.predict(base["tokens"][test_idx]) * scale
+    base_ratio = float(
+        task.search_performance(base_pred, base["throughputs"][test_idx], seed=seed).mean()
+    )
+
+    results = {}
+    for network in networks:
+        data = task.dataset(network)
+        predictions = model.predict(data["tokens"]) * scale
+        native_ratio = float(
+            task.search_performance(predictions, data["throughputs"], seed=seed).mean()
+        )
+        decisions = prom.evaluate(model.hidden_embedding(data["tokens"]), predictions)
+        relative_error = np.abs(predictions - data["throughputs"]) / np.maximum(
+            np.abs(data["throughputs"]), 1e-12
+        )
+        mispredicted = relative_error >= misprediction_threshold
+        rejected = np.asarray([d.drifting for d in decisions])
+        detection = detection_metrics(mispredicted, rejected)
+
+        # Prom-assisted deployment: profile a small budget of flagged
+        # schedules and fine-tune the cost model online.
+        chosen = select_relabel_budget(decisions, budget_fraction)
+        if len(chosen) > 0:
+            model.partial_fit(
+                data["tokens"][chosen],
+                data["throughputs"][chosen] / scale,
+                epochs=relabel_epochs,
+            )
+        improved_pred = model.predict(data["tokens"]) * scale
+        prom_ratio = float(
+            task.search_performance(improved_pred, data["throughputs"], seed=seed).mean()
+        )
+        results[network] = RegressionResult(
+            network=network,
+            native_ratio=native_ratio,
+            prom_ratio=prom_ratio,
+            detection=detection,
+            decisions=decisions,
+        )
+    return {"base_ratio": base_ratio, "networks": results}
+
+
+def run_baseline_comparison(
+    task: CaseStudy,
+    model_factory=None,
+    epsilon: float = 0.1,
+    seed: int = 0,
+    drift_kwargs: dict | None = None,
+    misprediction_threshold: float = 0.2,
+    base_result: ClassificationResult | None = None,
+) -> dict:
+    """F1 of each comparator detector plus Prom on one (task, model).
+
+    Pass ``base_result`` to reuse a previous :func:`run_classification`
+    outcome instead of retraining.
+    """
+    result = base_result or run_classification(
+        task,
+        model_factory,
+        epsilon=epsilon,
+        seed=seed,
+        drift_kwargs=drift_kwargs,
+        misprediction_threshold=misprediction_threshold,
+    )
+    model = result.fitted_model
+    cal_samples = task.subset(result.calibration_indices)
+    cal_features = model.features(cal_samples)
+    cal_probabilities = model.predict_proba(cal_samples)
+
+    test_samples = task.subset(result.test_indices)
+    test_features = model.features(test_samples)
+    test_probabilities = model.predict_proba(test_samples)
+
+    scores = {"PROM": result.detection.f1}
+    for name, factory in BASELINE_FACTORIES.items():
+        detector = factory()
+        detector.calibrate(cal_features, cal_probabilities, result.calibration_columns)
+        rejected = detector.evaluate(
+            test_features, test_probabilities, result.predicted_columns
+        )
+        scores[name] = detection_metrics(result.mispredicted, rejected).f1
+    return scores
+
+
+def reevaluate_with_prom(
+    task: CaseStudy,
+    base_result: ClassificationResult,
+    prom_kwargs: dict,
+) -> DetectionMetrics:
+    """Re-run only the Prom stage of a finished classification run.
+
+    Reuses the fitted model, calibration indices and test predictions
+    from ``base_result`` — calibrating a fresh detector with
+    ``prom_kwargs`` and scoring its decisions.  This is how the
+    ablation benches sweep Prom configurations without retraining the
+    underlying model.
+    """
+    model = base_result.fitted_model
+    cal_samples = task.subset(base_result.calibration_indices)
+    prom = PromClassifier(**prom_kwargs)
+    prom.calibrate(
+        model.features(cal_samples),
+        model.predict_proba(cal_samples),
+        base_result.calibration_columns,
+    )
+    test_samples = task.subset(base_result.test_indices)
+    decisions = prom.evaluate(
+        model.features(test_samples),
+        model.predict_proba(test_samples),
+        base_result.predicted_columns,
+    )
+    rejected = [d.drifting for d in decisions]
+    return detection_metrics(base_result.mispredicted, rejected)
+
+
+def run_nonconformity_ablation(
+    task: CaseStudy,
+    model_factory=None,
+    epsilon: float = 0.1,
+    seed: int = 0,
+    drift_kwargs: dict | None = None,
+    misprediction_threshold: float = 0.2,
+    base_result: ClassificationResult | None = None,
+) -> dict:
+    """Detection metrics of each single function vs the full committee.
+
+    The underlying model is trained once (or reused from
+    ``base_result``); only the detector configuration varies.
+    """
+    result = base_result or run_classification(
+        task,
+        model_factory,
+        epsilon=epsilon,
+        seed=seed,
+        drift_kwargs=drift_kwargs,
+        misprediction_threshold=misprediction_threshold,
+    )
+    outcomes = {}
+    for function in default_classification_functions():
+        outcomes[function.name] = reevaluate_with_prom(
+            task, result, {"functions": [function], "epsilon": epsilon}
+        )
+    outcomes["PROM"] = result.detection
+    return outcomes

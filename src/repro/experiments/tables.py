@@ -1,0 +1,97 @@
+"""Plain-text rendering of result tables (paper Tables 2 and 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def format_table(headers, rows, title: str = "") -> str:
+    """Render an aligned plain-text table."""
+    headers = [str(h) for h in headers]
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def table2_summary(classification_results, regression_summary=None) -> str:
+    """Paper Table 2: cross-case-study averages.
+
+    Args:
+        classification_results: list of
+            :class:`~repro.experiments.runner.ClassificationResult`.
+        regression_summary: optional output of ``run_regression`` to
+            fold C5's detection metrics into the averages.
+    """
+    if not classification_results:
+        raise ValueError("need at least one classification result")
+    design = float(np.mean([r.design_ratios.mean() for r in classification_results]))
+    deploy = float(np.mean([r.deploy_ratios.mean() for r in classification_results]))
+
+    detections = [r.detection for r in classification_results]
+    if regression_summary is not None:
+        detections.extend(
+            result.detection for result in regression_summary["networks"].values()
+        )
+    accuracy = float(np.mean([d.accuracy for d in detections]))
+    precision = float(np.mean([d.precision for d in detections]))
+    recall = float(np.mean([d.recall for d in detections]))
+    f1 = float(np.mean([d.f1 for d in detections]))
+
+    return format_table(
+        ["Perf-to-Oracle (train)", "Perf (deploy)", "Acc.", "Pre.", "Recall", "F1"],
+        [[
+            f"{design:.3f}",
+            f"{deploy:.3f}",
+            f"{accuracy:.1%}",
+            f"{precision:.1%}",
+            f"{recall:.1%}",
+            f"{f1:.1%}",
+        ]],
+        title="Table 2: Summary of main evaluation results",
+    )
+
+
+def table3_dnn_codegen(regression_summary) -> str:
+    """Paper Table 3: C5 native vs Prom-assisted deployment."""
+    networks = regression_summary["networks"]
+    headers = ["Network", "bert-base"] + list(networks)
+    native = ["Native deployment", f"{regression_summary['base_ratio']:.3f}"]
+    assisted = ["Prom assisted", "/"]
+    for name, result in networks.items():
+        native.append(f"{result.native_ratio:.3f}")
+        assisted.append(f"{result.prom_ratio:.3f}")
+    return format_table(
+        headers,
+        [native, assisted],
+        title="Table 3: DNN code generation (performance-to-oracle ratio)",
+    )
+
+
+def detection_table(results) -> str:
+    """Per-(task, model) drift-detection metrics (Figure 8 as a table)."""
+    rows = [
+        [
+            r.task,
+            r.model,
+            f"{r.detection.accuracy:.3f}",
+            f"{r.detection.precision:.3f}",
+            f"{r.detection.recall:.3f}",
+            f"{r.detection.f1:.3f}",
+        ]
+        for r in results
+    ]
+    return format_table(
+        ["Case study", "Model", "Accuracy", "Precision", "Recall", "F1"],
+        rows,
+        title="Prom drift-detection performance",
+    )

@@ -1,0 +1,84 @@
+"""Program substrate: code generators, tokenization, features, graphs.
+
+Every dataset the paper's five case studies depend on is synthesized
+here (see DESIGN.md for the substitution rationale): OpenCL kernels
+across benchmark suites, vectorizable loop variants, era-evolving
+vulnerable C functions, and BERT tensor-program schedules.
+"""
+
+from .features import code_metrics, static_code_features
+from .graphs import build_program_graph, build_program_graphs
+from .kernels import (
+    COARSENING_SUITES,
+    MAPPING_SUITES,
+    SUITE_PROFILES,
+    KernelDataset,
+    KernelSpec,
+    generate_kernel,
+    generate_suite,
+    render_kernel_source,
+)
+from .loops import (
+    CONFIGURATIONS,
+    FAMILY_NAMES,
+    INTERLEAVE_FACTORS,
+    LOOP_FAMILIES,
+    VECTOR_FACTORS,
+    LoopDataset,
+    LoopSpec,
+    generate_loop,
+    render_loop_source,
+)
+from .tensor_programs import (
+    BERT_VARIANTS,
+    SCHEDULE_VOCAB_SIZE,
+    ScheduleSpec,
+    generate_schedule,
+)
+from .tokens import CodeVocabulary, token_histogram, tokenize
+from .vulnerabilities import (
+    CWE_TYPES,
+    ERAS,
+    VulnerabilitySample,
+    generate_sample,
+    split_by_year,
+)
+from . import tensor_programs, vulnerabilities
+
+__all__ = [
+    "BERT_VARIANTS",
+    "COARSENING_SUITES",
+    "CONFIGURATIONS",
+    "CWE_TYPES",
+    "CodeVocabulary",
+    "ERAS",
+    "FAMILY_NAMES",
+    "INTERLEAVE_FACTORS",
+    "KernelDataset",
+    "KernelSpec",
+    "LOOP_FAMILIES",
+    "LoopDataset",
+    "LoopSpec",
+    "MAPPING_SUITES",
+    "SCHEDULE_VOCAB_SIZE",
+    "SUITE_PROFILES",
+    "ScheduleSpec",
+    "VECTOR_FACTORS",
+    "VulnerabilitySample",
+    "build_program_graph",
+    "build_program_graphs",
+    "code_metrics",
+    "generate_kernel",
+    "generate_loop",
+    "generate_sample",
+    "generate_schedule",
+    "generate_suite",
+    "render_kernel_source",
+    "render_loop_source",
+    "split_by_year",
+    "static_code_features",
+    "tensor_programs",
+    "token_histogram",
+    "tokenize",
+    "vulnerabilities",
+]

@@ -1,0 +1,123 @@
+"""Static feature extraction from raw source text.
+
+These are the "summarize the input program into numerical values"
+feature extractors the paper mentions (e.g. instruction counts).  They
+work on any C/OpenCL-like source produced by the generators in this
+package and back the classical (non-neural) underlying models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tokens import tokenize
+
+_CONTROL_TOKENS = {"if", "else", "for", "while", "switch", "case", "goto"}
+_MEMORY_TOKENS = {
+    "malloc", "calloc", "realloc", "free", "memcpy", "memset",
+    "strcpy", "strncpy", "sprintf", "snprintf",
+}
+_CONCURRENCY_TOKENS = {
+    "pthread_create", "pthread_join", "pthread_mutex_lock",
+    "pthread_mutex_unlock", "barrier", "atomic_add", "lock", "unlock",
+}
+_ARITHMETIC_TOKENS = {"+", "-", "*", "/", "%", "mad", "fma", "sqrt", "exp", "log"}
+_POINTER_TOKENS = {"->", "*", "&"}
+_COMPARISON_TOKENS = {"<", ">", "<=", ">=", "==", "!="}
+
+FEATURE_NAMES = (
+    "n_tokens",
+    "n_identifiers",
+    "n_numbers",
+    "control_density",
+    "memory_call_density",
+    "concurrency_density",
+    "arithmetic_density",
+    "pointer_density",
+    "comparison_density",
+    "array_index_density",
+    "call_density",
+    "statement_count",
+    "brace_depth_proxy",
+    "unique_identifier_ratio",
+)
+
+
+def code_metrics(code: str) -> np.ndarray:
+    """Return a fixed-length numeric summary of one source string.
+
+    Densities are normalized by token count so functions of different
+    lengths remain comparable.
+    """
+    tokens = tokenize(code)
+    n = max(1, len(tokens))
+    identifiers = [
+        t for t in tokens if t and (t[0].isalpha() or t[0] == "_")
+    ]
+    counts = {
+        "control": 0,
+        "memory": 0,
+        "concurrency": 0,
+        "arithmetic": 0,
+        "pointer": 0,
+        "comparison": 0,
+        "index": 0,
+        "call": 0,
+        "statement": 0,
+        "brace": 0,
+        "number": 0,
+    }
+    for i, token in enumerate(tokens):
+        if token in _CONTROL_TOKENS:
+            counts["control"] += 1
+        if token in _MEMORY_TOKENS:
+            counts["memory"] += 1
+        if token in _CONCURRENCY_TOKENS:
+            counts["concurrency"] += 1
+        if token in _ARITHMETIC_TOKENS:
+            counts["arithmetic"] += 1
+        if token in _POINTER_TOKENS:
+            counts["pointer"] += 1
+        if token in _COMPARISON_TOKENS:
+            counts["comparison"] += 1
+        if token == "[":
+            counts["index"] += 1
+        if token == ";":
+            counts["statement"] += 1
+        if token == "{":
+            counts["brace"] += 1
+        if token == "<num>":
+            counts["number"] += 1
+        if (
+            token == "("
+            and i > 0
+            and tokens[i - 1]
+            and (tokens[i - 1][0].isalpha() or tokens[i - 1][0] == "_")
+            and tokens[i - 1] not in _CONTROL_TOKENS
+        ):
+            counts["call"] += 1
+
+    unique_ratio = len(set(identifiers)) / max(1, len(identifiers))
+    return np.array(
+        [
+            float(len(tokens)),
+            float(len(identifiers)),
+            float(counts["number"]),
+            counts["control"] / n,
+            counts["memory"] / n,
+            counts["concurrency"] / n,
+            counts["arithmetic"] / n,
+            counts["pointer"] / n,
+            counts["comparison"] / n,
+            counts["index"] / n,
+            counts["call"] / n,
+            float(counts["statement"]),
+            float(counts["brace"]),
+            unique_ratio,
+        ]
+    )
+
+
+def static_code_features(sources) -> np.ndarray:
+    """Batch version of :func:`code_metrics`: ``(n, n_features)``."""
+    return np.stack([code_metrics(code) for code in sources])

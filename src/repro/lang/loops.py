@@ -1,0 +1,181 @@
+"""Synthetic vectorizable-loop generator (loop vectorization, C2).
+
+Substitutes for the 6,000 synthetic loops of the paper's loop
+vectorization study, which were created by renaming parameters of 18
+base benchmarks from the LLVM vectorization test suite.  We model the
+same structure: 18 base *loop families* with distinct latent behaviour
+(stride, dependency distance, trip count, arithmetic intensity), each
+expanded into many renamed variants.  Holding out families introduces
+the drift the paper evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: the 35 (VF, IF) combinations explored in the paper: VF in
+#: {1,2,4,8,16,32,64}, IF in {1,2,4,8,16}
+VECTOR_FACTORS = (1, 2, 4, 8, 16, 32, 64)
+INTERLEAVE_FACTORS = (1, 2, 4, 8, 16)
+CONFIGURATIONS = tuple(
+    (vf, interleave) for vf in VECTOR_FACTORS for interleave in INTERLEAVE_FACTORS
+)
+
+#: 18 base loop families: (stride, dependency distance, log2 trip count,
+#: arithmetic intensity, reduction?, conditional?)
+LOOP_FAMILIES = {
+    "s000_saxpy": dict(stride=1, dependency=0, trip_log2=16.0, intensity=1.0, reduction=False, conditional=False),
+    "s111_unroll": dict(stride=2, dependency=0, trip_log2=14.0, intensity=1.5, reduction=False, conditional=False),
+    "s112_reverse": dict(stride=1, dependency=1, trip_log2=13.0, intensity=1.0, reduction=False, conditional=False),
+    "s121_forward": dict(stride=1, dependency=2, trip_log2=14.0, intensity=1.2, reduction=False, conditional=False),
+    "s122_stride": dict(stride=4, dependency=0, trip_log2=15.0, intensity=1.0, reduction=False, conditional=False),
+    "s131_scalar": dict(stride=1, dependency=0, trip_log2=12.0, intensity=4.0, reduction=False, conditional=False),
+    "s141_gather": dict(stride=8, dependency=0, trip_log2=14.0, intensity=0.8, reduction=False, conditional=False),
+    "s151_short": dict(stride=1, dependency=0, trip_log2=8.0, intensity=1.0, reduction=False, conditional=False),
+    "s211_dep": dict(stride=1, dependency=4, trip_log2=15.0, intensity=1.5, reduction=False, conditional=False),
+    "s221_recur": dict(stride=1, dependency=1, trip_log2=14.0, intensity=2.0, reduction=False, conditional=False),
+    "s231_nested": dict(stride=1, dependency=0, trip_log2=18.0, intensity=2.5, reduction=False, conditional=False),
+    "s241_mixed": dict(stride=2, dependency=2, trip_log2=14.0, intensity=1.8, reduction=False, conditional=True),
+    "s311_sum": dict(stride=1, dependency=0, trip_log2=16.0, intensity=0.5, reduction=True, conditional=False),
+    "s312_prod": dict(stride=1, dependency=0, trip_log2=14.0, intensity=0.7, reduction=True, conditional=False),
+    "s321_cond_sum": dict(stride=1, dependency=0, trip_log2=15.0, intensity=0.6, reduction=True, conditional=True),
+    "s331_search": dict(stride=1, dependency=0, trip_log2=13.0, intensity=0.4, reduction=True, conditional=True),
+    "s411_branchy": dict(stride=1, dependency=0, trip_log2=14.0, intensity=1.0, reduction=False, conditional=True),
+    "s421_stencil": dict(stride=1, dependency=3, trip_log2=17.0, intensity=3.0, reduction=False, conditional=False),
+}
+
+FAMILY_NAMES = tuple(LOOP_FAMILIES)
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    """Latent description of one vectorizable loop variant.
+
+    Variant-level jitter perturbs the family's base parameters the way
+    the paper's renamed/perturbed loop programs do.
+    """
+
+    name: str
+    family: str
+    stride: int
+    dependency: int
+    trip_log2: float
+    intensity: float
+    reduction: bool
+    conditional: bool
+    alignment: int  # bytes; affects vector load efficiency
+
+    def feature_vector(self) -> np.ndarray:
+        return np.array(
+            [
+                float(self.stride),
+                float(self.dependency),
+                self.trip_log2,
+                self.intensity,
+                1.0 if self.reduction else 0.0,
+                1.0 if self.conditional else 0.0,
+                float(self.alignment),
+                self.intensity / (1.0 + self.stride),
+            ]
+        )
+
+
+FEATURE_NAMES = (
+    "stride",
+    "dependency",
+    "trip_log2",
+    "intensity",
+    "reduction",
+    "conditional",
+    "alignment",
+    "density",
+)
+
+
+def generate_loop(family: str, index: int, rng: np.random.Generator) -> LoopSpec:
+    """Draw one loop variant from a family with parameter jitter."""
+    base = LOOP_FAMILIES.get(family)
+    if base is None:
+        raise ValueError(f"unknown family {family!r}; options: {FAMILY_NAMES}")
+    stride = max(1, int(round(base["stride"] * rng.uniform(0.75, 1.5))))
+    dependency = max(0, int(round(base["dependency"] + rng.integers(-1, 2))))
+    return LoopSpec(
+        name=f"{family}_v{index:04d}",
+        family=family,
+        stride=stride,
+        dependency=dependency,
+        trip_log2=float(np.clip(base["trip_log2"] + rng.normal(0.0, 1.0), 6.0, 20.0)),
+        intensity=float(np.clip(base["intensity"] * rng.uniform(0.7, 1.4), 0.1, 8.0)),
+        reduction=bool(base["reduction"]),
+        conditional=bool(base["conditional"]),
+        alignment=int(rng.choice([4, 8, 16, 32, 64])),
+    )
+
+
+def render_loop_source(spec: LoopSpec) -> str:
+    """Render a loop spec to C-like source for the sequence models."""
+    lines = [f"void {spec.name}(float* a, float* b, float* c, int n) {{"]
+    if spec.reduction:
+        lines.append("  float acc = 0.0f;")
+    lines.append(f"  for (int i = 0; i < n; i += {spec.stride}) {{")
+    indexed = f"a[i - {spec.dependency}]" if spec.dependency > 0 else "a[i]"
+    expr = f"b[i] * c[i] + {indexed}"
+    for _ in range(max(0, int(round(spec.intensity)) - 1)):
+        expr = f"({expr}) * b[i]"
+    if spec.conditional:
+        lines.append(f"    if (b[i] > 0.0f) {{")
+        target = "acc +=" if spec.reduction else "a[i] ="
+        lines.append(f"      {target} {expr};")
+        lines.append("    }")
+    else:
+        target = "acc +=" if spec.reduction else "a[i] ="
+        lines.append(f"    {target} {expr};")
+    lines.append("  }")
+    if spec.reduction:
+        lines.append("  a[0] = acc;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+@dataclass
+class LoopDataset:
+    """A generated corpus of loop variants."""
+
+    loops: list = field(default_factory=list)
+
+    @classmethod
+    def generate(
+        cls,
+        n_loops: int = 600,
+        families=FAMILY_NAMES,
+        seed: int = 0,
+    ) -> "LoopDataset":
+        """Generate ``n_loops`` variants spread evenly over the families."""
+        rng = np.random.default_rng(seed)
+        loops = []
+        families = tuple(families)
+        for index in range(n_loops):
+            family = families[index % len(families)]
+            loops.append(generate_loop(family, index, rng))
+        return cls(loops=loops)
+
+    def __len__(self) -> int:
+        return len(self.loops)
+
+    def features(self) -> np.ndarray:
+        return np.stack([loop.feature_vector() for loop in self.loops])
+
+    def sources(self) -> list:
+        return [render_loop_source(loop) for loop in self.loops]
+
+    def families(self) -> np.ndarray:
+        return np.asarray([loop.family for loop in self.loops])
+
+    def split_by_family(self, held_out) -> tuple:
+        """Return ``(train_indices, test_indices)`` holding families out."""
+        held = {held_out} if isinstance(held_out, str) else set(held_out)
+        families = self.families()
+        test_mask = np.isin(families, sorted(held))
+        return np.flatnonzero(~test_mask), np.flatnonzero(test_mask)

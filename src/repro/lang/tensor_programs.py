@@ -1,0 +1,159 @@
+"""Synthetic tensor-program (schedule) generator (DNN code generation, C5).
+
+Substitutes for the TenSet BERT workloads driving TLP's cost model: we
+model the dominant operator of each BERT variant — dense matmuls of
+network-specific shapes — and generate candidate *schedules* (tile
+sizes, unrolling, vectorization, parallelism) the TVM-style search
+would explore.  The analytical simulator in
+:mod:`repro.simulators.tensor` turns a (network, schedule) pair into a
+throughput label.  Training on BERT-base schedules and predicting on
+the other variants reproduces the paper's drift protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from ..util import stable_hash
+
+#: BERT variant -> (hidden size, intermediate size, layers, heads)
+BERT_VARIANTS = {
+    "bert-tiny": dict(hidden=128, intermediate=512, layers=2, heads=2),
+    "bert-base": dict(hidden=768, intermediate=3072, layers=12, heads=12),
+    "bert-medium": dict(hidden=512, intermediate=2048, layers=8, heads=8),
+    "bert-large": dict(hidden=1024, intermediate=4096, layers=24, heads=16),
+}
+
+TILE_CHOICES = (4, 8, 16, 32, 64, 128)
+UNROLL_CHOICES = (0, 16, 64, 256)
+VECTORIZE_CHOICES = (1, 4, 8, 16)
+PARALLEL_CHOICES = (1, 2, 4, 8, 12)
+
+
+@dataclass(frozen=True)
+class ScheduleSpec:
+    """One candidate schedule for a network's dominant matmul.
+
+    Attributes:
+        network: BERT variant name.
+        m, n, k: matmul dimensions derived from the network shape.
+        tile_m, tile_n, tile_k: loop tiling factors.
+        unroll: max-unroll pragma value (0 = off).
+        vectorize: inner-loop vector width.
+        parallel: number of parallel outer chunks.
+    """
+
+    network: str
+    m: int
+    n: int
+    k: int
+    tile_m: int
+    tile_n: int
+    tile_k: int
+    unroll: int
+    vectorize: int
+    parallel: int
+
+    def feature_vector(self) -> np.ndarray:
+        """Numeric schedule features (the TLP paper's input analogue)."""
+        return np.array(
+            [
+                np.log2(self.m),
+                np.log2(self.n),
+                np.log2(self.k),
+                np.log2(self.tile_m),
+                np.log2(self.tile_n),
+                np.log2(self.tile_k),
+                np.log1p(self.unroll),
+                float(self.vectorize),
+                float(self.parallel),
+                np.log2(self.tile_m * self.tile_n * self.tile_k),
+                float(self.m % self.tile_m == 0),
+                float(self.n % self.tile_n == 0),
+            ]
+        )
+
+    def token_sequence(self, max_len: int = 24) -> np.ndarray:
+        """Schedule as a short token-id sequence for transformer models.
+
+        Mirrors TLP's insight that schedule primitives form a sentence;
+        ids are small ints in a fixed schedule vocabulary (0 = pad).
+        """
+        vocabulary = []
+        vocabulary.append(1 + int(np.log2(self.m)))          # shape tokens 1..20
+        vocabulary.append(1 + int(np.log2(self.n)))
+        vocabulary.append(1 + int(np.log2(self.k)))
+        vocabulary.append(21 + TILE_CHOICES.index(self.tile_m))
+        vocabulary.append(27 + TILE_CHOICES.index(self.tile_n))
+        vocabulary.append(33 + TILE_CHOICES.index(self.tile_k))
+        vocabulary.append(39 + UNROLL_CHOICES.index(self.unroll))
+        vocabulary.append(43 + VECTORIZE_CHOICES.index(self.vectorize))
+        vocabulary.append(47 + PARALLEL_CHOICES.index(self.parallel))
+        padded = np.zeros(max_len, dtype=int)
+        padded[: len(vocabulary)] = vocabulary
+        return padded
+
+
+SCHEDULE_VOCAB_SIZE = 64
+FEATURE_NAMES = (
+    "log_m",
+    "log_n",
+    "log_k",
+    "log_tile_m",
+    "log_tile_n",
+    "log_tile_k",
+    "log_unroll",
+    "vectorize",
+    "parallel",
+    "log_tile_volume",
+    "m_divisible",
+    "n_divisible",
+)
+
+
+def matmul_shape(network: str, rng: np.random.Generator) -> tuple:
+    """Sample one of the network's characteristic matmul shapes."""
+    config = BERT_VARIANTS.get(network)
+    if config is None:
+        raise ValueError(f"unknown network {network!r}; options: {sorted(BERT_VARIANTS)}")
+    hidden = config["hidden"]
+    intermediate = config["intermediate"]
+    seq_len = int(rng.choice([64, 128, 256]))
+    shapes = [
+        (seq_len, hidden, hidden),          # QKV projection
+        (seq_len, intermediate, hidden),    # FFN up
+        (seq_len, hidden, intermediate),    # FFN down
+    ]
+    return shapes[int(rng.integers(len(shapes)))]
+
+
+def generate_schedule(network: str, rng: np.random.Generator) -> ScheduleSpec:
+    """Sample one random candidate schedule for a network."""
+    m, n, k = matmul_shape(network, rng)
+    return ScheduleSpec(
+        network=network,
+        m=m,
+        n=n,
+        k=k,
+        tile_m=int(rng.choice(TILE_CHOICES)),
+        tile_n=int(rng.choice(TILE_CHOICES)),
+        tile_k=int(rng.choice(TILE_CHOICES)),
+        unroll=int(rng.choice(UNROLL_CHOICES)),
+        vectorize=int(rng.choice(VECTORIZE_CHOICES)),
+        parallel=int(rng.choice(PARALLEL_CHOICES)),
+    )
+
+
+def generate_dataset(network: str, n_schedules: int, seed: int = 0) -> list:
+    """Generate ``n_schedules`` candidate schedules for one network."""
+    rng = np.random.default_rng(stable_hash(network) ^ seed)
+    return [generate_schedule(network, rng) for _ in range(n_schedules)]
+
+
+def features(schedules) -> np.ndarray:
+    return np.stack([schedule.feature_vector() for schedule in schedules])
+
+
+def token_sequences(schedules, max_len: int = 24) -> np.ndarray:
+    return np.stack([schedule.token_sequence(max_len) for schedule in schedules])

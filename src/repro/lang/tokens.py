@@ -1,0 +1,160 @@
+"""A small C/OpenCL tokenizer and vocabulary.
+
+The sequence models (DeepTune's LSTM, Vulde's Bi-LSTM, the transformer
+classifiers) consume integer token sequences produced here.  Token id 0
+is reserved for padding; unknown tokens map to a dedicated ``<unk>`` id.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+from ..util import stable_hash
+
+# Order matters: multi-character operators must precede their prefixes.
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<comment>/\*.*?\*/|//[^\n]*)
+  | (?P<string>"(?:\\.|[^"\\])*")
+  | (?P<char>'(?:\\.|[^'\\])')
+  | (?P<number>\d+\.\d+[fF]?|\d+[uUlL]*|0x[0-9a-fA-F]+)
+  | (?P<identifier>[A-Za-z_]\w*)
+  | (?P<operator><<=|>>=|<<|>>|<=|>=|==|!=|&&|\|\||\+\+|--|\+=|-=|\*=|/=|%=|&=|\|=|\^=|->|[-+*/%=<>!&|^~?:;,.(){}\[\]])
+  | (?P<whitespace>\s+)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+C_KEYWORDS = (
+    "auto break case char const continue default do double else enum extern "
+    "float for goto if int long register return short signed sizeof static "
+    "struct switch typedef union unsigned void volatile while"
+).split()
+
+OPENCL_KEYWORDS = (
+    "__kernel __global __local __private __constant kernel global local "
+    "barrier get_global_id get_local_id get_group_id get_local_size "
+    "get_global_size float2 float4 float8 int2 int4 uint uchar size_t"
+).split()
+
+COMMON_LIBRARY_IDENTIFIERS = (
+    "malloc calloc realloc free memcpy memset strcpy strncpy strlen sprintf "
+    "snprintf printf fprintf scanf fopen fclose fread fwrite exit abort "
+    "pthread_create pthread_join pthread_mutex_lock pthread_mutex_unlock "
+    "lock unlock atomic_add mad fma sqrt exp log sin cos min max abs"
+).split()
+
+
+def tokenize(code: str) -> list:
+    """Split C/OpenCL source into a list of token strings.
+
+    Comments and whitespace are dropped; strings and chars collapse to
+    placeholder tokens so literal content does not blow up the
+    vocabulary.
+    """
+    tokens = []
+    position = 0
+    while position < len(code):
+        match = _TOKEN_PATTERN.match(code, position)
+        if match is None:
+            # Skip a single unrecognized character rather than failing:
+            # generated code should never hit this, but robustness wins.
+            position += 1
+            continue
+        position = match.end()
+        kind = match.lastgroup
+        if kind in ("whitespace", "comment"):
+            continue
+        if kind == "string":
+            tokens.append("<str>")
+        elif kind == "char":
+            tokens.append("<chr>")
+        elif kind == "number":
+            tokens.append("<num>")
+        else:
+            tokens.append(match.group())
+    return tokens
+
+
+class CodeVocabulary:
+    """Fixed vocabulary mapping tokens to contiguous integer ids.
+
+    Ids: 0 = padding, 1 = ``<unk>``; known tokens start at 2.  Unseen
+    identifiers hash into a small bucket range so fresh variable names
+    (the paper's "renamed parameters" loops) stay in-vocabulary.
+    """
+
+    PAD = 0
+    UNK = 1
+
+    def __init__(self, extra_tokens=(), n_identifier_buckets: int = 32):
+        if n_identifier_buckets < 1:
+            raise ValueError("n_identifier_buckets must be >= 1")
+        base = (
+            C_KEYWORDS
+            + OPENCL_KEYWORDS
+            + COMMON_LIBRARY_IDENTIFIERS
+            + ["<str>", "<chr>", "<num>"]
+            + [
+                "(", ")", "{", "}", "[", "]", ";", ",", ".",
+                "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+                "?", ":", "==", "!=", "<=", ">=", "&&", "||", "++", "--",
+                "+=", "-=", "*=", "/=", "->", "<<", ">>",
+            ]
+            + list(extra_tokens)
+        )
+        self._index = {}
+        next_id = 2
+        for token in base:
+            if token not in self._index:
+                self._index[token] = next_id
+                next_id += 1
+        self._bucket_base = next_id
+        self.n_identifier_buckets = n_identifier_buckets
+
+    @property
+    def size(self) -> int:
+        """Total id space (padding and unk included)."""
+        return self._bucket_base + self.n_identifier_buckets
+
+    def token_id(self, token: str) -> int:
+        """Return the id of one token (bucketing unknown identifiers)."""
+        known = self._index.get(token)
+        if known is not None:
+            return known
+        if token and (token[0].isalpha() or token[0] == "_"):
+            bucket = stable_hash(token) % self.n_identifier_buckets
+            return self._bucket_base + bucket
+        return self.UNK
+
+    def encode(self, code: str, max_len: int = 64) -> np.ndarray:
+        """Tokenize and encode source into a fixed-length id vector.
+
+        Sequences longer than ``max_len`` are truncated; shorter ones
+        are zero-padded on the right.
+        """
+        if max_len < 1:
+            raise ValueError("max_len must be >= 1")
+        ids = [self.token_id(token) for token in tokenize(code)][:max_len]
+        padded = np.zeros(max_len, dtype=int)
+        padded[: len(ids)] = ids
+        return padded
+
+    def encode_batch(self, sources, max_len: int = 64) -> np.ndarray:
+        """Encode a list of source strings into a ``(n, max_len)`` matrix."""
+        return np.stack([self.encode(code, max_len) for code in sources])
+
+
+def token_histogram(code: str, vocabulary: CodeVocabulary) -> np.ndarray:
+    """Bag-of-tokens feature vector over the vocabulary id space.
+
+    Used as a cheap static feature extractor for classical models.
+    """
+    counts = np.zeros(vocabulary.size)
+    for token in tokenize(code):
+        counts[vocabulary.token_id(token)] += 1.0
+    total = counts.sum()
+    if total > 0:
+        counts /= total
+    return counts

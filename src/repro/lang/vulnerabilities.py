@@ -1,0 +1,389 @@
+"""Synthetic vulnerable-C-function generator (vulnerability detection, C4).
+
+Substitutes for the paper's NVD/CVE corpus (2013-2023, top-8 CWEs).
+Each sample is a small C function that either contains a vulnerability
+pattern or its patched counterpart.  Crucially, the *surface idiom* of
+each CWE evolves by era — mirroring the paper's motivating example
+where a 2012 double-free is two literal ``free`` calls but a 2023 one
+hides behind a thread-spawned cleanup wrapper.  Training on early eras
+and testing on late ones therefore produces real concept drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: the eight CWE categories (paper: top-8 of the 2023 CWE list)
+CWE_TYPES = (
+    "double-free",
+    "use-after-free",
+    "buffer-overflow",
+    "integer-overflow",
+    "null-dereference",
+    "format-string",
+    "out-of-bounds-read",
+    "uninitialized-use",
+)
+
+ERAS = {
+    "early": range(2013, 2018),
+    "mid": range(2018, 2021),
+    "late": range(2021, 2024),
+}
+
+_NAME_POOLS = {
+    "early": ("buf", "ptr", "data", "tmp", "name", "str", "p", "q"),
+    "mid": ("buffer", "handle", "ctx", "node", "entry", "conn", "req", "pkt"),
+    "late": ("session_state", "hsts_cache", "worker_ctx", "async_buf",
+             "shared_queue", "rpc_payload", "tls_conn", "io_uring_sqe"),
+}
+
+
+def _era_of(year: int) -> str:
+    for era, years in ERAS.items():
+        if year in years:
+            return era
+    raise ValueError(f"year {year} outside the supported range 2013-2023")
+
+
+@dataclass(frozen=True)
+class VulnerabilitySample:
+    """One generated C function with its ground-truth labels."""
+
+    code: str
+    vulnerable: bool
+    cwe: str
+    year: int
+    name: str
+
+    @property
+    def era(self) -> str:
+        return _era_of(self.year)
+
+
+def _double_free(var, era, vulnerable, index):
+    if era == "early":
+        body = [
+            f"static int parse_attr_{index}(char* input) {{",
+            f"  char* {var} = malloc(64);",
+            f"  if (input) strncpy({var}, input, 63);",
+            f"  free({var});",
+        ]
+        if vulnerable:
+            body.append(f"  free({var});")
+        body += ["  return 0;", "}"]
+    elif era == "mid":
+        body = [
+            f"static void release_{index}(ctx_t* c) {{",
+            f"  if (c->{var}) {{ free(c->{var}); ",
+        ]
+        body.append("  }" if vulnerable else f"    c->{var} = 0; }}")
+        body += [
+            f"}}",
+            f"int handler_{index}(ctx_t* c) {{",
+            f"  release_{index}(c);",
+            f"  release_{index}(c);",
+            "  return 0;",
+            "}",
+        ]
+    else:  # late: concurrent cleanup through a wrapper
+        body = [
+            f"static void cleanup_{index}(void* arg) {{",
+            f"  state_t* s = (state_t*)arg;",
+        ]
+        if vulnerable:
+            body.append(f"  hsts_free(s->{var});")
+        else:
+            body += [
+                "  pthread_mutex_lock(&s->lock);",
+                f"  if (s->{var}) {{ hsts_free(s->{var}); s->{var} = 0; }}",
+                "  pthread_mutex_unlock(&s->lock);",
+            ]
+        body += [
+            "}",
+            f"void spawn_workers_{index}(state_t* s, int n) {{",
+            "  for (int i = 0; i < n; i++) {",
+            f"    pthread_create(&s->tid[i], 0, (void*)cleanup_{index}, s);",
+            "  }",
+            "}",
+        ]
+    return "\n".join(body)
+
+
+def _use_after_free(var, era, vulnerable, index):
+    if era == "early":
+        body = [
+            f"int read_record_{index}(char* src) {{",
+            f"  char* {var} = malloc(32);",
+            f"  memcpy({var}, src, 32);",
+            f"  free({var});",
+        ]
+        body.append(f"  return {var}[0];" if vulnerable else "  return 0;")
+        body.append("}")
+    elif era == "mid":
+        body = [
+            f"int drain_{index}(queue_t* q) {{",
+            f"  node_t* {var} = q->head;",
+            f"  q->head = {var}->next;",
+            f"  free({var});",
+        ]
+        body.append(
+            f"  return {var}->value;" if vulnerable else "  return q->head ? q->head->value : 0;"
+        )
+        body.append("}")
+    else:
+        body = [
+            f"static void on_complete_{index}(conn_t* c) {{",
+            "  conn_release(c);",
+            "}",
+            f"int submit_{index}(conn_t* c, req_t* r) {{",
+            f"  c->{var} = r;",
+            f"  schedule_async(on_complete_{index}, c);",
+        ]
+        body.append(
+            f"  return c->{var}->status;" if vulnerable else "  return queue_status(r);"
+        )
+        body.append("}")
+    return "\n".join(body)
+
+
+def _buffer_overflow(var, era, vulnerable, index):
+    if era == "early":
+        size = 16 if vulnerable else 64
+        body = [
+            f"void copy_input_{index}(char* src) {{",
+            f"  char {var}[{size}];",
+            f"  strcpy({var}, src);" if vulnerable else f"  strncpy({var}, src, {size} - 1);",
+            f"  printf(\"%s\", {var});",
+            "}",
+        ]
+    elif era == "mid":
+        body = [
+            f"void assemble_{index}(pkt_t* p, char* payload, int len) {{",
+            f"  char {var}[128];",
+        ]
+        if vulnerable:
+            body.append(f"  memcpy({var}, payload, len);")
+        else:
+            body.append(f"  memcpy({var}, payload, len < 128 ? len : 128);")
+        body += [f"  emit(p, {var});", "}"]
+    else:
+        body = [
+            f"int deserialize_{index}(rpc_t* rpc) {{",
+            f"  size_t n = rpc->hdr.count * rpc->hdr.width;",
+            f"  char* {var} = malloc(rpc->hdr.count);",
+        ]
+        if vulnerable:
+            body.append(f"  fill_entries({var}, rpc->body, n);")
+        else:
+            body.append(f"  fill_entries({var}, rpc->body, rpc->hdr.count);")
+        body += ["  return 0;", "}"]
+    return "\n".join(body)
+
+
+def _integer_overflow(var, era, vulnerable, index):
+    if era == "early":
+        body = [
+            f"char* alloc_table_{index}(int rows, int cols) {{",
+            f"  int {var} = rows * cols;" if vulnerable else f"  long {var} = (long)rows * cols;\n  if ({var} > 1 << 20) return 0;",
+            f"  return malloc({var});",
+            "}",
+        ]
+    elif era == "mid":
+        body = [
+            f"int grow_{index}(vec_t* v, unsigned add) {{",
+        ]
+        if vulnerable:
+            body.append(f"  unsigned {var} = v->len + add;")
+        else:
+            body.append(
+                f"  unsigned {var};\n  if (__builtin_add_overflow(v->len, add, &{var})) return -1;"
+            )
+        body += [f"  v->data = realloc(v->data, {var});", "  return 0;", "}"]
+    else:
+        body = [
+            f"size_t frame_len_{index}(hdr_t* h) {{",
+        ]
+        if vulnerable:
+            body.append(f"  size_t {var} = h->chunks << h->shift;")
+        else:
+            body.append(
+                f"  size_t {var};\n  if (h->shift > 16 || h->chunks > (SIZE_MAX >> h->shift)) return 0;\n  {var} = h->chunks << h->shift;"
+            )
+        body += [f"  return {var} + sizeof(hdr_t);", "}"]
+    return "\n".join(body)
+
+
+def _null_dereference(var, era, vulnerable, index):
+    if era == "early":
+        body = [
+            f"int length_{index}(char* s) {{",
+            f"  char* {var} = strchr(s, ':');",
+        ]
+        body.append(f"  return {var}[1];" if vulnerable else f"  return {var} ? {var}[1] : -1;")
+        body.append("}")
+    elif era == "mid":
+        body = [
+            f"int lookup_{index}(map_t* m, int key) {{",
+            f"  entry_t* {var} = map_find(m, key);",
+        ]
+        body.append(f"  return {var}->value;" if vulnerable else f"  if (!{var}) return 0;\n  return {var}->value;")
+        body.append("}")
+    else:
+        body = [
+            f"int begin_{index}(tls_t* t) {{",
+            f"  session_t* {var} = tls_session(t);",
+        ]
+        if vulnerable:
+            body.append(f"  return {var}->epoch + resume({var});")
+        else:
+            body.append(f"  if (!{var}) return tls_error(t);\n  return {var}->epoch + resume({var});")
+        body.append("}")
+    return "\n".join(body)
+
+
+def _format_string(var, era, vulnerable, index):
+    if era == "early":
+        body = [
+            f"void log_msg_{index}(char* {var}) {{",
+            f"  printf({var});" if vulnerable else f"  printf(\"%s\", {var});",
+            "}",
+        ]
+    elif era == "mid":
+        body = [
+            f"void audit_{index}(conn_t* c, char* {var}) {{",
+            f"  fprintf(c->log, {var});" if vulnerable else f"  fprintf(c->log, \"%s\", {var});",
+            "}",
+        ]
+    else:
+        body = [
+            f"void trace_{index}(ctx_t* c) {{",
+            f"  char* {var} = request_header(c, \"X-Trace\");",
+            f"  snprintf(c->out, 256, {var});" if vulnerable else f"  snprintf(c->out, 256, \"%s\", {var});",
+            "}",
+        ]
+    return "\n".join(body)
+
+
+def _oob_read(var, era, vulnerable, index):
+    if era == "early":
+        bound = "<=" if vulnerable else "<"
+        body = [
+            f"int sum_{index}(int* {var}, int n) {{",
+            "  int s = 0;",
+            f"  for (int i = 0; i {bound} n; i++) s += {var}[i];",
+            "  return s;",
+            "}",
+        ]
+    elif era == "mid":
+        body = [
+            f"int field_{index}(pkt_t* p, int idx) {{",
+        ]
+        if vulnerable:
+            body.append(f"  return p->{var}[idx];")
+        else:
+            body.append(f"  if (idx < 0 || idx >= p->count) return -1;\n  return p->{var}[idx];")
+        body.append("}")
+    else:
+        body = [
+            f"int decode_{index}(frame_t* f) {{",
+            f"  int off = f->hdr.offset;",
+        ]
+        if vulnerable:
+            body.append(f"  return f->{var}[off + f->hdr.delta];")
+        else:
+            body.append(
+                f"  size_t end = (size_t)off + f->hdr.delta;\n  if (end >= f->len) return -1;\n  return f->{var}[end];"
+            )
+        body.append("}")
+    return "\n".join(body)
+
+
+def _uninitialized(var, era, vulnerable, index):
+    if era == "early":
+        body = [
+            f"int pick_{index}(int flag) {{",
+            f"  int {var};",
+        ]
+        if not vulnerable:
+            body.append(f"  {var} = 0;")
+        body += [f"  if (flag) {var} = 7;", f"  return {var};", "}"]
+    elif era == "mid":
+        body = [
+            f"int stats_{index}(sample_t* s, int n) {{",
+            f"  acc_t {var};" if vulnerable else f"  acc_t {var} = {{0}};",
+            "  for (int i = 0; i < n; i++) {",
+            f"    {var}.total += s[i].v;",
+            "  }",
+            f"  return {var}.total;",
+            "}",
+        ]
+    else:
+        body = [
+            f"int negotiate_{index}(tls_t* t) {{",
+            f"  params_t {var};" if vulnerable else f"  params_t {var};\n  memset(&{var}, 0, sizeof({var}));",
+            f"  if (t->mode == 2) load_params(t, &{var});",
+            f"  return apply_params(t, &{var});",
+            "}",
+        ]
+    return "\n".join(body)
+
+
+_RENDERERS = {
+    "double-free": _double_free,
+    "use-after-free": _use_after_free,
+    "buffer-overflow": _buffer_overflow,
+    "integer-overflow": _integer_overflow,
+    "null-dereference": _null_dereference,
+    "format-string": _format_string,
+    "out-of-bounds-read": _oob_read,
+    "uninitialized-use": _uninitialized,
+}
+
+
+def generate_sample(
+    cwe: str, year: int, vulnerable: bool, index: int, rng: np.random.Generator
+) -> VulnerabilitySample:
+    """Render one labelled C function for the given CWE, year and polarity."""
+    renderer = _RENDERERS.get(cwe)
+    if renderer is None:
+        raise ValueError(f"unknown CWE {cwe!r}; options: {CWE_TYPES}")
+    era = _era_of(year)
+    var = str(rng.choice(_NAME_POOLS[era]))
+    code = renderer(var, era, vulnerable, index)
+    return VulnerabilitySample(
+        code=code,
+        vulnerable=vulnerable,
+        cwe=cwe,
+        year=year,
+        name=f"{cwe}-{year}-{index:05d}",
+    )
+
+
+def generate_dataset(
+    n_samples: int = 1000,
+    years=range(2013, 2024),
+    vulnerable_fraction: float = 0.5,
+    seed: int = 0,
+) -> list:
+    """Generate a balanced corpus across CWE types and years."""
+    if not 0.0 < vulnerable_fraction < 1.0:
+        raise ValueError("vulnerable_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    years = list(years)
+    samples = []
+    for index in range(n_samples):
+        cwe = CWE_TYPES[index % len(CWE_TYPES)]
+        year = int(rng.choice(years))
+        vulnerable = bool(rng.random() < vulnerable_fraction)
+        samples.append(generate_sample(cwe, year, vulnerable, index, rng))
+    return samples
+
+
+def split_by_year(samples, train_until: int = 2020) -> tuple:
+    """Temporal split: indices of samples up to vs after ``train_until``."""
+    years = np.asarray([s.year for s in samples])
+    train_mask = years <= train_until
+    return np.flatnonzero(train_mask), np.flatnonzero(~train_mask)

@@ -1,0 +1,66 @@
+"""A self-contained numpy mini-ML framework.
+
+Provides the probabilistic classifiers, regressors and utilities that
+the paper's 13 underlying models are built from.  Every classifier
+exposes ``fit`` / ``predict`` / ``predict_proba`` and (for the neural
+models) ``hidden_embedding`` — the full contract Prom consumes.
+"""
+
+from .base import (
+    ClassifierMixin,
+    Estimator,
+    RegressorMixin,
+    one_hot,
+    sigmoid,
+    softmax,
+)
+from .boosting import GradientBoostingClassifier, GradientBoostingRegressor
+from .cluster import KMeans, gap_statistic
+from .gnn import GNNClassifier, graph_from_networkx
+from .knn import KNeighborsClassifier, KNeighborsRegressor, pairwise_euclidean
+from .linear import LogisticRegression, RidgeRegression
+from .lstm import LSTMClassifier
+from .mlp import MLPClassifier, MLPRegressor
+from .preprocessing import (
+    LabelEncoder,
+    MinMaxScaler,
+    StandardScaler,
+    kfold_indices,
+    train_test_split,
+)
+from .svm import LinearSVC
+from .transformer import TransformerClassifier, TransformerRegressor
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "ClassifierMixin",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "Estimator",
+    "GNNClassifier",
+    "GradientBoostingClassifier",
+    "GradientBoostingRegressor",
+    "KMeans",
+    "KNeighborsClassifier",
+    "KNeighborsRegressor",
+    "LSTMClassifier",
+    "LabelEncoder",
+    "LinearSVC",
+    "LogisticRegression",
+    "MLPClassifier",
+    "MLPRegressor",
+    "MinMaxScaler",
+    "RegressorMixin",
+    "RidgeRegression",
+    "StandardScaler",
+    "TransformerClassifier",
+    "TransformerRegressor",
+    "gap_statistic",
+    "graph_from_networkx",
+    "kfold_indices",
+    "one_hot",
+    "pairwise_euclidean",
+    "sigmoid",
+    "softmax",
+    "train_test_split",
+]

@@ -1,0 +1,115 @@
+"""Estimator base classes for the numpy mini-ML framework.
+
+The framework mirrors the parts of the scikit-learn contract that Prom
+relies on: ``fit``, ``predict``, ``predict_proba`` for classifiers and
+``fit``/``predict`` for regressors.  All estimators are plain Python
+objects with numpy internals; no external ML library is used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Estimator:
+    """Common behaviour shared by every estimator in :mod:`repro.ml`."""
+
+    def get_params(self) -> dict:
+        """Return the constructor parameters of this estimator.
+
+        Parameters are discovered by introspecting public instance
+        attributes that do not end in an underscore (fitted state is
+        stored in ``*_`` attributes by convention).
+        """
+        return {
+            key: value
+            for key, value in vars(self).items()
+            if not key.startswith("_") and not key.endswith("_")
+        }
+
+    def clone(self) -> "Estimator":
+        """Return an unfitted copy with identical hyperparameters."""
+        fresh = self.__class__(**self.get_params())
+        return fresh
+
+    def _check_fitted(self, attribute: str) -> None:
+        if not hasattr(self, attribute):
+            raise RuntimeError(
+                f"{self.__class__.__name__} is not fitted; call fit() first"
+            )
+
+
+class ClassifierMixin:
+    """Mixin providing the shared classifier surface.
+
+    Subclasses must implement :meth:`predict_proba` returning an
+    ``(n_samples, n_classes)`` array and set ``classes_`` during
+    :meth:`fit`.
+    """
+
+    def predict(self, X) -> np.ndarray:
+        """Return the most probable class label for each row of ``X``."""
+        probabilities = self.predict_proba(X)
+        indices = np.argmax(probabilities, axis=1)
+        return self.classes_[indices]
+
+    def score(self, X, y) -> float:
+        """Return mean accuracy of ``predict(X)`` against ``y``."""
+        y = np.asarray(y)
+        return float(np.mean(self.predict(X) == y))
+
+
+class RegressorMixin:
+    """Mixin providing the shared regressor surface."""
+
+    def score(self, X, y) -> float:
+        """Return the coefficient of determination R^2."""
+        y = np.asarray(y, dtype=float)
+        predicted = np.asarray(self.predict(X), dtype=float)
+        residual = np.sum((y - predicted) ** 2)
+        total = np.sum((y - np.mean(y)) ** 2)
+        if total == 0.0:
+            return 0.0 if residual > 0 else 1.0
+        return float(1.0 - residual / total)
+
+
+def check_2d(X) -> np.ndarray:
+    """Coerce ``X`` to a 2-D float array, raising on ragged input."""
+    array = np.asarray(X, dtype=float)
+    if array.ndim == 1:
+        array = array.reshape(1, -1)
+    if array.ndim != 2:
+        raise ValueError(f"expected 2-D input, got shape {array.shape}")
+    return array
+
+
+def check_consistent_length(X, y) -> None:
+    """Raise ``ValueError`` when ``X`` and ``y`` disagree on sample count."""
+    n_x = len(X)
+    n_y = len(y)
+    if n_x != n_y:
+        raise ValueError(f"inconsistent sample counts: X has {n_x}, y has {n_y}")
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    exponentials = np.exp(shifted)
+    return exponentials / np.sum(exponentials, axis=axis, keepdims=True)
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(z, dtype=float)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+def one_hot(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Return the ``(n, n_classes)`` one-hot encoding of integer labels."""
+    encoded = np.zeros((len(labels), n_classes), dtype=float)
+    encoded[np.arange(len(labels)), labels] = 1.0
+    return encoded

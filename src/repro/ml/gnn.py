@@ -1,0 +1,167 @@
+"""Message-passing graph neural network classifier.
+
+Backs the ProGraML underlying model: each program is a graph with
+per-node feature vectors; two rounds of mean-aggregation message
+passing feed a mean-pooled readout and a softmax head.
+
+Graphs are passed as dictionaries ``{"X": (n_nodes, n_features),
+"A": (n_nodes, n_nodes)}`` where ``A`` is an (unnormalized) adjacency
+matrix; :func:`graph_from_networkx` converts a networkx graph with
+``feature`` node attributes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import (
+    ClassifierMixin,
+    Estimator,
+    check_consistent_length,
+    one_hot,
+    softmax,
+)
+from .optim import Adam, clip_gradients, minibatches
+
+
+def graph_from_networkx(graph, feature_key: str = "feature") -> dict:
+    """Convert a networkx graph to the ``{"X", "A"}`` dict the GNN eats."""
+    nodes = list(graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    features = np.asarray(
+        [np.asarray(graph.nodes[node][feature_key], dtype=float) for node in nodes]
+    )
+    adjacency = np.zeros((len(nodes), len(nodes)))
+    for u, v in graph.edges():
+        adjacency[index[u], index[v]] = 1.0
+        adjacency[index[v], index[u]] = 1.0
+    return {"X": features, "A": adjacency}
+
+
+def _normalize_adjacency(A: np.ndarray) -> np.ndarray:
+    """Row-normalize ``A + I`` so messages are neighbourhood means."""
+    A_hat = A + np.eye(len(A))
+    degrees = A_hat.sum(axis=1, keepdims=True)
+    degrees[degrees == 0.0] = 1.0
+    return A_hat / degrees
+
+
+class GNNClassifier(Estimator, ClassifierMixin):
+    """Two-layer mean-aggregation GNN with mean-pooled graph readout."""
+
+    def __init__(
+        self,
+        hidden_size: int = 32,
+        n_layers: int = 2,
+        learning_rate: float = 0.005,
+        epochs: int = 60,
+        batch_size: int = 16,
+        seed: int = 0,
+    ):
+        self.hidden_size = hidden_size
+        self.n_layers = n_layers
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.seed = seed
+
+    def _init_params(self, n_features: int, n_classes: int, rng) -> dict:
+        def glorot(fan_in, fan_out):
+            limit = np.sqrt(6.0 / (fan_in + fan_out))
+            return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+        params = {}
+        in_size = n_features
+        for layer in range(self.n_layers):
+            params[f"W{layer}"] = glorot(in_size, self.hidden_size)
+            params[f"b{layer}"] = np.zeros(self.hidden_size)
+            in_size = self.hidden_size
+        params["Wo"] = glorot(self.hidden_size, n_classes)
+        params["bo"] = np.zeros(n_classes)
+        return params
+
+    def _forward_graph(self, graph: dict):
+        """Message passing for a single graph; returns pooled state + cache."""
+        A_norm = _normalize_adjacency(np.asarray(graph["A"], dtype=float))
+        hidden = np.asarray(graph["X"], dtype=float)
+        cache = []
+        for layer in range(self.n_layers):
+            messages = A_norm @ hidden
+            pre = messages @ self.params_[f"W{layer}"] + self.params_[f"b{layer}"]
+            activated = np.maximum(pre, 0.0)
+            cache.append((A_norm, messages, pre))
+            hidden = activated
+        pooled = hidden.mean(axis=0)
+        return pooled, hidden, cache
+
+    def _backward_graph(self, graph, hidden, cache, d_pooled, grads):
+        """Accumulate parameter gradients for one graph."""
+        n_nodes = hidden.shape[0]
+        d_hidden = np.tile(d_pooled / n_nodes, (n_nodes, 1))
+        for layer in reversed(range(self.n_layers)):
+            A_norm, messages, pre = cache[layer]
+            d_pre = d_hidden * (pre > 0)
+            grads[f"W{layer}"] += messages.T @ d_pre
+            grads[f"b{layer}"] += d_pre.sum(axis=0)
+            d_messages = d_pre @ self.params_[f"W{layer}"].T
+            d_hidden = A_norm.T @ d_messages
+
+    def fit(self, graphs, y) -> "GNNClassifier":
+        graphs = list(graphs)
+        y = np.asarray(y)
+        check_consistent_length(graphs, y)
+        if not graphs:
+            raise ValueError("need at least one graph to fit")
+        self.classes_, y_index = np.unique(y, return_inverse=True)
+        n_classes = len(self.classes_)
+        n_features = np.asarray(graphs[0]["X"]).shape[1]
+        rng = np.random.default_rng(self.seed)
+        self.params_ = self._init_params(n_features, n_classes, rng)
+        self._optimizer = Adam(self.learning_rate)
+        self._train(graphs, y_index, n_classes, self.epochs, rng)
+        return self
+
+    def partial_fit(self, graphs, y, epochs: int = 15) -> "GNNClassifier":
+        """Continue training on new graphs (incremental learning)."""
+        self._check_fitted("params_")
+        graphs = list(graphs)
+        y = np.asarray(y)
+        check_consistent_length(graphs, y)
+        index_of = {label: i for i, label in enumerate(self.classes_.tolist())}
+        y_index = np.asarray([index_of[label] for label in y.tolist()])
+        rng = np.random.default_rng(self.seed + 1)
+        self._train(graphs, y_index, len(self.classes_), epochs, rng)
+        return self
+
+    def _train(self, graphs, y_index, n_classes, epochs, rng):
+        targets = one_hot(y_index, n_classes)
+        for _ in range(epochs):
+            for batch in minibatches(len(graphs), self.batch_size, rng):
+                grads = {name: np.zeros_like(p) for name, p in self.params_.items()}
+                for row in batch:
+                    pooled, hidden, cache = self._forward_graph(graphs[row])
+                    logits = pooled @ self.params_["Wo"] + self.params_["bo"]
+                    probs = softmax(logits.reshape(1, -1)).ravel()
+                    delta = (probs - targets[row]) / len(batch)
+                    grads["Wo"] += np.outer(pooled, delta)
+                    grads["bo"] += delta
+                    d_pooled = self.params_["Wo"] @ delta
+                    self._backward_graph(graphs[row], hidden, cache, d_pooled, grads)
+                grads = clip_gradients(grads, 5.0)
+                self._optimizer.step(self.params_, grads)
+
+    def predict_proba(self, graphs) -> np.ndarray:
+        """Return softmax probabilities for each graph."""
+        self._check_fitted("params_")
+        logits = np.asarray(
+            [
+                self._forward_graph(graph)[0] @ self.params_["Wo"] + self.params_["bo"]
+                for graph in graphs
+            ]
+        )
+        return softmax(logits)
+
+    def hidden_embedding(self, graphs) -> np.ndarray:
+        """Return the pooled node states used as Prom's feature vectors."""
+        self._check_fitted("params_")
+        return np.asarray([self._forward_graph(graph)[0] for graph in graphs])

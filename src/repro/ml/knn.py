@@ -1,0 +1,92 @@
+"""k-nearest-neighbour classifier and regressor.
+
+Prom's regression support approximates unseen ground truth with a k-NN
+average over the calibration set (paper Sec. 5.1.1); these estimators
+provide that primitive plus standalone baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import (
+    ClassifierMixin,
+    Estimator,
+    RegressorMixin,
+    check_2d,
+    check_consistent_length,
+)
+
+
+def pairwise_euclidean(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Return the ``(len(A), len(B))`` matrix of l2 distances."""
+    A = np.asarray(A, dtype=float)
+    B = np.asarray(B, dtype=float)
+    # ||a-b||^2 = ||a||^2 + ||b||^2 - 2 a.b, clipped for numeric noise.
+    squared = (
+        np.sum(A * A, axis=1)[:, None]
+        + np.sum(B * B, axis=1)[None, :]
+        - 2.0 * A @ B.T
+    )
+    return np.sqrt(np.clip(squared, 0.0, None))
+
+
+class KNeighborsClassifier(Estimator, ClassifierMixin):
+    """Majority-vote k-NN with distance-frequency probabilities."""
+
+    def __init__(self, n_neighbors: int = 5):
+        self.n_neighbors = n_neighbors
+
+    def fit(self, X, y) -> "KNeighborsClassifier":
+        X = check_2d(X)
+        y = np.asarray(y)
+        check_consistent_length(X, y)
+        self.classes_, self._y_index = np.unique(y, return_inverse=True)
+        self._X = X
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Return neighbourhood class frequencies as probabilities."""
+        self._check_fitted("_X")
+        X = check_2d(X)
+        k = min(self.n_neighbors, len(self._X))
+        distances = pairwise_euclidean(X, self._X)
+        neighbour_rows = np.argpartition(distances, k - 1, axis=1)[:, :k]
+        probs = np.zeros((len(X), len(self.classes_)))
+        for i, row in enumerate(neighbour_rows):
+            counts = np.bincount(self._y_index[row], minlength=len(self.classes_))
+            probs[i] = counts / k
+        return probs
+
+
+class KNeighborsRegressor(Estimator, RegressorMixin):
+    """Mean-of-neighbours k-NN regression."""
+
+    def __init__(self, n_neighbors: int = 3):
+        self.n_neighbors = n_neighbors
+
+    def fit(self, X, y) -> "KNeighborsRegressor":
+        X = check_2d(X)
+        y = np.asarray(y, dtype=float)
+        check_consistent_length(X, y)
+        self._X = X
+        self._y = y
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("_X")
+        X = check_2d(X)
+        k = min(self.n_neighbors, len(self._X))
+        distances = pairwise_euclidean(X, self._X)
+        neighbour_rows = np.argpartition(distances, k - 1, axis=1)[:, :k]
+        return self._y[neighbour_rows].mean(axis=1)
+
+    def kneighbors(self, X, n_neighbors: int | None = None):
+        """Return ``(distances, indices)`` of the nearest neighbours."""
+        self._check_fitted("_X")
+        X = check_2d(X)
+        k = min(n_neighbors or self.n_neighbors, len(self._X))
+        distances = pairwise_euclidean(X, self._X)
+        indices = np.argsort(distances, axis=1)[:, :k]
+        rows = np.arange(len(X))[:, None]
+        return distances[rows, indices], indices

@@ -1,0 +1,105 @@
+"""Linear models: logistic/softmax regression and ridge regression."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import (
+    ClassifierMixin,
+    Estimator,
+    RegressorMixin,
+    check_2d,
+    check_consistent_length,
+    one_hot,
+    softmax,
+)
+from .optim import Adam, minibatches
+
+
+class LogisticRegression(Estimator, ClassifierMixin):
+    """Multinomial logistic (softmax) regression trained with Adam.
+
+    Handles binary and multiclass problems uniformly by optimizing
+    cross-entropy over a softmax head with l2 regularization.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.05,
+        epochs: int = 200,
+        batch_size: int = 64,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ):
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.seed = seed
+
+    def fit(self, X, y) -> "LogisticRegression":
+        X = check_2d(X)
+        y = np.asarray(y)
+        check_consistent_length(X, y)
+        self.classes_, y_index = np.unique(y, return_inverse=True)
+        n_classes = len(self.classes_)
+        if n_classes < 2:
+            raise ValueError("need at least two classes to fit a classifier")
+        n_samples, n_features = X.shape
+        rng = np.random.default_rng(self.seed)
+        weights = rng.normal(0.0, 0.01, size=(n_features, n_classes))
+        bias = np.zeros(n_classes)
+        params = {"W": weights, "b": bias}
+        optimizer = Adam(self.learning_rate)
+        targets = one_hot(y_index, n_classes)
+
+        for _ in range(self.epochs):
+            for batch in minibatches(n_samples, self.batch_size, rng):
+                logits = X[batch] @ params["W"] + params["b"]
+                probs = softmax(logits)
+                error = (probs - targets[batch]) / len(batch)
+                grads = {
+                    "W": X[batch].T @ error + self.l2 * params["W"],
+                    "b": error.sum(axis=0),
+                }
+                optimizer.step(params, grads)
+
+        self.coef_ = params["W"]
+        self.intercept_ = params["b"]
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        """Return raw class logits for each sample."""
+        self._check_fitted("coef_")
+        X = check_2d(X)
+        return X @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Return the softmax class-probability matrix."""
+        return softmax(self.decision_function(X))
+
+
+class RidgeRegression(Estimator, RegressorMixin):
+    """Linear least squares with l2 regularization, solved in closed form."""
+
+    def __init__(self, alpha: float = 1.0):
+        self.alpha = alpha
+
+    def fit(self, X, y) -> "RidgeRegression":
+        X = check_2d(X)
+        y = np.asarray(y, dtype=float)
+        check_consistent_length(X, y)
+        n_features = X.shape[1]
+        augmented = np.hstack([X, np.ones((len(X), 1))])
+        penalty = self.alpha * np.eye(n_features + 1)
+        penalty[-1, -1] = 0.0  # never regularize the intercept
+        gram = augmented.T @ augmented + penalty
+        solution = np.linalg.solve(gram, augmented.T @ y)
+        self.coef_ = solution[:-1]
+        self.intercept_ = float(solution[-1])
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("coef_")
+        X = check_2d(X)
+        return X @ self.coef_ + self.intercept_

@@ -1,0 +1,268 @@
+"""Recurrent sequence classifiers: LSTM and Bi-LSTM over token ids.
+
+These back the DeepTune (LSTM) and Vulde (Bi-LSTM) underlying models.
+Input is a ``(batch, time)`` integer matrix of token ids where id 0 is
+reserved for padding; an embedding layer feeds the recurrent cells and
+a softmax head classifies the mean-pooled hidden states.
+
+The implementation is a straightforward numpy forward pass plus
+backpropagation through time, sized for the small synthetic corpora in
+this reproduction (hundreds to a few thousand short sequences).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import (
+    ClassifierMixin,
+    Estimator,
+    check_consistent_length,
+    one_hot,
+    sigmoid,
+    softmax,
+)
+from .optim import Adam, clip_gradients, minibatches
+
+
+def _check_sequences(X) -> np.ndarray:
+    array = np.asarray(X, dtype=int)
+    if array.ndim != 2:
+        raise ValueError(f"expected (batch, time) token matrix, got shape {array.shape}")
+    return array
+
+
+class _LSTMDirection:
+    """Forward/backward machinery for one direction of a (bi-)LSTM.
+
+    Padding positions (mask 0) pass the previous hidden and cell state
+    through unchanged, so variable-length sequences in one batch are
+    handled exactly.
+    """
+
+    def __init__(self, params: dict, prefix: str):
+        self.params = params
+        self.prefix = prefix
+
+    def forward(self, embedded: np.ndarray, mask: np.ndarray):
+        """Run the cell over time; returns hidden states and a cache."""
+        p, pre = self.params, self.prefix
+        batch, time, _ = embedded.shape
+        hidden_size = p[f"{pre}_Wh"].shape[0]
+        h = np.zeros((batch, hidden_size))
+        c = np.zeros((batch, hidden_size))
+        hidden_states = np.zeros((batch, time, hidden_size))
+        cache = []
+        for t in range(time):
+            x_t = embedded[:, t, :]
+            h_prev, c_prev = h, c
+            gates = x_t @ p[f"{pre}_Wx"] + h_prev @ p[f"{pre}_Wh"] + p[f"{pre}_b"]
+            i_gate = sigmoid(gates[:, :hidden_size])
+            f_gate = sigmoid(gates[:, hidden_size : 2 * hidden_size])
+            o_gate = sigmoid(gates[:, 2 * hidden_size : 3 * hidden_size])
+            g_gate = np.tanh(gates[:, 3 * hidden_size :])
+            c_new = f_gate * c_prev + i_gate * g_gate
+            h_new = o_gate * np.tanh(c_new)
+            step_mask = mask[:, t : t + 1]
+            h = step_mask * h_new + (1.0 - step_mask) * h_prev
+            c = step_mask * c_new + (1.0 - step_mask) * c_prev
+            hidden_states[:, t, :] = h
+            cache.append(
+                (x_t, h_prev, c_prev, i_gate, f_gate, o_gate, g_gate, c_new, step_mask)
+            )
+        return hidden_states, cache
+
+    def backward(self, cache, d_hidden: np.ndarray):
+        """BPTT given upstream gradients on each (masked) hidden state.
+
+        Returns parameter gradients and the gradient w.r.t. the embedded
+        inputs, shape ``(batch, time, embed_size)``.
+        """
+        p, pre = self.params, self.prefix
+        batch = d_hidden.shape[0]
+        time = len(cache)
+        hidden_size = p[f"{pre}_Wh"].shape[0]
+        embed_size = p[f"{pre}_Wx"].shape[0]
+
+        grads = {
+            f"{pre}_Wx": np.zeros_like(p[f"{pre}_Wx"]),
+            f"{pre}_Wh": np.zeros_like(p[f"{pre}_Wh"]),
+            f"{pre}_b": np.zeros_like(p[f"{pre}_b"]),
+        }
+        d_embedded = np.zeros((batch, time, embed_size))
+        dh_carry = np.zeros((batch, hidden_size))
+        dc_carry = np.zeros((batch, hidden_size))
+        for t in reversed(range(time)):
+            x_t, h_prev, c_prev, i_gate, f_gate, o_gate, g_gate, c_new, m = cache[t]
+            dh = d_hidden[:, t, :] + dh_carry
+            # h_t = m * h_new + (1 - m) * h_prev
+            dh_new = dh * m
+            dh_prev_skip = dh * (1.0 - m)
+            # c_t = m * c_new + (1 - m) * c_prev
+            dc_new = dc_carry * m
+            dc_prev_skip = dc_carry * (1.0 - m)
+
+            tanh_c = np.tanh(c_new)
+            do = dh_new * tanh_c
+            dc_new = dc_new + dh_new * o_gate * (1.0 - tanh_c**2)
+            di = dc_new * g_gate
+            df = dc_new * c_prev
+            dg = dc_new * i_gate
+            dc_carry = dc_new * f_gate + dc_prev_skip
+
+            d_gates = np.concatenate(
+                [
+                    di * i_gate * (1.0 - i_gate),
+                    df * f_gate * (1.0 - f_gate),
+                    do * o_gate * (1.0 - o_gate),
+                    dg * (1.0 - g_gate**2),
+                ],
+                axis=1,
+            )
+            grads[f"{pre}_Wx"] += x_t.T @ d_gates
+            grads[f"{pre}_Wh"] += h_prev.T @ d_gates
+            grads[f"{pre}_b"] += d_gates.sum(axis=0)
+            d_embedded[:, t, :] = d_gates @ p[f"{pre}_Wx"].T
+            dh_carry = d_gates @ p[f"{pre}_Wh"].T + dh_prev_skip
+        return grads, d_embedded
+
+
+class LSTMClassifier(Estimator, ClassifierMixin):
+    """(Bi-)LSTM token-sequence classifier with mean-pooled readout."""
+
+    def __init__(
+        self,
+        vocab_size: int = 256,
+        embed_size: int = 24,
+        hidden_size: int = 32,
+        bidirectional: bool = False,
+        learning_rate: float = 0.005,
+        epochs: int = 20,
+        batch_size: int = 32,
+        seed: int = 0,
+    ):
+        self.vocab_size = vocab_size
+        self.embed_size = embed_size
+        self.hidden_size = hidden_size
+        self.bidirectional = bidirectional
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.seed = seed
+
+    # -- parameter handling --------------------------------------------------
+    def _init_params(self, n_classes: int, rng) -> dict:
+        def glorot(fan_in, fan_out):
+            limit = np.sqrt(6.0 / (fan_in + fan_out))
+            return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+        params = {"E": rng.normal(0.0, 0.1, size=(self.vocab_size, self.embed_size))}
+        directions = ["fw", "bw"] if self.bidirectional else ["fw"]
+        for pre in directions:
+            params[f"{pre}_Wx"] = glorot(self.embed_size, 4 * self.hidden_size)
+            params[f"{pre}_Wh"] = glorot(self.hidden_size, 4 * self.hidden_size)
+            bias = np.zeros(4 * self.hidden_size)
+            # Positive forget-gate bias helps gradient flow early on.
+            bias[self.hidden_size : 2 * self.hidden_size] = 1.0
+            params[f"{pre}_b"] = bias
+        readout_in = self.hidden_size * (2 if self.bidirectional else 1)
+        params["Wo"] = glorot(readout_in, n_classes)
+        params["bo"] = np.zeros(n_classes)
+        return params
+
+    # -- forward ---------------------------------------------------------------
+    def _pool(self, X: np.ndarray):
+        """Embed, run direction(s), mean-pool over valid timesteps."""
+        mask = (X > 0).astype(float)
+        embedded = self.params_["E"][np.clip(X, 0, self.vocab_size - 1)]
+        forward_dir = _LSTMDirection(self.params_, "fw")
+        hidden_fw, cache_fw = forward_dir.forward(embedded, mask)
+        pieces = [hidden_fw]
+        caches = {"fw": cache_fw}
+        if self.bidirectional:
+            backward_dir = _LSTMDirection(self.params_, "bw")
+            hidden_bw, cache_bw = backward_dir.forward(embedded[:, ::-1, :], mask[:, ::-1])
+            pieces.append(hidden_bw[:, ::-1, :])
+            caches["bw"] = cache_bw
+        hidden = np.concatenate(pieces, axis=2)
+        lengths = np.clip(mask.sum(axis=1, keepdims=True), 1.0, None)
+        pooled = (hidden * mask[:, :, None]).sum(axis=1) / lengths
+        return pooled, mask, lengths, caches
+
+    def fit(self, X, y) -> "LSTMClassifier":
+        X = _check_sequences(X)
+        y = np.asarray(y)
+        check_consistent_length(X, y)
+        self.classes_, y_index = np.unique(y, return_inverse=True)
+        n_classes = len(self.classes_)
+        rng = np.random.default_rng(self.seed)
+        self.params_ = self._init_params(n_classes, rng)
+        self._optimizer = Adam(self.learning_rate)
+        self._train(X, y_index, n_classes, self.epochs, rng)
+        return self
+
+    def partial_fit(self, X, y, epochs: int = 5) -> "LSTMClassifier":
+        """Continue training on new samples (incremental learning)."""
+        self._check_fitted("params_")
+        X = _check_sequences(X)
+        y = np.asarray(y)
+        check_consistent_length(X, y)
+        index_of = {label: i for i, label in enumerate(self.classes_.tolist())}
+        try:
+            y_index = np.asarray([index_of[label] for label in y.tolist()])
+        except KeyError as err:
+            raise ValueError(f"partial_fit saw unseen class {err}") from err
+        rng = np.random.default_rng(self.seed + 1)
+        self._train(X, y_index, len(self.classes_), epochs, rng)
+        return self
+
+    def _train(self, X, y_index, n_classes, epochs, rng):
+        targets = one_hot(y_index, n_classes)
+        for _ in range(epochs):
+            for batch in minibatches(len(X), self.batch_size, rng):
+                self._step(X[batch], targets[batch])
+
+    def _step(self, X, targets):
+        pooled, mask, lengths, caches = self._pool(X)
+        logits = pooled @ self.params_["Wo"] + self.params_["bo"]
+        probs = softmax(logits)
+        delta = (probs - targets) / len(X)
+
+        grads = {"Wo": pooled.T @ delta, "bo": delta.sum(axis=0)}
+        d_pooled = delta @ self.params_["Wo"].T
+        d_hidden_full = (d_pooled[:, None, :] * mask[:, :, None]) / lengths[:, :, None]
+
+        forward_dir = _LSTMDirection(self.params_, "fw")
+        g_fw, d_embedded = forward_dir.backward(
+            caches["fw"], d_hidden_full[:, :, : self.hidden_size]
+        )
+        grads.update(g_fw)
+        if self.bidirectional:
+            backward_dir = _LSTMDirection(self.params_, "bw")
+            d_hidden_bw = d_hidden_full[:, :, self.hidden_size :][:, ::-1, :]
+            g_bw, d_emb_bw = backward_dir.backward(caches["bw"], d_hidden_bw)
+            grads.update(g_bw)
+            d_embedded = d_embedded + d_emb_bw[:, ::-1, :]
+
+        grad_E = np.zeros_like(self.params_["E"])
+        ids = np.clip(X, 0, self.vocab_size - 1)
+        np.add.at(grad_E, ids.ravel(), d_embedded.reshape(-1, self.embed_size))
+        grads["E"] = grad_E
+
+        grads = clip_gradients(grads, 5.0)
+        self._optimizer.step(self.params_, grads)
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Return softmax probabilities for each sequence."""
+        self._check_fitted("params_")
+        X = _check_sequences(X)
+        pooled, _, _, _ = self._pool(X)
+        logits = pooled @ self.params_["Wo"] + self.params_["bo"]
+        return softmax(logits)
+
+    def hidden_embedding(self, X) -> np.ndarray:
+        """Return the pooled recurrent state used as Prom's feature vector."""
+        self._check_fitted("params_")
+        X = _check_sequences(X)
+        pooled, _, _, _ = self._pool(X)
+        return pooled

@@ -1,0 +1,213 @@
+"""Multilayer perceptron classifier and regressor (numpy backprop).
+
+``MLPClassifier`` reproduces the model family used by Magni et al. for
+GPU thread coarsening; ``MLPRegressor`` backs simple cost models.  Both
+support warm-started incremental refitting via ``partial_fit``, which
+Prom's incremental-learning loop uses to update deployed models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import (
+    ClassifierMixin,
+    Estimator,
+    RegressorMixin,
+    check_2d,
+    check_consistent_length,
+    one_hot,
+    softmax,
+)
+from .optim import Adam, clip_gradients, minibatches
+
+
+def _relu(z: np.ndarray) -> np.ndarray:
+    return np.maximum(z, 0.0)
+
+
+class _MLPCore:
+    """Shared forward/backward machinery for the two MLP estimators."""
+
+    def _init_params(self, layer_sizes, rng):
+        params = {}
+        for i, (fan_in, fan_out) in enumerate(zip(layer_sizes[:-1], layer_sizes[1:])):
+            limit = np.sqrt(6.0 / (fan_in + fan_out))
+            params[f"W{i}"] = rng.uniform(-limit, limit, size=(fan_in, fan_out))
+            params[f"b{i}"] = np.zeros(fan_out)
+        return params
+
+    def _forward(self, X, params, n_layers):
+        activations = [X]
+        hidden = X
+        for i in range(n_layers - 1):
+            hidden = _relu(hidden @ params[f"W{i}"] + params[f"b{i}"])
+            activations.append(hidden)
+        logits = hidden @ params[f"W{n_layers - 1}"] + params[f"b{n_layers - 1}"]
+        return logits, activations
+
+    def _backward(self, delta, activations, params, n_layers, l2):
+        grads = {}
+        for i in reversed(range(n_layers)):
+            grads[f"W{i}"] = activations[i].T @ delta + l2 * params[f"W{i}"]
+            grads[f"b{i}"] = delta.sum(axis=0)
+            if i > 0:
+                delta = (delta @ params[f"W{i}"].T) * (activations[i] > 0)
+        return grads
+
+
+class MLPClassifier(Estimator, ClassifierMixin, _MLPCore):
+    """Feed-forward ReLU network with a softmax output head."""
+
+    def __init__(
+        self,
+        hidden_sizes=(32, 32),
+        learning_rate: float = 0.005,
+        epochs: int = 150,
+        batch_size: int = 32,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ):
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.seed = seed
+
+    def fit(self, X, y) -> "MLPClassifier":
+        X = check_2d(X)
+        y = np.asarray(y)
+        check_consistent_length(X, y)
+        self.classes_, y_index = np.unique(y, return_inverse=True)
+        n_classes = len(self.classes_)
+        if n_classes < 2:
+            raise ValueError("need at least two classes to fit a classifier")
+        layer_sizes = (X.shape[1], *self.hidden_sizes, n_classes)
+        rng = np.random.default_rng(self.seed)
+        self.params_ = self._init_params(layer_sizes, rng)
+        self._n_layers = len(layer_sizes) - 1
+        self._optimizer = Adam(self.learning_rate)
+        self._train(X, y_index, n_classes, self.epochs, rng)
+        return self
+
+    def partial_fit(self, X, y, epochs: int = 30) -> "MLPClassifier":
+        """Continue training on new samples without reinitializing.
+
+        Labels must be drawn from the classes seen in the initial
+        :meth:`fit`; unseen labels raise ``ValueError``.
+        """
+        self._check_fitted("params_")
+        X = check_2d(X)
+        y = np.asarray(y)
+        check_consistent_length(X, y)
+        index_of = {label: i for i, label in enumerate(self.classes_.tolist())}
+        try:
+            y_index = np.asarray([index_of[label] for label in y.tolist()])
+        except KeyError as err:
+            raise ValueError(f"partial_fit saw unseen class {err}") from err
+        rng = np.random.default_rng(self.seed + 1)
+        self._train(X, y_index, len(self.classes_), epochs, rng)
+        return self
+
+    def _train(self, X, y_index, n_classes, epochs, rng):
+        targets = one_hot(y_index, n_classes)
+        for _ in range(epochs):
+            for batch in minibatches(len(X), self.batch_size, rng):
+                logits, activations = self._forward(X[batch], self.params_, self._n_layers)
+                probs = softmax(logits)
+                delta = (probs - targets[batch]) / len(batch)
+                grads = self._backward(
+                    delta, activations, self.params_, self._n_layers, self.l2
+                )
+                grads = clip_gradients(grads, 5.0)
+                self._optimizer.step(self.params_, grads)
+
+    def decision_function(self, X) -> np.ndarray:
+        """Return raw output logits."""
+        self._check_fitted("params_")
+        X = check_2d(X)
+        logits, _ = self._forward(X, self.params_, self._n_layers)
+        return logits
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Return softmax probabilities over the fitted classes."""
+        return softmax(self.decision_function(X))
+
+    def hidden_embedding(self, X) -> np.ndarray:
+        """Return the activation of the last hidden layer.
+
+        Prom uses this as the feature vector for its adaptive
+        calibration-sample selection when the underlying model is a
+        neural network.
+        """
+        self._check_fitted("params_")
+        X = check_2d(X)
+        _, activations = self._forward(X, self.params_, self._n_layers)
+        return activations[-1]
+
+
+class MLPRegressor(Estimator, RegressorMixin, _MLPCore):
+    """Feed-forward ReLU network with a linear scalar output."""
+
+    def __init__(
+        self,
+        hidden_sizes=(64, 32),
+        learning_rate: float = 0.003,
+        epochs: int = 200,
+        batch_size: int = 32,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ):
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.seed = seed
+
+    def fit(self, X, y) -> "MLPRegressor":
+        X = check_2d(X)
+        y = np.asarray(y, dtype=float).reshape(-1, 1)
+        check_consistent_length(X, y)
+        layer_sizes = (X.shape[1], *self.hidden_sizes, 1)
+        rng = np.random.default_rng(self.seed)
+        self.params_ = self._init_params(layer_sizes, rng)
+        self._n_layers = len(layer_sizes) - 1
+        self._optimizer = Adam(self.learning_rate)
+        self._train(X, y, self.epochs, rng)
+        return self
+
+    def partial_fit(self, X, y, epochs: int = 30) -> "MLPRegressor":
+        """Continue training on new samples without reinitializing."""
+        self._check_fitted("params_")
+        X = check_2d(X)
+        y = np.asarray(y, dtype=float).reshape(-1, 1)
+        check_consistent_length(X, y)
+        rng = np.random.default_rng(self.seed + 1)
+        self._train(X, y, epochs, rng)
+        return self
+
+    def _train(self, X, y, epochs, rng):
+        for _ in range(epochs):
+            for batch in minibatches(len(X), self.batch_size, rng):
+                output, activations = self._forward(X[batch], self.params_, self._n_layers)
+                delta = 2.0 * (output - y[batch]) / len(batch)
+                grads = self._backward(
+                    delta, activations, self.params_, self._n_layers, self.l2
+                )
+                grads = clip_gradients(grads, 5.0)
+                self._optimizer.step(self.params_, grads)
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("params_")
+        X = check_2d(X)
+        output, _ = self._forward(X, self.params_, self._n_layers)
+        return output.ravel()
+
+    def hidden_embedding(self, X) -> np.ndarray:
+        """Return the activation of the last hidden layer."""
+        self._check_fitted("params_")
+        X = check_2d(X)
+        _, activations = self._forward(X, self.params_, self._n_layers)
+        return activations[-1]

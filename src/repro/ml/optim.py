@@ -1,0 +1,88 @@
+"""Gradient-descent optimizers used by the neural estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SGD:
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: dict = {}
+
+    def step(self, params: dict, grads: dict) -> None:
+        """Update ``params`` in place from matching ``grads``."""
+        for name, grad in grads.items():
+            if self.momentum > 0.0:
+                velocity = self._velocity.get(name)
+                if velocity is None:
+                    velocity = np.zeros_like(grad)
+                velocity = self.momentum * velocity - self.learning_rate * grad
+                self._velocity[name] = velocity
+                params[name] += velocity
+            else:
+                params[name] -= self.learning_rate * grad
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._first_moment: dict = {}
+        self._second_moment: dict = {}
+        self._step_count = 0
+
+    def step(self, params: dict, grads: dict) -> None:
+        """Update ``params`` in place from matching ``grads``."""
+        self._step_count += 1
+        t = self._step_count
+        for name, grad in grads.items():
+            m = self._first_moment.get(name)
+            v = self._second_moment.get(name)
+            if m is None:
+                m = np.zeros_like(grad)
+                v = np.zeros_like(grad)
+            m = self.beta1 * m + (1.0 - self.beta1) * grad
+            v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
+            self._first_moment[name] = m
+            self._second_moment[name] = v
+            m_hat = m / (1.0 - self.beta1**t)
+            v_hat = v / (1.0 - self.beta2**t)
+            params[name] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+def clip_gradients(grads: dict, max_norm: float) -> dict:
+    """Scale all gradients so their global l2 norm is at most ``max_norm``."""
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = np.sqrt(sum(float(np.sum(g * g)) for g in grads.values()))
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        return {name: g * scale for name, g in grads.items()}
+    return grads
+
+
+def minibatches(n_samples: int, batch_size: int, rng: np.random.Generator):
+    """Yield shuffled index batches covering all samples once."""
+    order = rng.permutation(n_samples)
+    for start in range(0, n_samples, batch_size):
+        yield order[start : start + batch_size]

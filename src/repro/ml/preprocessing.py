@@ -1,0 +1,126 @@
+"""Data preprocessing utilities: scaling, encoding, splitting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import check_2d
+
+
+class StandardScaler:
+    """Standardize features to zero mean and unit variance.
+
+    Constant features (zero variance) are left centred but unscaled so
+    that transforming never divides by zero.
+    """
+
+    def fit(self, X) -> "StandardScaler":
+        X = check_2d(X)
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        X = check_2d(X)
+        if not hasattr(self, "mean_"):
+            raise RuntimeError("StandardScaler is not fitted; call fit() first")
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        X = check_2d(X)
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale features to the [0, 1] range."""
+
+    def fit(self, X) -> "MinMaxScaler":
+        X = check_2d(X)
+        self.min_ = X.min(axis=0)
+        span = X.max(axis=0) - self.min_
+        span[span == 0.0] = 1.0
+        self.span_ = span
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        X = check_2d(X)
+        if not hasattr(self, "min_"):
+            raise RuntimeError("MinMaxScaler is not fitted; call fit() first")
+        return (X - self.min_) / self.span_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class LabelEncoder:
+    """Map arbitrary hashable labels to contiguous integers 0..n-1."""
+
+    def fit(self, y) -> "LabelEncoder":
+        self.classes_ = np.asarray(sorted(set(np.asarray(y).tolist())))
+        self._index = {label: i for i, label in enumerate(self.classes_.tolist())}
+        return self
+
+    def transform(self, y) -> np.ndarray:
+        if not hasattr(self, "classes_"):
+            raise RuntimeError("LabelEncoder is not fitted; call fit() first")
+        try:
+            return np.asarray([self._index[label] for label in np.asarray(y).tolist()])
+        except KeyError as err:
+            raise ValueError(f"unseen label during transform: {err}") from err
+
+    def fit_transform(self, y) -> np.ndarray:
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, indices) -> np.ndarray:
+        return self.classes_[np.asarray(indices)]
+
+
+def train_test_split(*arrays, test_size: float = 0.2, seed: int = 0, shuffle: bool = True):
+    """Split each array into a train and test part along axis 0.
+
+    Returns ``train_a, test_a, train_b, test_b, ...`` in the same order
+    the arrays were supplied, mirroring the familiar sklearn helper.
+    """
+    if not arrays:
+        raise ValueError("at least one array is required")
+    n = len(arrays[0])
+    for array in arrays[1:]:
+        if len(array) != n:
+            raise ValueError("all arrays must share the same length")
+    if not 0.0 < test_size < 1.0:
+        raise ValueError(f"test_size must be in (0, 1), got {test_size}")
+
+    indices = np.arange(n)
+    if shuffle:
+        rng = np.random.default_rng(seed)
+        rng.shuffle(indices)
+    n_test = max(1, int(round(n * test_size)))
+    test_idx = indices[:n_test]
+    train_idx = indices[n_test:]
+
+    result = []
+    for array in arrays:
+        array = np.asarray(array)
+        result.append(array[train_idx])
+        result.append(array[test_idx])
+    return tuple(result)
+
+
+def kfold_indices(n_samples: int, n_folds: int, seed: int = 0):
+    """Yield ``(train_idx, test_idx)`` pairs for shuffled k-fold CV."""
+    if n_folds < 2:
+        raise ValueError(f"n_folds must be >= 2, got {n_folds}")
+    if n_folds > n_samples:
+        raise ValueError("n_folds cannot exceed the number of samples")
+    rng = np.random.default_rng(seed)
+    indices = rng.permutation(n_samples)
+    folds = np.array_split(indices, n_folds)
+    for i in range(n_folds):
+        test_idx = folds[i]
+        train_idx = np.concatenate([folds[j] for j in range(n_folds) if j != i])
+        yield train_idx, test_idx

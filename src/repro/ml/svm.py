@@ -1,0 +1,110 @@
+"""Linear support vector machine with Platt-scaled probabilities.
+
+Reproduces the model family of K. Stock et al. (loop vectorization) and
+the misprediction detector inside the RISE baseline.  Multiclass is
+handled one-vs-rest; probabilities come from a logistic (Platt) fit on
+the decision margins so that ``predict_proba`` satisfies the contract
+Prom's nonconformity functions expect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import (
+    ClassifierMixin,
+    Estimator,
+    check_2d,
+    check_consistent_length,
+    sigmoid,
+)
+
+
+def _fit_platt(margins: np.ndarray, targets: np.ndarray, iterations: int = 200) -> tuple:
+    """Fit ``p = sigmoid(a * margin + b)`` by gradient descent."""
+    a, b = -1.0, 0.0
+    learning_rate = 0.05
+    for _ in range(iterations):
+        probs = sigmoid(a * margins + b)
+        error = probs - targets
+        grad_a = float(np.mean(error * margins))
+        grad_b = float(np.mean(error))
+        a -= learning_rate * grad_a
+        b -= learning_rate * grad_b
+    return a, b
+
+
+class LinearSVC(Estimator, ClassifierMixin):
+    """One-vs-rest linear SVM trained with hinge-loss subgradient descent."""
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        epochs: int = 150,
+        learning_rate: float = 0.01,
+        seed: int = 0,
+    ):
+        self.C = C
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.seed = seed
+
+    def fit(self, X, y) -> "LinearSVC":
+        X = check_2d(X)
+        y = np.asarray(y)
+        check_consistent_length(X, y)
+        self.classes_, y_index = np.unique(y, return_inverse=True)
+        n_classes = len(self.classes_)
+        if n_classes < 2:
+            raise ValueError("need at least two classes to fit a classifier")
+        n_samples, n_features = X.shape
+        rng = np.random.default_rng(self.seed)
+
+        weights = np.zeros((n_classes, n_features))
+        biases = np.zeros(n_classes)
+        platt = []
+        for class_index in range(n_classes):
+            signs = np.where(y_index == class_index, 1.0, -1.0)
+            w = rng.normal(0.0, 0.01, size=n_features)
+            b = 0.0
+            for epoch in range(self.epochs):
+                lr = self.learning_rate / (1.0 + 0.01 * epoch)
+                order = rng.permutation(n_samples)
+                for i in order:
+                    margin = signs[i] * (X[i] @ w + b)
+                    if margin < 1.0:
+                        w = (1.0 - lr / self.C) * w + lr * signs[i] * X[i]
+                        b += lr * signs[i]
+                    else:
+                        w = (1.0 - lr / self.C) * w
+            weights[class_index] = w
+            biases[class_index] = b
+            margins = X @ w + b
+            targets = (signs > 0).astype(float)
+            platt.append(_fit_platt(margins, targets))
+
+        self.coef_ = weights
+        self.intercept_ = biases
+        self.platt_ = platt
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        """Return per-class margins; shape ``(n_samples, n_classes)``."""
+        self._check_fitted("coef_")
+        X = check_2d(X)
+        return X @ self.coef_.T + self.intercept_
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Return Platt-scaled, renormalized one-vs-rest probabilities."""
+        margins = self.decision_function(X)
+        probs = np.empty_like(margins)
+        for class_index, (a, b) in enumerate(self.platt_):
+            probs[:, class_index] = sigmoid(a * margins[:, class_index] + b)
+        total = probs.sum(axis=1, keepdims=True)
+        total[total == 0.0] = 1.0
+        return probs / total
+
+    def predict(self, X) -> np.ndarray:
+        """Predict by the largest raw margin (standard OvR rule)."""
+        margins = self.decision_function(X)
+        return self.classes_[np.argmax(margins, axis=1)]

@@ -1,0 +1,303 @@
+"""Tiny transformer encoder for sequence classification and regression.
+
+Backs the CodeXGLUE / LineVul underlying models (classification over
+token sequences) and TLP's BERT-style cost model (regression over
+schedule-feature sequences).  One self-attention block with a
+position-embedding table and mean-pooled readout — small enough to
+train in seconds with numpy, while exercising the same
+attention-based code path the paper's models do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import (
+    ClassifierMixin,
+    Estimator,
+    RegressorMixin,
+    check_consistent_length,
+    one_hot,
+    softmax,
+)
+from .optim import Adam, clip_gradients, minibatches
+
+
+def _check_sequences(X) -> np.ndarray:
+    array = np.asarray(X, dtype=int)
+    if array.ndim != 2:
+        raise ValueError(f"expected (batch, time) token matrix, got shape {array.shape}")
+    return array
+
+
+class _EncoderCore:
+    """Shared single-block attention encoder with full backprop."""
+
+    def _init_encoder_params(self, rng) -> dict:
+        def glorot(fan_in, fan_out):
+            limit = np.sqrt(6.0 / (fan_in + fan_out))
+            return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+        d = self.embed_size
+        params = {
+            "E": rng.normal(0.0, 0.1, size=(self.vocab_size, d)),
+            "P": rng.normal(0.0, 0.1, size=(self.max_len, d)),
+            "Wq": glorot(d, d),
+            "Wk": glorot(d, d),
+            "Wv": glorot(d, d),
+            "Wf1": glorot(d, self.ff_size),
+            "bf1": np.zeros(self.ff_size),
+            "Wf2": glorot(self.ff_size, d),
+            "bf2": np.zeros(d),
+        }
+        return params
+
+    def _encode(self, X: np.ndarray):
+        """Embed + attention + feed-forward; returns pooled states + cache."""
+        p = self.params_
+        batch, time = X.shape
+        if time > self.max_len:
+            raise ValueError(f"sequence length {time} exceeds max_len {self.max_len}")
+        mask = (X > 0).astype(float)
+        ids = np.clip(X, 0, self.vocab_size - 1)
+        embedded = p["E"][ids] + p["P"][:time]
+
+        queries = embedded @ p["Wq"]
+        keys = embedded @ p["Wk"]
+        values = embedded @ p["Wv"]
+        scale = 1.0 / np.sqrt(self.embed_size)
+        scores = np.einsum("btd,bsd->bts", queries, keys) * scale
+        # Mask out padding keys with a large negative bias.
+        scores = scores + (1.0 - mask[:, None, :]) * (-1e9)
+        attention = softmax(scores, axis=2)
+        attended = np.einsum("bts,bsd->btd", attention, values)
+        residual = embedded + attended
+
+        ff_pre = residual @ p["Wf1"] + p["bf1"]
+        ff_act = np.maximum(ff_pre, 0.0)
+        encoded = residual + ff_act @ p["Wf2"] + p["bf2"]
+
+        lengths = np.clip(mask.sum(axis=1, keepdims=True), 1.0, None)
+        pooled = (encoded * mask[:, :, None]).sum(axis=1) / lengths
+        cache = {
+            "ids": ids,
+            "mask": mask,
+            "lengths": lengths,
+            "embedded": embedded,
+            "queries": queries,
+            "keys": keys,
+            "values": values,
+            "attention": attention,
+            "residual": residual,
+            "ff_pre": ff_pre,
+            "ff_act": ff_act,
+            "time": time,
+        }
+        return pooled, cache
+
+    def _encoder_backward(self, cache: dict, d_pooled: np.ndarray) -> dict:
+        """Backprop from pooled-state gradients to all encoder params."""
+        p = self.params_
+        mask = cache["mask"]
+        d_encoded = (d_pooled[:, None, :] * mask[:, :, None]) / cache["lengths"][:, :, None]
+
+        grads = {}
+        # encoded = residual + ff_act @ Wf2 + bf2
+        d_residual = d_encoded.copy()
+        grads["Wf2"] = np.einsum("btf,btd->fd", cache["ff_act"], d_encoded)
+        grads["bf2"] = d_encoded.sum(axis=(0, 1))
+        d_ff_act = d_encoded @ p["Wf2"].T
+        d_ff_pre = d_ff_act * (cache["ff_pre"] > 0)
+        grads["Wf1"] = np.einsum("btd,btf->df", cache["residual"], d_ff_pre)
+        grads["bf1"] = d_ff_pre.sum(axis=(0, 1))
+        d_residual += d_ff_pre @ p["Wf1"].T
+
+        # residual = embedded + attended
+        d_embedded = d_residual.copy()
+        d_attended = d_residual
+
+        # attended = attention @ values
+        d_attention = np.einsum("btd,bsd->bts", d_attended, cache["values"])
+        d_values = np.einsum("bts,btd->bsd", cache["attention"], d_attended)
+
+        # softmax backward over axis 2
+        attention = cache["attention"]
+        inner = np.sum(d_attention * attention, axis=2, keepdims=True)
+        d_scores = attention * (d_attention - inner)
+        scale = 1.0 / np.sqrt(self.embed_size)
+        d_scores *= scale
+
+        d_queries = np.einsum("bts,bsd->btd", d_scores, cache["keys"])
+        d_keys = np.einsum("bts,btd->bsd", d_scores, cache["queries"])
+
+        embedded = cache["embedded"]
+        grads["Wq"] = np.einsum("btd,bte->de", embedded, d_queries)
+        grads["Wk"] = np.einsum("btd,bte->de", embedded, d_keys)
+        grads["Wv"] = np.einsum("btd,bte->de", embedded, d_values)
+        d_embedded += d_queries @ p["Wq"].T + d_keys @ p["Wk"].T + d_values @ p["Wv"].T
+
+        grads["P"] = np.zeros_like(p["P"])
+        grads["P"][: cache["time"]] = d_embedded.sum(axis=0)
+        grads["E"] = np.zeros_like(p["E"])
+        np.add.at(
+            grads["E"],
+            cache["ids"].ravel(),
+            d_embedded.reshape(-1, self.embed_size),
+        )
+        return grads
+
+
+class TransformerClassifier(Estimator, ClassifierMixin, _EncoderCore):
+    """Single-block transformer encoder with a softmax head."""
+
+    def __init__(
+        self,
+        vocab_size: int = 256,
+        max_len: int = 64,
+        embed_size: int = 32,
+        ff_size: int = 64,
+        learning_rate: float = 0.003,
+        epochs: int = 25,
+        batch_size: int = 32,
+        seed: int = 0,
+    ):
+        self.vocab_size = vocab_size
+        self.max_len = max_len
+        self.embed_size = embed_size
+        self.ff_size = ff_size
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.seed = seed
+
+    def fit(self, X, y) -> "TransformerClassifier":
+        X = _check_sequences(X)
+        y = np.asarray(y)
+        check_consistent_length(X, y)
+        self.classes_, y_index = np.unique(y, return_inverse=True)
+        n_classes = len(self.classes_)
+        rng = np.random.default_rng(self.seed)
+        self.params_ = self._init_encoder_params(rng)
+        limit = np.sqrt(6.0 / (self.embed_size + n_classes))
+        self.params_["Wo"] = rng.uniform(-limit, limit, size=(self.embed_size, n_classes))
+        self.params_["bo"] = np.zeros(n_classes)
+        self._optimizer = Adam(self.learning_rate)
+        self._train(X, y_index, n_classes, self.epochs, rng)
+        return self
+
+    def partial_fit(self, X, y, epochs: int = 5) -> "TransformerClassifier":
+        """Continue training on new samples (incremental learning)."""
+        self._check_fitted("params_")
+        X = _check_sequences(X)
+        y = np.asarray(y)
+        check_consistent_length(X, y)
+        index_of = {label: i for i, label in enumerate(self.classes_.tolist())}
+        try:
+            y_index = np.asarray([index_of[label] for label in y.tolist()])
+        except KeyError as err:
+            raise ValueError(f"partial_fit saw unseen class {err}") from err
+        rng = np.random.default_rng(self.seed + 1)
+        self._train(X, y_index, len(self.classes_), epochs, rng)
+        return self
+
+    def _train(self, X, y_index, n_classes, epochs, rng):
+        targets = one_hot(y_index, n_classes)
+        for _ in range(epochs):
+            for batch in minibatches(len(X), self.batch_size, rng):
+                pooled, cache = self._encode(X[batch])
+                logits = pooled @ self.params_["Wo"] + self.params_["bo"]
+                probs = softmax(logits)
+                delta = (probs - targets[batch]) / len(batch)
+                grads = {"Wo": pooled.T @ delta, "bo": delta.sum(axis=0)}
+                d_pooled = delta @ self.params_["Wo"].T
+                grads.update(self._encoder_backward(cache, d_pooled))
+                grads = clip_gradients(grads, 5.0)
+                self._optimizer.step(self.params_, grads)
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Return softmax probabilities for each sequence."""
+        self._check_fitted("params_")
+        X = _check_sequences(X)
+        pooled, _ = self._encode(X)
+        logits = pooled @ self.params_["Wo"] + self.params_["bo"]
+        return softmax(logits)
+
+    def hidden_embedding(self, X) -> np.ndarray:
+        """Return the pooled encoder state used as Prom's feature vector."""
+        self._check_fitted("params_")
+        X = _check_sequences(X)
+        pooled, _ = self._encode(X)
+        return pooled
+
+
+class TransformerRegressor(Estimator, RegressorMixin, _EncoderCore):
+    """Single-block transformer encoder with a scalar regression head."""
+
+    def __init__(
+        self,
+        vocab_size: int = 256,
+        max_len: int = 64,
+        embed_size: int = 32,
+        ff_size: int = 64,
+        learning_rate: float = 0.003,
+        epochs: int = 30,
+        batch_size: int = 32,
+        seed: int = 0,
+    ):
+        self.vocab_size = vocab_size
+        self.max_len = max_len
+        self.embed_size = embed_size
+        self.ff_size = ff_size
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.seed = seed
+
+    def fit(self, X, y) -> "TransformerRegressor":
+        X = _check_sequences(X)
+        y = np.asarray(y, dtype=float)
+        check_consistent_length(X, y)
+        rng = np.random.default_rng(self.seed)
+        self.params_ = self._init_encoder_params(rng)
+        limit = np.sqrt(6.0 / (self.embed_size + 1))
+        self.params_["Wo"] = rng.uniform(-limit, limit, size=(self.embed_size, 1))
+        self.params_["bo"] = np.zeros(1)
+        self._optimizer = Adam(self.learning_rate)
+        self._train(X, y, self.epochs, rng)
+        return self
+
+    def partial_fit(self, X, y, epochs: int = 5) -> "TransformerRegressor":
+        """Continue training on new samples (incremental learning)."""
+        self._check_fitted("params_")
+        X = _check_sequences(X)
+        y = np.asarray(y, dtype=float)
+        check_consistent_length(X, y)
+        rng = np.random.default_rng(self.seed + 1)
+        self._train(X, y, epochs, rng)
+        return self
+
+    def _train(self, X, y, epochs, rng):
+        y = y.reshape(-1, 1)
+        for _ in range(epochs):
+            for batch in minibatches(len(X), self.batch_size, rng):
+                pooled, cache = self._encode(X[batch])
+                output = pooled @ self.params_["Wo"] + self.params_["bo"]
+                delta = 2.0 * (output - y[batch]) / len(batch)
+                grads = {"Wo": pooled.T @ delta, "bo": delta.sum(axis=0)}
+                d_pooled = delta @ self.params_["Wo"].T
+                grads.update(self._encoder_backward(cache, d_pooled))
+                grads = clip_gradients(grads, 5.0)
+                self._optimizer.step(self.params_, grads)
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("params_")
+        X = _check_sequences(X)
+        pooled, _ = self._encode(X)
+        return (pooled @ self.params_["Wo"] + self.params_["bo"]).ravel()
+
+    def hidden_embedding(self, X) -> np.ndarray:
+        """Return the pooled encoder state used as Prom's feature vector."""
+        self._check_fitted("params_")
+        X = _check_sequences(X)
+        pooled, _ = self._encode(X)
+        return pooled

@@ -1,0 +1,204 @@
+"""CART decision trees for classification and regression.
+
+These are the weak learners behind :mod:`repro.ml.boosting` (the GBC
+used by IR2Vec in the paper) and are usable standalone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import (
+    ClassifierMixin,
+    Estimator,
+    RegressorMixin,
+    check_2d,
+    check_consistent_length,
+)
+
+
+class _Node:
+    """A single tree node; leaves carry ``value``, splits carry children."""
+
+    __slots__ = ("feature", "threshold", "left", "right", "value")
+
+    def __init__(self, value=None):
+        self.feature = None
+        self.threshold = None
+        self.left = None
+        self.right = None
+        self.value = value
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _best_split(X, y_stats, indices, min_leaf, rng, feature_subsample):
+    """Find the variance/gini-reducing split over candidate features.
+
+    ``y_stats`` is the per-sample target representation: a 1-D array for
+    regression (raw targets) or a 2-D one-hot matrix for classification.
+    The same sum-of-squares criterion works for both: for one-hot
+    targets, variance reduction is equivalent to gini-style impurity
+    reduction up to scaling.
+    """
+    n_features = X.shape[1]
+    n_candidates = max(1, int(n_features * feature_subsample))
+    features = rng.choice(n_features, size=n_candidates, replace=False)
+
+    y_sub = y_stats[indices]
+    total_sum = y_sub.sum(axis=0)
+    total_count = len(indices)
+    parent_score = float(np.sum(total_sum * total_sum)) / total_count
+
+    best_gain = 0.0
+    best = None
+    for feature in features:
+        values = X[indices, feature]
+        order = np.argsort(values, kind="stable")
+        sorted_values = values[order]
+        sorted_stats = y_sub[order]
+        prefix = np.cumsum(sorted_stats, axis=0)
+        for split_pos in range(min_leaf, total_count - min_leaf + 1):
+            if split_pos < total_count and sorted_values[split_pos - 1] == sorted_values[split_pos]:
+                continue
+            if split_pos >= total_count:
+                continue
+            left_sum = prefix[split_pos - 1]
+            right_sum = total_sum - left_sum
+            left_score = float(np.sum(left_sum * left_sum)) / split_pos
+            right_score = float(np.sum(right_sum * right_sum)) / (total_count - split_pos)
+            gain = left_score + right_score - parent_score
+            if gain > best_gain + 1e-12:
+                best_gain = gain
+                threshold = 0.5 * (sorted_values[split_pos - 1] + sorted_values[split_pos])
+                best = (int(feature), float(threshold))
+    return best
+
+
+def _build_tree(X, y_stats, indices, depth, max_depth, min_leaf, rng, feature_subsample):
+    node = _Node()
+    counts = y_stats[indices]
+    mean_value = counts.mean(axis=0)
+    node.value = mean_value
+    if depth >= max_depth or len(indices) < 2 * min_leaf:
+        return node
+    if np.allclose(counts, counts[0]):
+        return node
+    split = _best_split(X, y_stats, indices, min_leaf, rng, feature_subsample)
+    if split is None:
+        return node
+    feature, threshold = split
+    mask = X[indices, feature] <= threshold
+    left_idx = indices[mask]
+    right_idx = indices[~mask]
+    if len(left_idx) < min_leaf or len(right_idx) < min_leaf:
+        return node
+    node.feature = feature
+    node.threshold = threshold
+    node.left = _build_tree(
+        X, y_stats, left_idx, depth + 1, max_depth, min_leaf, rng, feature_subsample
+    )
+    node.right = _build_tree(
+        X, y_stats, right_idx, depth + 1, max_depth, min_leaf, rng, feature_subsample
+    )
+    return node
+
+
+def _tree_apply(node, X):
+    """Return the leaf value for every row of ``X``."""
+    out = np.empty((len(X),) + np.shape(node.value), dtype=float)
+    stack = [(node, np.arange(len(X)))]
+    while stack:
+        current, rows = stack.pop()
+        if current.is_leaf:
+            out[rows] = current.value
+            continue
+        mask = X[rows, current.feature] <= current.threshold
+        stack.append((current.left, rows[mask]))
+        stack.append((current.right, rows[~mask]))
+    return out
+
+
+class DecisionTreeRegressor(Estimator, RegressorMixin):
+    """CART regression tree minimizing within-leaf variance."""
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_leaf: int = 2,
+        feature_subsample: float = 1.0,
+        seed: int = 0,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.feature_subsample = feature_subsample
+        self.seed = seed
+
+    def fit(self, X, y) -> "DecisionTreeRegressor":
+        X = check_2d(X)
+        y = np.asarray(y, dtype=float)
+        check_consistent_length(X, y)
+        rng = np.random.default_rng(self.seed)
+        self.root_ = _build_tree(
+            X,
+            y.reshape(-1, 1),
+            np.arange(len(X)),
+            depth=0,
+            max_depth=self.max_depth,
+            min_leaf=self.min_samples_leaf,
+            rng=rng,
+            feature_subsample=self.feature_subsample,
+        )
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("root_")
+        X = check_2d(X)
+        return _tree_apply(self.root_, X).ravel()
+
+
+class DecisionTreeClassifier(Estimator, ClassifierMixin):
+    """CART classification tree; leaves hold class-frequency vectors."""
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_leaf: int = 2,
+        feature_subsample: float = 1.0,
+        seed: int = 0,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.feature_subsample = feature_subsample
+        self.seed = seed
+
+    def fit(self, X, y) -> "DecisionTreeClassifier":
+        X = check_2d(X)
+        y = np.asarray(y)
+        check_consistent_length(X, y)
+        self.classes_, y_index = np.unique(y, return_inverse=True)
+        one_hot = np.zeros((len(y_index), len(self.classes_)))
+        one_hot[np.arange(len(y_index)), y_index] = 1.0
+        rng = np.random.default_rng(self.seed)
+        self.root_ = _build_tree(
+            X,
+            one_hot,
+            np.arange(len(X)),
+            depth=0,
+            max_depth=self.max_depth,
+            min_leaf=self.min_samples_leaf,
+            rng=rng,
+            feature_subsample=self.feature_subsample,
+        )
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Return per-leaf class frequencies as probabilities."""
+        self._check_fitted("root_")
+        X = check_2d(X)
+        probs = _tree_apply(self.root_, X)
+        total = probs.sum(axis=1, keepdims=True)
+        total[total == 0.0] = 1.0
+        return probs / total

@@ -1,0 +1,49 @@
+"""The reproduced underlying models from the paper's Table 1."""
+
+from .base import (
+    GraphModel,
+    ProgramSample,
+    SequenceModel,
+    UnderlyingModel,
+    VectorModel,
+    graphs_of,
+    stack_features,
+    stack_tokens,
+)
+from .catalog import (
+    CODE_VOCAB_SIZE,
+    MODEL_CATALOG,
+    TOKEN_LEN,
+    codexglue,
+    deeptune,
+    ir2vec,
+    linevul,
+    magni,
+    programl,
+    stock,
+    tlp,
+    vulde,
+)
+
+__all__ = [
+    "CODE_VOCAB_SIZE",
+    "GraphModel",
+    "MODEL_CATALOG",
+    "ProgramSample",
+    "SequenceModel",
+    "TOKEN_LEN",
+    "UnderlyingModel",
+    "VectorModel",
+    "codexglue",
+    "deeptune",
+    "graphs_of",
+    "ir2vec",
+    "linevul",
+    "magni",
+    "programl",
+    "stack_features",
+    "stack_tokens",
+    "stock",
+    "tlp",
+    "vulde",
+]

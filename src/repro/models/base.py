@@ -1,0 +1,172 @@
+"""Shared machinery for the 13 reproduced underlying models.
+
+Each case study materializes its programs as :class:`ProgramSample`
+objects carrying every representation a model might need (static
+feature vector, token sequence, program graph).  A model family then
+picks its view:
+
+* :class:`VectorModel` — classical learners over static features;
+* :class:`SequenceModel` — recurrent/attention models over tokens;
+* :class:`GraphModel` — GNNs over program graphs.
+
+All families expose the same surface (``fit`` / ``predict_proba`` /
+``predict`` / ``partial_fit`` / ``features`` / ``classes_``), which is
+exactly what :class:`repro.core.ModelInterface` and the experiment
+harness consume.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ml.preprocessing import StandardScaler
+
+
+@dataclass
+class ProgramSample:
+    """One program in all its representations.
+
+    Attributes:
+        features: static numeric feature vector.
+        tokens: integer token-id sequence (0-padded).
+        graph: ``{"X", "A"}`` program graph, or None when unused.
+        meta: free-form provenance (suite, family, year, ...).
+    """
+
+    features: np.ndarray
+    tokens: np.ndarray
+    graph: dict | None = None
+    meta: dict = field(default_factory=dict)
+
+
+def stack_features(samples) -> np.ndarray:
+    return np.stack([sample.features for sample in samples])
+
+
+def stack_tokens(samples) -> np.ndarray:
+    return np.stack([sample.tokens for sample in samples])
+
+
+def graphs_of(samples) -> list:
+    return [sample.graph for sample in samples]
+
+
+class UnderlyingModel(abc.ABC):
+    """Common protocol of every reproduced model."""
+
+    #: short human-readable name used in result tables
+    name: str = "model"
+
+    @abc.abstractmethod
+    def fit(self, samples, labels) -> "UnderlyingModel":
+        """Train on ProgramSamples and labels."""
+
+    @abc.abstractmethod
+    def predict_proba(self, samples) -> np.ndarray:
+        """Return ``(n, n_classes)`` class probabilities."""
+
+    @abc.abstractmethod
+    def features(self, samples) -> np.ndarray:
+        """Return Prom's feature vectors (model-defined space)."""
+
+    @property
+    def classes_(self) -> np.ndarray:
+        return self._estimator.classes_
+
+    def predict(self, samples) -> np.ndarray:
+        probabilities = self.predict_proba(samples)
+        return self.classes_[np.argmax(probabilities, axis=1)]
+
+    def score(self, samples, labels) -> float:
+        return float(np.mean(self.predict(samples) == np.asarray(labels)))
+
+
+class VectorModel(UnderlyingModel):
+    """Classical model over standardized static features."""
+
+    def __init__(self, estimator, name: str):
+        self._estimator = estimator
+        self.name = name
+        self._scaler = StandardScaler()
+
+    def fit(self, samples, labels) -> "VectorModel":
+        X = self._scaler.fit_transform(stack_features(samples))
+        self._estimator.fit(X, np.asarray(labels))
+        # Kept for the partial_fit fallback of estimators that must be
+        # refit from scratch (trees/boosting).
+        self._seen_X = X
+        self._seen_y = np.asarray(labels)
+        return self
+
+    def predict_proba(self, samples) -> np.ndarray:
+        X = self._scaler.transform(stack_features(samples))
+        return self._estimator.predict_proba(X)
+
+    def partial_fit(self, samples, labels, epochs: int = 30) -> "VectorModel":
+        """Incremental update; refits estimators without partial_fit."""
+        X = self._scaler.transform(stack_features(samples))
+        labels = np.asarray(labels)
+        if hasattr(self._estimator, "partial_fit"):
+            self._estimator.partial_fit(X, labels, epochs=epochs)
+        else:
+            X = np.concatenate([self._seen_X, X])
+            labels = np.concatenate([self._seen_y, labels])
+            self._estimator = self._estimator.clone()
+            self._estimator.fit(X, labels)
+        self._seen_X = X
+        self._seen_y = labels
+        return self
+
+    def features(self, samples) -> np.ndarray:
+        """Prom feature space: hidden embedding when available, else inputs."""
+        X = self._scaler.transform(stack_features(samples))
+        if hasattr(self._estimator, "hidden_embedding"):
+            return self._estimator.hidden_embedding(X)
+        return X
+
+
+class SequenceModel(UnderlyingModel):
+    """Recurrent or attention model over token sequences."""
+
+    def __init__(self, estimator, name: str):
+        self._estimator = estimator
+        self.name = name
+
+    def fit(self, samples, labels) -> "SequenceModel":
+        self._estimator.fit(stack_tokens(samples), np.asarray(labels))
+        return self
+
+    def predict_proba(self, samples) -> np.ndarray:
+        return self._estimator.predict_proba(stack_tokens(samples))
+
+    def partial_fit(self, samples, labels, epochs: int = 5) -> "SequenceModel":
+        self._estimator.partial_fit(stack_tokens(samples), np.asarray(labels), epochs=epochs)
+        return self
+
+    def features(self, samples) -> np.ndarray:
+        return self._estimator.hidden_embedding(stack_tokens(samples))
+
+
+class GraphModel(UnderlyingModel):
+    """GNN over program graphs."""
+
+    def __init__(self, estimator, name: str):
+        self._estimator = estimator
+        self.name = name
+
+    def fit(self, samples, labels) -> "GraphModel":
+        self._estimator.fit(graphs_of(samples), np.asarray(labels))
+        return self
+
+    def predict_proba(self, samples) -> np.ndarray:
+        return self._estimator.predict_proba(graphs_of(samples))
+
+    def partial_fit(self, samples, labels, epochs: int = 10) -> "GraphModel":
+        self._estimator.partial_fit(graphs_of(samples), np.asarray(labels), epochs=epochs)
+        return self
+
+    def features(self, samples) -> np.ndarray:
+        return self._estimator.hidden_embedding(graphs_of(samples))

@@ -1,0 +1,42 @@
+"""Performance simulators providing ground-truth labels.
+
+Each simulator replaces a hardware measurement campaign from the paper
+(GPU thread-coarsening sweeps, CPU/GPU profiling, SIMD loop timing,
+TVM schedule profiling) with a deterministic analytical model over the
+corresponding generator's latent workload parameters.
+"""
+
+from . import gpu, mapping, tensor, vectorization
+from .gpu import (
+    COARSENING_FACTORS,
+    GPU_NAMES,
+    GPU_PLATFORMS,
+    GPUPlatform,
+    best_factor,
+    coarsened_runtime,
+)
+from .mapping import best_device, cpu_runtime, device_runtimes, gpu_runtime
+from .tensor import best_throughput, schedule_throughput, throughputs
+from .vectorization import best_configuration, loop_runtime
+
+__all__ = [
+    "COARSENING_FACTORS",
+    "GPU_NAMES",
+    "GPU_PLATFORMS",
+    "GPUPlatform",
+    "best_configuration",
+    "best_device",
+    "best_factor",
+    "best_throughput",
+    "coarsened_runtime",
+    "cpu_runtime",
+    "device_runtimes",
+    "gpu",
+    "gpu_runtime",
+    "loop_runtime",
+    "mapping",
+    "schedule_throughput",
+    "tensor",
+    "throughputs",
+    "vectorization",
+]

@@ -1,0 +1,163 @@
+"""Analytical GPU model for thread coarsening (case study C1).
+
+Substitutes for the paper's four measured GPU platforms.  Given a
+kernel spec and a coarsening factor, the model combines the classic
+effects coarsening trades off:
+
+* merging ``f`` work-items multiplies per-thread work by ``f`` but
+  removes redundant computation when locality is high;
+* instruction-level parallelism grows with ``f`` up to a per-GPU limit;
+* register pressure grows with ``f`` and collapses occupancy past a
+  per-GPU budget;
+* total thread count shrinks by ``f`` and can underutilize the device.
+
+The four platforms differ in these budgets the way the paper's AMD and
+NVIDIA parts do, so the optimal factor genuinely varies per (kernel,
+GPU) pair and an exhaustive sweep defines the oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..lang.kernels import KernelSpec
+from ..util import stable_hash
+
+#: coarsening factors explored by the paper (1 = no coarsening)
+COARSENING_FACTORS = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class GPUPlatform:
+    """Per-device budgets of the analytical model."""
+
+    name: str
+    compute_throughput: float  # ops per cycle (higher = faster ALUs)
+    memory_bandwidth: float    # accesses per cycle
+    ilp_limit: float           # max ILP gain from coarsening
+    register_budget: float     # per-thread registers before occupancy loss
+    min_threads_log2: float    # parallelism needed to saturate the device
+    divergence_penalty: float  # cost multiplier for divergent kernels
+
+
+GPU_PLATFORMS = {
+    "amd-radeon-7970": GPUPlatform(
+        name="amd-radeon-7970",
+        compute_throughput=34.0,
+        memory_bandwidth=9.0,
+        ilp_limit=2.4,
+        register_budget=10.0,
+        min_threads_log2=14.0,
+        divergence_penalty=1.6,
+    ),
+    "amd-radeon-5900": GPUPlatform(
+        name="amd-radeon-5900",
+        compute_throughput=22.0,
+        memory_bandwidth=6.0,
+        ilp_limit=3.0,
+        register_budget=7.0,
+        min_threads_log2=13.0,
+        divergence_penalty=1.9,
+    ),
+    "nvidia-gtx-480": GPUPlatform(
+        name="nvidia-gtx-480",
+        compute_throughput=18.0,
+        memory_bandwidth=8.0,
+        ilp_limit=1.6,
+        register_budget=5.0,
+        min_threads_log2=13.5,
+        divergence_penalty=1.3,
+    ),
+    "nvidia-tesla-k20": GPUPlatform(
+        name="nvidia-tesla-k20",
+        compute_throughput=28.0,
+        memory_bandwidth=11.0,
+        ilp_limit=2.0,
+        register_budget=8.0,
+        min_threads_log2=15.0,
+        divergence_penalty=1.2,
+    ),
+}
+
+GPU_NAMES = tuple(GPU_PLATFORMS)
+
+
+def _jitter(spec_name: str, config: str, scale: float = 0.02) -> float:
+    """Deterministic measurement noise per (kernel, configuration)."""
+    seed = stable_hash(spec_name, config)
+    return float(1.0 + scale * np.random.default_rng(seed).standard_normal())
+
+
+def coarsened_runtime(spec: KernelSpec, factor: int, gpu: str) -> float:
+    """Simulated runtime (arbitrary units, lower is better).
+
+    Args:
+        spec: the kernel's latent workload description.
+        factor: thread-coarsening factor (power of two, 1..32).
+        gpu: platform name from :data:`GPU_PLATFORMS`.
+    """
+    if factor not in COARSENING_FACTORS:
+        raise ValueError(f"factor must be one of {COARSENING_FACTORS}, got {factor}")
+    platform = GPU_PLATFORMS.get(gpu)
+    if platform is None:
+        raise ValueError(f"unknown GPU {gpu!r}; options: {GPU_NAMES}")
+
+    f = float(factor)
+    # Redundant-work elimination: high-locality kernels share loads and
+    # subexpressions across merged threads.
+    shared_fraction = spec.locality * (1.0 - 1.0 / f)
+    compute_work = spec.compute_ops * f * (1.0 - 0.35 * shared_fraction)
+    memory_work = spec.memory_ops * f * (1.0 - 0.55 * shared_fraction)
+
+    # ILP gain: coarsening exposes independent instructions, saturating
+    # at the platform's limit.
+    ilp = min(platform.ilp_limit, 1.0 + 0.45 * np.log2(f))
+    compute_cycles = compute_work / (platform.compute_throughput * ilp)
+    coalescing = 0.4 + 0.6 * spec.locality
+    memory_cycles = memory_work / (platform.memory_bandwidth * coalescing)
+
+    per_thread = compute_cycles + memory_cycles
+    # Divergence hurts more as threads merge: a coarsened thread carries
+    # every divergent path of the work-items it absorbed.
+    if spec.divergence > 0.2:
+        divergence_cost = spec.divergence * (platform.divergence_penalty - 1.0)
+        per_thread *= 1.0 + divergence_cost * (1.0 + 1.1 * np.log2(f))
+    # Large working sets thrash caches when each thread touches more data.
+    if spec.footprint_log2_kb > 11.0 and f > 1:
+        per_thread *= 1.0 + 0.05 * (spec.footprint_log2_kb - 11.0) * np.log2(f)
+
+    # Register pressure: each merged thread adds live values.
+    pressure = f * (1.0 + spec.compute_ops / 40.0)
+    if pressure > platform.register_budget:
+        per_thread *= (pressure / platform.register_budget) ** 1.2
+
+    # Device utilization: too few threads leave SMs idle.
+    threads_log2 = spec.parallelism_log2 - np.log2(f)
+    if threads_log2 < platform.min_threads_log2:
+        per_thread *= 2.0 ** (platform.min_threads_log2 - threads_log2)
+
+    waves = 2.0 ** max(0.0, threads_log2 - platform.min_threads_log2)
+    runtime = per_thread * waves
+    return runtime * _jitter(spec.name, f"{gpu}:cf{factor}")
+
+
+def runtime_profile(spec: KernelSpec, gpu: str) -> np.ndarray:
+    """Runtimes over every coarsening factor, aligned with the factors."""
+    return np.asarray(
+        [coarsened_runtime(spec, factor, gpu) for factor in COARSENING_FACTORS]
+    )
+
+
+def best_factor(spec: KernelSpec, gpu: str) -> int:
+    """Oracle coarsening factor: the exhaustive-sweep argmin."""
+    profile = runtime_profile(spec, gpu)
+    return COARSENING_FACTORS[int(np.argmin(profile))]
+
+
+def speedup_of_choice(spec: KernelSpec, gpu: str, factor: int) -> float:
+    """Performance of a chosen factor relative to the oracle (<= 1.0)."""
+    profile = runtime_profile(spec, gpu)
+    chosen = profile[COARSENING_FACTORS.index(factor)]
+    return float(profile.min() / chosen)

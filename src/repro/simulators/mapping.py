@@ -1,0 +1,82 @@
+"""CPU-vs-GPU runtime model for heterogeneous device mapping (C3).
+
+Substitutes for the paper's profiled DeepTune dataset: given a kernel
+spec, produce the runtime on a multicore CPU and on a GPU, from which
+the binary "which device is faster" label follows.  The decision
+boundary depends on parallelism, transfer volume, divergence and
+locality — the same factors that drive the real datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lang.kernels import KernelSpec
+from ..util import stable_hash
+
+#: CPU model parameters
+_CPU_CORES = 8.0
+_CPU_THROUGHPUT = 8.0      # ops per cycle per core
+_CPU_PARALLEL_EFFICIENCY = 0.65
+_CPU_CACHE_LOG2_KB = 13.0  # 8 MB LLC
+
+#: GPU model parameters
+_GPU_THROUGHPUT = 1200.0   # ops per cycle across the device
+_GPU_MEM_BANDWIDTH = 250.0
+_GPU_LAUNCH_OVERHEAD = 4e4
+_TRANSFER_CYCLES_PER_KB = 120.0
+_GPU_MIN_PARALLEL_LOG2 = 15.0
+
+
+def _jitter(name: str, device: str, scale: float = 0.03) -> float:
+    seed = stable_hash(name, device)
+    return float(1.0 + scale * np.random.default_rng(seed).standard_normal())
+
+
+def cpu_runtime(spec: KernelSpec) -> float:
+    """Simulated multicore CPU runtime (arbitrary units)."""
+    items = 2.0**spec.parallelism_log2
+    work = items * (spec.compute_ops + spec.memory_ops * 0.6)
+    effective_cores = 1.0 + (_CPU_CORES - 1.0) * _CPU_PARALLEL_EFFICIENCY
+    cycles = work / (_CPU_THROUGHPUT * effective_cores)
+    # Falling out of the LLC hurts the CPU badly.
+    if spec.footprint_log2_kb > _CPU_CACHE_LOG2_KB:
+        cycles *= 1.0 + 0.35 * (spec.footprint_log2_kb - _CPU_CACHE_LOG2_KB)
+    # Branchy code costs the CPU little; vectorization loss is mild.
+    cycles *= 1.0 + 0.1 * spec.divergence
+    return cycles * _jitter(spec.name, "cpu")
+
+
+def gpu_runtime(spec: KernelSpec) -> float:
+    """Simulated GPU runtime including transfer and launch overheads."""
+    items = 2.0**spec.parallelism_log2
+    compute_cycles = items * spec.compute_ops / _GPU_THROUGHPUT
+    coalescing = 0.35 + 0.65 * spec.locality
+    memory_cycles = items * spec.memory_ops / (_GPU_MEM_BANDWIDTH * coalescing)
+    kernel_cycles = compute_cycles + memory_cycles
+    # Divergence serializes warps.
+    kernel_cycles *= 1.0 + 1.4 * spec.divergence
+    # Underutilization for small launches.
+    if spec.parallelism_log2 < _GPU_MIN_PARALLEL_LOG2:
+        kernel_cycles *= 2.0 ** (_GPU_MIN_PARALLEL_LOG2 - spec.parallelism_log2)
+    total = kernel_cycles + _GPU_LAUNCH_OVERHEAD + spec.transfer_kb * _TRANSFER_CYCLES_PER_KB
+    return total * _jitter(spec.name, "gpu")
+
+
+def best_device(spec: KernelSpec) -> str:
+    """Oracle device label: ``"cpu"`` or ``"gpu"``."""
+    return "gpu" if gpu_runtime(spec) < cpu_runtime(spec) else "cpu"
+
+
+def device_runtimes(spec: KernelSpec) -> dict:
+    """Both runtimes keyed by device name."""
+    return {"cpu": cpu_runtime(spec), "gpu": gpu_runtime(spec)}
+
+
+def speedup_of_choice(spec: KernelSpec, device: str) -> float:
+    """Performance of a chosen device relative to the oracle (<= 1.0)."""
+    runtimes = device_runtimes(spec)
+    if device not in runtimes:
+        raise ValueError(f"device must be 'cpu' or 'gpu', got {device!r}")
+    best = min(runtimes.values())
+    return best / runtimes[device]

@@ -1,0 +1,112 @@
+"""SIMD cost model for loop vectorization (case study C2).
+
+Substitutes for the paper's measured Ryzen 5900X dataset: given a loop
+spec and a (vectorization factor, interleave factor) pair, produce a
+runtime.  The model captures the first-order effects an auto-vectorizer
+fights with:
+
+* loop-carried dependencies cap the usable vector width;
+* non-unit stride turns vector loads into gathers;
+* misalignment costs extra shuffles at wide factors;
+* interleaving hides memory latency up to the core's ILP budget, then
+  spills registers;
+* conditionals require masking; reductions need a horizontal epilogue.
+
+An exhaustive sweep over the paper's 35 configurations defines the
+oracle (VF, IF) per loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lang.loops import CONFIGURATIONS, LoopSpec
+from ..util import stable_hash
+
+_ILP_BUDGET = 6.0           # interleave copies the core can keep in flight
+_REGISTER_FILE = 32.0       # vector registers before spilling
+_GATHER_PENALTY = 0.35      # efficiency of strided/gather loads
+_MASK_OVERHEAD = 0.6       # per-element masking cost for conditionals
+_MAX_HARDWARE_LANES = 16.0  # wider VFs are emulated with multiple ops
+
+
+def _jitter(name: str, config: str, scale: float = 0.02) -> float:
+    seed = stable_hash(name, config)
+    return float(1.0 + scale * np.random.default_rng(seed).standard_normal())
+
+
+def loop_runtime(spec: LoopSpec, vf: int, interleave: int) -> float:
+    """Simulated runtime of one loop under a (VF, IF) configuration."""
+    if (vf, interleave) not in CONFIGURATIONS:
+        raise ValueError(f"({vf}, {interleave}) is not one of the 35 configurations")
+
+    trips = 2.0**spec.trip_log2
+    scalar_work = trips * spec.intensity
+
+    # Dependencies cap the vector width: lanes beyond the dependency
+    # distance must serialize.
+    if spec.dependency > 0 and vf > spec.dependency:
+        usable_lanes = max(1.0, float(spec.dependency))
+        # Wide vectors on a dependence-limited loop waste issue slots on
+        # shuffles and partial stores.
+        dependence_overhead = 1.0 + 0.2 * np.log2(float(vf) / spec.dependency)
+    else:
+        usable_lanes = float(vf)
+        dependence_overhead = 1.0
+    # VFs beyond the hardware width are split into multiple operations.
+    effective_lanes = min(usable_lanes, _MAX_HARDWARE_LANES)
+    if vf > _MAX_HARDWARE_LANES:
+        effective_lanes *= 0.8  # double-pumped ops lose a little
+
+    lane_speedup = max(1.0, effective_lanes)
+    # Strided access degrades vector loads into gathers.
+    if spec.stride > 1 and vf > 1:
+        lane_speedup = 1.0 + (lane_speedup - 1.0) * _GATHER_PENALTY / np.log2(
+            1.0 + spec.stride
+        )
+    # Misalignment costs shuffles at wide factors.
+    if spec.alignment < 4 * vf and vf > 1:
+        lane_speedup *= 0.7
+
+    runtime = scalar_work / lane_speedup * dependence_overhead
+
+    # Masking overhead for conditional bodies.
+    if spec.conditional and vf > 1:
+        runtime *= 1.0 + _MASK_OVERHEAD
+
+    # Reduction epilogue: horizontal adds grow with vf * interleave.
+    if spec.reduction and vf * interleave > 1:
+        runtime *= 1.0 + 0.04 * np.log2(float(vf * interleave))
+
+    # Interleaving hides latency up to the ILP budget...
+    ilp_gain = min(float(interleave), _ILP_BUDGET)
+    memory_bound = 1.0 / (1.0 + spec.intensity)  # low intensity = memory bound
+    runtime /= 1.0 + (ilp_gain - 1.0) * 0.35 * memory_bound
+    # ...then spills registers.
+    pressure = float(vf) / 8.0 * interleave
+    if pressure > _REGISTER_FILE / 4.0:
+        runtime *= 1.0 + 0.3 * (pressure * 4.0 / _REGISTER_FILE - 1.0)
+
+    # Vectorization overhead dominates short loops.
+    if spec.trip_log2 < 9 and vf * interleave > 4:
+        runtime *= 1.0 + 0.1 * np.log2(float(vf * interleave))
+
+    return runtime * _jitter(spec.name, f"vf{vf}-if{interleave}")
+
+
+def runtime_profile(spec: LoopSpec) -> np.ndarray:
+    """Runtimes over all 35 configurations, aligned with CONFIGURATIONS."""
+    return np.asarray([loop_runtime(spec, vf, il) for vf, il in CONFIGURATIONS])
+
+
+def best_configuration(spec: LoopSpec) -> tuple:
+    """Oracle (VF, IF): the exhaustive-sweep argmin."""
+    profile = runtime_profile(spec)
+    return CONFIGURATIONS[int(np.argmin(profile))]
+
+
+def speedup_of_choice(spec: LoopSpec, vf: int, interleave: int) -> float:
+    """Performance of a chosen configuration relative to the oracle."""
+    profile = runtime_profile(spec)
+    chosen = profile[CONFIGURATIONS.index((vf, interleave))]
+    return float(profile.min() / chosen)

@@ -1,0 +1,29 @@
+"""The five case studies of the paper's evaluation (Table 1)."""
+
+from .base import CaseStudy, Split
+from .dnn_code_generation import NETWORKS, DnnCodeGenerationTask
+from .heterogeneous_mapping import DEVICES, HeterogeneousMappingTask
+from .loop_vectorization import DEFAULT_HELD_OUT, LoopVectorizationTask
+from .thread_coarsening import ThreadCoarseningTask
+from .vulnerability_detection import VulnerabilityDetectionTask
+
+CLASSIFICATION_TASKS = {
+    "thread_coarsening": ThreadCoarseningTask,
+    "loop_vectorization": LoopVectorizationTask,
+    "heterogeneous_mapping": HeterogeneousMappingTask,
+    "vulnerability_detection": VulnerabilityDetectionTask,
+}
+
+__all__ = [
+    "CLASSIFICATION_TASKS",
+    "CaseStudy",
+    "DEFAULT_HELD_OUT",
+    "DEVICES",
+    "DnnCodeGenerationTask",
+    "HeterogeneousMappingTask",
+    "LoopVectorizationTask",
+    "NETWORKS",
+    "Split",
+    "ThreadCoarseningTask",
+    "VulnerabilityDetectionTask",
+]

@@ -1,0 +1,103 @@
+"""Case-study base classes (paper Sec. 6).
+
+A :class:`CaseStudy` owns a generated dataset, the class-label space,
+the design-time and drift-inducing splits, and the task-specific
+performance accounting (performance-to-oracle for the optimization
+tasks, plain accuracy for bug detection).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Split:
+    """Train/test index pair over a case study's samples."""
+
+    train: np.ndarray
+    test: np.ndarray
+    description: str = ""
+
+    def __post_init__(self):
+        overlap = set(self.train.tolist()) & set(self.test.tolist())
+        if overlap:
+            raise ValueError(f"split leaks {len(overlap)} samples between train and test")
+
+
+class CaseStudy(abc.ABC):
+    """Common behaviour of the five classification/regression tasks.
+
+    Subclasses populate ``self._samples`` (list of
+    :class:`~repro.models.ProgramSample`), ``self._labels`` (integer
+    class indices) and ``self._classes`` (label values aligned with the
+    indices) in their constructor.
+    """
+
+    #: machine name matching models.MODEL_CATALOG keys
+    name: str = "case-study"
+
+    @property
+    def samples(self) -> list:
+        return self._samples
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Integer label indices (positions in :attr:`classes`)."""
+        return self._labels
+
+    @property
+    def classes(self) -> np.ndarray:
+        """Label values the indices refer to."""
+        return self._classes
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def subset(self, indices) -> list:
+        indices = np.asarray(indices)
+        return [self._samples[i] for i in indices]
+
+    # -- splits ------------------------------------------------------------------
+    def design_split(self, test_fraction: float = 0.2, seed: int = 0) -> Split:
+        """In-distribution random split (the paper's design-time setting)."""
+        if not 0.0 < test_fraction < 1.0:
+            raise ValueError("test_fraction must be in (0, 1)")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self))
+        n_test = max(1, int(round(len(self) * test_fraction)))
+        return Split(
+            train=order[n_test:],
+            test=order[:n_test],
+            description=f"design-time random split ({test_fraction:.0%} test)",
+        )
+
+    @abc.abstractmethod
+    def drift_split(self, **kwargs) -> Split:
+        """The deployment-drift split (held-out suite / family / era / net)."""
+
+    # -- performance accounting -----------------------------------------------------
+    @abc.abstractmethod
+    def performance_ratio(self, index: int, label_index: int) -> float:
+        """Performance-to-oracle of predicting ``label_index`` for sample
+        ``index`` (1.0 = matches the oracle).  Classification-accuracy
+        tasks return 1.0 for a correct label and 0.0 otherwise."""
+
+    def performance_ratios(self, indices, label_indices) -> np.ndarray:
+        """Vectorized :meth:`performance_ratio`."""
+        return np.asarray(
+            [
+                self.performance_ratio(int(i), int(label))
+                for i, label in zip(np.asarray(indices), np.asarray(label_indices))
+            ]
+        )
+
+    def misprediction_mask(
+        self, indices, label_indices, threshold: float = 0.2
+    ) -> np.ndarray:
+        """Paper Sec. 6.6: a prediction 20%+ below the oracle is wrong."""
+        ratios = self.performance_ratios(indices, label_indices)
+        return ratios < (1.0 - threshold)

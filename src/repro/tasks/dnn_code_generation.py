@@ -1,0 +1,89 @@
+"""Case study C5: DNN code generation cost model (paper Sec. 6.5).
+
+Regression: predict the throughput of a candidate tensor-program
+schedule.  The cost model is trained on BERT-base schedules and
+deployed on the tiny/medium/large variants — the paper's Table 3
+drift protocol.  Performance-to-oracle is computed per search batch:
+the cost model picks the schedule it believes fastest, and the ratio
+compares that schedule's true throughput against the batch's best.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lang import tensor_programs
+from ..simulators import tensor
+
+NETWORKS = tuple(tensor_programs.BERT_VARIANTS)
+
+
+class DnnCodeGenerationTask:
+    """Schedule-throughput regression over BERT variants.
+
+    Unlike the classification case studies this task is indexed by
+    network: ``dataset(network)`` returns the token sequences, feature
+    vectors and true throughputs for that network's candidate
+    schedules.
+    """
+
+    name = "dnn_code_generation"
+
+    def __init__(self, schedules_per_network: int = 400, seed: int = 0):
+        self.schedules_per_network = schedules_per_network
+        self.seed = seed
+        self._cache = {}
+
+    def dataset(self, network: str) -> dict:
+        """Generate (or return cached) data for one BERT variant.
+
+        Returns a dict with ``schedules``, ``tokens`` (for TLP),
+        ``features`` (for classical baselines) and ``throughputs``.
+        """
+        if network not in tensor_programs.BERT_VARIANTS:
+            raise ValueError(f"unknown network {network!r}; options: {NETWORKS}")
+        if network not in self._cache:
+            schedules = tensor_programs.generate_dataset(
+                network, self.schedules_per_network, seed=self.seed
+            )
+            self._cache[network] = {
+                "schedules": schedules,
+                "tokens": tensor_programs.token_sequences(schedules),
+                "features": tensor_programs.features(schedules),
+                "throughputs": tensor.throughputs(schedules),
+            }
+        return self._cache[network]
+
+    def design_data(self, test_fraction: float = 0.2, seed: int = 0) -> tuple:
+        """BERT-base random split (paper: 80% train / 20% test)."""
+        data = self.dataset("bert-base")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(data["throughputs"]))
+        n_test = max(1, int(round(len(order) * test_fraction)))
+        return order[n_test:], order[:n_test]
+
+    @staticmethod
+    def search_performance(
+        predicted: np.ndarray,
+        true: np.ndarray,
+        batch_size: int = 20,
+        seed: int = 0,
+    ) -> np.ndarray:
+        """Per-batch performance-to-oracle of cost-model-guided search.
+
+        Mimics the TVM search loop: in each candidate batch the cost
+        model selects its predicted-best schedule; the ratio compares
+        that schedule's true throughput to the batch oracle.
+        """
+        predicted = np.asarray(predicted, dtype=float)
+        true = np.asarray(true, dtype=float)
+        if predicted.shape != true.shape:
+            raise ValueError("predicted and true must align")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(true))
+        ratios = []
+        for start in range(0, len(order) - batch_size + 1, batch_size):
+            batch = order[start : start + batch_size]
+            chosen = batch[int(np.argmax(predicted[batch]))]
+            ratios.append(true[chosen] / true[batch].max())
+        return np.asarray(ratios)

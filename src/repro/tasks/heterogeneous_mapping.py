@@ -1,0 +1,74 @@
+"""Case study C3: heterogeneous device mapping (paper Sec. 6.3).
+
+Binary choice: does a kernel run faster on the CPU or the GPU?
+Training uses six of the seven benchmark suites; deployment drift
+tests on the held-out suite, rotating until every suite is tested.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lang.kernels import MAPPING_SUITES, KernelDataset, render_kernel_source
+from ..lang.graphs import build_program_graph
+from ..lang.tokens import CodeVocabulary
+from ..models.base import ProgramSample
+from ..models.catalog import TOKEN_LEN
+from ..simulators import mapping
+from .base import CaseStudy, Split
+
+DEVICES = ("cpu", "gpu")
+
+
+class HeterogeneousMappingTask(CaseStudy):
+    """CPU/GPU mapping over kernels from seven synthetic suites."""
+
+    name = "heterogeneous_mapping"
+
+    def __init__(self, kernels_per_suite: int = 40, seed: int = 0):
+        self._dataset = KernelDataset.for_suites(
+            MAPPING_SUITES, kernels_per_suite, seed=seed
+        )
+        vocabulary = CodeVocabulary()
+        self._classes = np.asarray(DEVICES)
+
+        self._samples = []
+        labels = []
+        self._runtimes = []
+        for spec in self._dataset.kernels:
+            source = render_kernel_source(spec)
+            self._samples.append(
+                ProgramSample(
+                    features=spec.feature_vector(),
+                    tokens=vocabulary.encode(source, max_len=TOKEN_LEN),
+                    graph=build_program_graph(source),
+                    meta={"suite": spec.suite, "name": spec.name},
+                )
+            )
+            runtimes = mapping.device_runtimes(spec)
+            self._runtimes.append((runtimes["cpu"], runtimes["gpu"]))
+            labels.append(DEVICES.index(mapping.best_device(spec)))
+        self._labels = np.asarray(labels)
+        self._runtimes = np.asarray(self._runtimes)
+
+    def drift_split(self, held_out_suite: str = "npb") -> Split:
+        """Train on six suites, deploy on the held-out one."""
+        if held_out_suite not in MAPPING_SUITES:
+            raise ValueError(
+                f"unknown suite {held_out_suite!r}; options: {MAPPING_SUITES}"
+            )
+        train_idx, test_idx = self._dataset.split_by_suite(held_out_suite)
+        return Split(
+            train=train_idx,
+            test=test_idx,
+            description=f"drift: held-out suite {held_out_suite}",
+        )
+
+    def performance_ratio(self, index: int, label_index: int) -> float:
+        """Runtime of the chosen device relative to the faster one."""
+        cpu_time, gpu_time = self._runtimes[index]
+        chosen = (cpu_time, gpu_time)[label_index]
+        return float(min(cpu_time, gpu_time) / chosen)
+
+    def suites(self) -> np.ndarray:
+        return self._dataset.suites()

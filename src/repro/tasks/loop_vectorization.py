@@ -1,0 +1,90 @@
+"""Case study C2: loop vectorization (paper Sec. 6.2).
+
+Predict the best (VF, IF) configuration out of the 35 combinations for
+each vectorizable loop.  Training uses 14 of the 18 loop families;
+deployment drift tests on the 4 held-out families.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lang.loops import (
+    CONFIGURATIONS,
+    FAMILY_NAMES,
+    LoopDataset,
+    render_loop_source,
+)
+from ..lang.graphs import build_program_graph
+from ..lang.tokens import CodeVocabulary
+from ..models.base import ProgramSample
+from ..models.catalog import TOKEN_LEN
+from ..simulators import vectorization
+from .base import CaseStudy, Split
+
+#: families the paper-style drift split holds out (4 of 18)
+DEFAULT_HELD_OUT = ("s141_gather", "s211_dep", "s321_cond_sum", "s421_stencil")
+
+
+class LoopVectorizationTask(CaseStudy):
+    """(VF, IF) prediction over synthetic loop variants.
+
+    Labels are indices into the observed configuration set: only
+    configurations that are optimal for at least one loop become
+    classes (real datasets behave the same way — most of the 35
+    combinations are never optimal).
+    """
+
+    name = "loop_vectorization"
+
+    def __init__(self, n_loops: int = 600, seed: int = 0):
+        self._dataset = LoopDataset.generate(n_loops, seed=seed)
+        vocabulary = CodeVocabulary()
+
+        profiles = []
+        best_configs = []
+        for spec in self._dataset.loops:
+            profile = vectorization.runtime_profile(spec)
+            profiles.append(profile)
+            best_configs.append(CONFIGURATIONS[int(np.argmin(profile))])
+        self._profiles = np.stack(profiles)
+
+        observed = sorted(set(best_configs))
+        self._classes = np.asarray([f"vf{vf}-if{il}" for vf, il in observed])
+        self._class_configs = observed
+        config_index = {config: i for i, config in enumerate(observed)}
+        self._labels = np.asarray([config_index[c] for c in best_configs])
+
+        self._samples = []
+        for spec in self._dataset.loops:
+            source = render_loop_source(spec)
+            self._samples.append(
+                ProgramSample(
+                    features=spec.feature_vector(),
+                    tokens=vocabulary.encode(source, max_len=TOKEN_LEN),
+                    graph=build_program_graph(source),
+                    meta={"family": spec.family, "name": spec.name},
+                )
+            )
+
+    def drift_split(self, held_out_families=DEFAULT_HELD_OUT) -> Split:
+        """Train on 14 families, deploy on the 4 held-out ones."""
+        unknown = set(held_out_families) - set(FAMILY_NAMES)
+        if unknown:
+            raise ValueError(f"unknown loop families: {sorted(unknown)}")
+        train_idx, test_idx = self._dataset.split_by_family(held_out_families)
+        return Split(
+            train=train_idx,
+            test=test_idx,
+            description=f"drift: held-out families {', '.join(held_out_families)}",
+        )
+
+    def performance_ratio(self, index: int, label_index: int) -> float:
+        """Runtime of the chosen (VF, IF) relative to the oracle's best."""
+        vf, interleave = self._class_configs[label_index]
+        profile = self._profiles[index]
+        chosen = profile[CONFIGURATIONS.index((vf, interleave))]
+        return float(profile.min() / chosen)
+
+    def families(self) -> np.ndarray:
+        return self._dataset.families()

@@ -1,0 +1,86 @@
+"""Case study C1: OpenCL GPU thread coarsening (paper Sec. 6.1).
+
+Predict the best coarsening factor (1..32) for a kernel on a given GPU.
+Training uses kernels from two benchmark suites; deployment drift tests
+on the held-out third suite, exactly as the paper's protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lang.kernels import COARSENING_SUITES, KernelDataset, render_kernel_source
+from ..lang.graphs import build_program_graph
+from ..lang.tokens import CodeVocabulary
+from ..models.base import ProgramSample
+from ..models.catalog import TOKEN_LEN
+from ..simulators import gpu
+from .base import CaseStudy, Split
+
+
+class ThreadCoarseningTask(CaseStudy):
+    """Thread-coarsening factor prediction on one GPU platform.
+
+    Args:
+        gpu_name: one of :data:`repro.simulators.gpu.GPU_NAMES`.
+        kernels_per_suite: corpus size per suite (paper: 17 kernels
+            total; we default to more so the split CP calibration has
+            material to work with).
+        seed: generation seed.
+    """
+
+    name = "thread_coarsening"
+
+    def __init__(
+        self,
+        gpu_name: str = "amd-radeon-7970",
+        kernels_per_suite: int = 60,
+        seed: int = 0,
+    ):
+        if gpu_name not in gpu.GPU_PLATFORMS:
+            raise ValueError(f"unknown GPU {gpu_name!r}; options: {gpu.GPU_NAMES}")
+        self.gpu_name = gpu_name
+        self._dataset = KernelDataset.for_suites(
+            COARSENING_SUITES, kernels_per_suite, seed=seed
+        )
+        vocabulary = CodeVocabulary()
+        self._classes = np.asarray(gpu.COARSENING_FACTORS)
+        factor_index = {f: i for i, f in enumerate(gpu.COARSENING_FACTORS)}
+
+        self._samples = []
+        labels = []
+        self._profiles = []
+        for spec in self._dataset.kernels:
+            source = render_kernel_source(spec)
+            self._samples.append(
+                ProgramSample(
+                    features=spec.feature_vector(),
+                    tokens=vocabulary.encode(source, max_len=TOKEN_LEN),
+                    graph=build_program_graph(source),
+                    meta={"suite": spec.suite, "name": spec.name},
+                )
+            )
+            profile = gpu.runtime_profile(spec, gpu_name)
+            self._profiles.append(profile)
+            labels.append(factor_index[gpu.COARSENING_FACTORS[int(np.argmin(profile))]])
+        self._labels = np.asarray(labels)
+        self._profiles = np.stack(self._profiles)
+
+    def drift_split(self, held_out_suite: str = "parboil") -> Split:
+        """Train on two suites, deploy on the held-out one."""
+        train_idx, test_idx = self._dataset.split_by_suite(held_out_suite)
+        if len(test_idx) == 0:
+            raise ValueError(f"no kernels in suite {held_out_suite!r}")
+        return Split(
+            train=train_idx,
+            test=test_idx,
+            description=f"drift: held-out suite {held_out_suite}",
+        )
+
+    def performance_ratio(self, index: int, label_index: int) -> float:
+        """Runtime of the chosen factor relative to the oracle's best."""
+        profile = self._profiles[index]
+        return float(profile.min() / profile[label_index])
+
+    def suites(self) -> np.ndarray:
+        return self._dataset.suites()

@@ -1,0 +1,17 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+import zlib
+
+
+def stable_hash(*parts) -> int:
+    """Deterministic 32-bit hash of the string forms of ``parts``.
+
+    Python's built-in ``hash()`` is salted per process (PYTHONHASHSEED),
+    which would make generated datasets and simulated measurements
+    differ between runs.  Everything in this package that needs a
+    value derived from names/keys routes through this function instead.
+    """
+    text = "\x1f".join(repr(part) for part in parts)
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF

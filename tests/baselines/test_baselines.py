@@ -1,0 +1,120 @@
+"""Tests for the comparator drift detectors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BASELINE_FACTORIES,
+    NaiveCPDetector,
+    RiseDetector,
+    TesseractDetector,
+)
+from repro.ml import MLPClassifier
+
+from ..conftest import make_blobs
+
+
+@pytest.fixture(scope="module")
+def setup():
+    X_train, y_train = make_blobs(400, seed=0)
+    X_cal, y_cal = make_blobs(250, seed=1)
+    X_in, y_in = make_blobs(120, seed=2)
+    X_drift, y_drift = make_blobs(120, shift=4.0, seed=3)
+    model = MLPClassifier(epochs=60, seed=0).fit(X_train, y_train)
+    return {
+        "model": model,
+        "cal": (model.hidden_embedding(X_cal), model.predict_proba(X_cal), y_cal),
+        "in": (model.hidden_embedding(X_in), model.predict_proba(X_in), y_in),
+        "drift": (
+            model.hidden_embedding(X_drift),
+            model.predict_proba(X_drift),
+            y_drift,
+        ),
+    }
+
+
+DETECTORS = [
+    pytest.param(NaiveCPDetector, id="naive-cp"),
+    pytest.param(TesseractDetector, id="tesseract"),
+    pytest.param(RiseDetector, id="rise"),
+]
+
+
+@pytest.mark.parametrize("factory", DETECTORS)
+class TestDetectorContract:
+    def test_returns_boolean_mask(self, factory, setup):
+        detector = factory()
+        detector.calibrate(*setup["cal"])
+        features, probabilities, _ = setup["in"]
+        rejected = detector.evaluate(features, probabilities)
+        assert rejected.dtype == bool
+        assert rejected.shape == (len(probabilities),)
+
+    def test_rejects_uncertain_probability_vectors(self, factory, setup):
+        """Flat probability vectors (classic drift symptom the
+        probability-only baselines can see) are rejected more often
+        than the model's own confident calibration-like outputs."""
+        detector = factory()
+        detector.calibrate(*setup["cal"])
+        features, probabilities, _ = setup["in"]
+        flat = np.full_like(probabilities, 1.0 / probabilities.shape[1])
+        confident_rate = detector.evaluate(features, probabilities).mean()
+        flat_rate = detector.evaluate(features, flat).mean()
+        assert flat_rate >= confident_rate
+
+    def test_empty_calibration_rejected(self, factory):
+        detector = factory()
+        with pytest.raises(ValueError):
+            detector.calibrate(np.zeros((0, 2)), np.zeros((0, 2)), [])
+
+
+class TestNaiveCP:
+    def test_pvalue_range(self, setup):
+        detector = NaiveCPDetector()
+        detector.calibrate(*setup["cal"])
+        _, probabilities, _ = setup["in"]
+        p = detector.pvalue(probabilities[0], int(np.argmax(probabilities[0])))
+        assert 0.0 <= p <= 1.0
+
+    def test_unseen_label_pvalue_zero(self, setup):
+        detector = NaiveCPDetector()
+        features, probabilities, labels = setup["cal"]
+        detector.calibrate(features, probabilities, np.zeros_like(labels))
+        assert detector.pvalue(probabilities[0], 2) == 0.0
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            NaiveCPDetector(epsilon=0.0)
+
+
+class TestTesseract:
+    def test_confidence_is_top2_margin(self):
+        margin = TesseractDetector._confidence(np.array([0.7, 0.2, 0.1]))
+        assert margin == pytest.approx(0.5)
+
+    def test_single_class_confidence(self):
+        assert TesseractDetector._confidence(np.array([1.0])) == pytest.approx(1.0)
+
+
+class TestRise:
+    def test_degenerate_all_correct_calibration(self, setup):
+        features, probabilities, _ = setup["cal"]
+        perfect_labels = np.argmax(probabilities, axis=1)
+        detector = RiseDetector()
+        detector.calibrate(features, probabilities, perfect_labels)
+        rejected = detector.evaluate(*setup["in"][:2])
+        assert rejected.dtype == bool
+
+    def test_learns_from_mispredictions(self, setup):
+        detector = RiseDetector()
+        detector.calibrate(*setup["cal"])
+        # With real mispredictions in the calibration window an SVM is fit.
+        _, probabilities, labels = setup["cal"]
+        mispredicted = np.argmax(probabilities, axis=1) != labels
+        if mispredicted.any() and not mispredicted.all():
+            assert detector._svm is not None
+
+
+class TestRegistry:
+    def test_factories_cover_paper_baselines(self):
+        assert set(BASELINE_FACTORIES) == {"RISE", "TESSERACT", "MAPIE-PUNCC"}

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+def make_blobs(n, n_classes=3, n_features=6, shift=0.0, seed=0):
+    """Gaussian class blobs with an optional distribution shift."""
+    generator = np.random.default_rng(seed)
+    y = generator.integers(0, n_classes, n)
+    X = generator.normal(size=(n, n_features)) * 0.5
+    X[:, 0] += y * 2.0 + shift
+    X[:, 1] += (y == n_classes - 1) * 1.5 + shift
+    return X, y
+
+
+@pytest.fixture(scope="session")
+def blob_data():
+    """Train/calibration/in-dist/drifted splits over Gaussian blobs."""
+    X_train, y_train = make_blobs(400, seed=0)
+    X_cal, y_cal = make_blobs(250, seed=1)
+    X_test, y_test = make_blobs(150, seed=2)
+    X_drift, y_drift = make_blobs(150, shift=4.0, seed=3)
+    return {
+        "train": (X_train, y_train),
+        "cal": (X_cal, y_cal),
+        "test": (X_test, y_test),
+        "drift": (X_drift, y_drift),
+    }
+
+
+@pytest.fixture(scope="session")
+def fitted_mlp(blob_data):
+    from repro.ml import MLPClassifier
+
+    X_train, y_train = blob_data["train"]
+    return MLPClassifier(epochs=60, seed=0).fit(X_train, y_train)
+
+
+@pytest.fixture(scope="session")
+def calibrated_prom(blob_data, fitted_mlp):
+    from repro import PromClassifier
+
+    X_cal, y_cal = blob_data["cal"]
+    prom = PromClassifier()
+    prom.calibrate(
+        fitted_mlp.hidden_embedding(X_cal),
+        fitted_mlp.predict_proba(X_cal),
+        y_cal,
+    )
+    return prom

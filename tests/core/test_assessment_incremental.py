@@ -1,0 +1,222 @@
+"""Tests for initialization assessment, grid search, incremental learning
+and the ModelInterface integration class."""
+
+import numpy as np
+import pytest
+
+from repro import PromClassifier
+from repro.core import (
+    CalibrationClusterer,
+    ModelInterface,
+    RegressionModelInterface,
+    coverage_assessment,
+    grid_search,
+    incremental_learning_round,
+    select_relabel_budget,
+)
+from repro.core.committee import Decision
+from repro.ml import MLPClassifier, MLPRegressor
+
+from ..conftest import make_blobs
+
+
+class TestCoverageAssessment:
+    def test_well_calibrated_model_passes(self, blob_data, fitted_mlp):
+        X_cal, y_cal = blob_data["cal"]
+        report = coverage_assessment(
+            PromClassifier,
+            fitted_mlp.hidden_embedding(X_cal),
+            fitted_mlp.predict_proba(X_cal),
+            y_cal,
+            epsilon=0.1,
+            seed=0,
+        )
+        assert 0.0 <= report.coverage <= 1.0
+        assert report.deviation == pytest.approx(abs(report.coverage - 0.9))
+        assert len(report.per_round) == 3
+
+    def test_str_mentions_alert_on_large_deviation(self):
+        from repro.core.assessment import CoverageReport
+
+        bad = CoverageReport(coverage=0.5, deviation=0.4, epsilon=0.1, per_round=(0.5,), ok=False)
+        assert "ALERT" in str(bad)
+        good = CoverageReport(coverage=0.9, deviation=0.0, epsilon=0.1, per_round=(0.9,), ok=True)
+        assert "ok" in str(good)
+
+    def test_tiny_calibration_rejected(self):
+        with pytest.raises(ValueError):
+            coverage_assessment(
+                PromClassifier, np.zeros((3, 2)), np.full((3, 2), 0.5), [0, 1, 0]
+            )
+
+
+class TestGridSearch:
+    def test_returns_best_from_grid(self, blob_data, fitted_mlp):
+        X_cal, y_cal = blob_data["cal"]
+        probs = fitted_mlp.predict_proba(X_cal)
+        result = grid_search(
+            fitted_mlp.hidden_embedding(X_cal),
+            probs,
+            y_cal,
+            np.argmax(probs, axis=1),
+            param_grid={"epsilon": [0.05, 0.2]},
+            seed=0,
+        )
+        assert result.best_params["epsilon"] in (0.05, 0.2)
+        assert len(result.trials) == 2
+        assert result.best_f1 >= max(0.0, min(f1 for _, f1 in result.trials))
+
+
+def _decision(drifting, credibility):
+    return Decision(accepted=not drifting, credibility=credibility, confidence=0.5)
+
+
+class TestRelabelBudget:
+    def test_empty_when_nothing_flagged(self):
+        decisions = [_decision(False, 0.9)] * 5
+        assert len(select_relabel_budget(decisions)) == 0
+
+    def test_minimum_one_when_flagged(self):
+        decisions = [_decision(False, 0.9)] * 9 + [_decision(True, 0.01)]
+        chosen = select_relabel_budget(decisions, budget_fraction=0.05)
+        assert chosen.tolist() == [9]
+
+    def test_lowest_credibility_first(self):
+        decisions = [
+            _decision(True, 0.09),
+            _decision(True, 0.01),
+            _decision(True, 0.05),
+            _decision(False, 0.9),
+        ]
+        chosen = select_relabel_budget(decisions, budget_fraction=0.4)
+        assert chosen.tolist() == [1]
+
+    def test_budget_fraction_scales(self):
+        decisions = [_decision(True, i / 100) for i in range(100)]
+        chosen = select_relabel_budget(decisions, budget_fraction=0.05)
+        assert len(chosen) == 5
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            select_relabel_budget([], budget_fraction=0.0)
+
+
+class BlobInterface(ModelInterface):
+    """Test double: MLP on blob features, hidden embedding as features."""
+
+    def feature_extraction(self, X):
+        return self.model.hidden_embedding(X)
+
+
+class TestModelInterface:
+    @pytest.fixture()
+    def trained_interface(self, blob_data):
+        X_train, y_train = blob_data["train"]
+        interface = BlobInterface(MLPClassifier(epochs=50, seed=0), seed=0)
+        interface.train(X_train, y_train)
+        return interface
+
+    def test_train_calibrates_prom(self, trained_interface):
+        assert trained_interface.prom.is_calibrated
+
+    def test_predict_returns_labels_and_decisions(self, trained_interface, blob_data):
+        X_test, _ = blob_data["test"]
+        predictions, decisions = trained_interface.predict(X_test[:20])
+        assert len(predictions) == 20
+        assert len(decisions) == 20
+        assert all(hasattr(d, "drifting") for d in decisions)
+
+    def test_partition_respects_ratio_and_cap(self, blob_data):
+        X_train, y_train = blob_data["train"]
+        interface = BlobInterface(
+            MLPClassifier(epochs=2), calibration_ratio=0.25, max_calibration=50
+        )
+        X_tr, y_tr, X_cal, y_cal = interface.data_partitioning(X_train, y_train)
+        assert len(X_cal) == 50  # capped below 25% of 400
+        assert len(X_tr) + len(X_cal) == len(X_train)
+
+    def test_invalid_ratio_rejected(self, blob_data):
+        X_train, y_train = blob_data["train"]
+        interface = BlobInterface(MLPClassifier(epochs=2), calibration_ratio=2.0)
+        with pytest.raises(Exception):
+            interface.data_partitioning(X_train, y_train)
+
+    def test_incremental_update_improves_on_drift(self, trained_interface, blob_data):
+        X_drift, y_drift = blob_data["drift"]
+        before = trained_interface.model.score(X_drift, y_drift)
+        result = incremental_learning_round(
+            trained_interface, X_drift, y_drift, budget_fraction=0.25, epochs=40
+        )
+        after = trained_interface.model.score(X_drift, y_drift)
+        assert result.n_flagged > 0
+        assert result.n_relabelled <= max(1, int(round(0.25 * result.n_flagged)))
+        assert after >= before
+
+    def test_incremental_update_without_partial_fit_refits(self, blob_data):
+        from repro.ml import GradientBoostingClassifier
+
+        class GBCInterface(ModelInterface):
+            def feature_extraction(self, X):
+                return np.asarray(X)
+
+        X_train, y_train = blob_data["train"]
+        interface = GBCInterface(GradientBoostingClassifier(n_estimators=5), seed=0)
+        interface.train(X_train, y_train)
+        X_drift, y_drift = blob_data["drift"]
+        interface.incremental_update(X_drift[:20], y_drift[:20])
+        assert interface.prom.is_calibrated
+
+
+class BlobRegressionInterface(RegressionModelInterface):
+    def feature_extraction(self, X):
+        return np.asarray(X)
+
+
+class TestRegressionModelInterface:
+    def test_train_predict_roundtrip(self):
+        X, _ = make_blobs(300, seed=30)
+        y = X[:, 0] * 2.0
+        interface = BlobRegressionInterface(
+            MLPRegressor(epochs=40, seed=0),
+            prom=None,
+            seed=0,
+        )
+        interface.prom.n_clusters = 3
+        interface.train(X, y)
+        predictions, decisions = interface.predict(X[:15])
+        assert predictions.shape == (15,)
+        assert len(decisions) == 15
+
+    def test_incremental_update_runs(self):
+        X, _ = make_blobs(200, seed=31)
+        y = X[:, 0]
+        interface = BlobRegressionInterface(MLPRegressor(epochs=20, seed=0), seed=0)
+        interface.prom.n_clusters = 3
+        interface.train(X, y)
+        X_new, _ = make_blobs(30, shift=3.0, seed=32)
+        interface.incremental_update(X_new, X_new[:, 0])
+        assert interface.prom.is_calibrated
+
+
+class TestCalibrationClusterer:
+    def test_fixed_k(self):
+        X, _ = make_blobs(90, seed=40)
+        clusterer = CalibrationClusterer(n_clusters=4, seed=0).fit(X)
+        assert clusterer.k_ == 4
+        assert len(np.unique(clusterer.labels_)) <= 4
+
+    def test_assign_nearest_neighbour_cluster(self):
+        X, _ = make_blobs(90, seed=41)
+        clusterer = CalibrationClusterer(n_clusters=3, seed=0).fit(X)
+        assigned = clusterer.assign(X[:10])
+        assert np.array_equal(assigned, clusterer.labels_[:10])
+
+    def test_unfitted_assign_raises(self):
+        with pytest.raises(RuntimeError):
+            CalibrationClusterer(n_clusters=2).assign(np.zeros((1, 2)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CalibrationClusterer(n_clusters=0)
+        with pytest.raises(ValueError):
+            CalibrationClusterer(k_min=5, k_max=2)

@@ -1,0 +1,138 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    coverage_deviation,
+    detection_metrics,
+    f1_score,
+    geometric_mean,
+    misprediction_mask_classification,
+    misprediction_mask_performance,
+    misprediction_mask_regression,
+    performance_to_oracle,
+)
+
+
+class TestDetectionMetrics:
+    def test_perfect_detection(self):
+        mis = np.array([True, True, False, False])
+        metrics = detection_metrics(mis, mis)
+        assert metrics.accuracy == 1.0
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+        assert metrics.f1 == 1.0
+        assert metrics.false_positive_rate == 0.0
+
+    def test_all_rejected(self):
+        mis = np.array([True, False, False, False])
+        rejected = np.ones(4, dtype=bool)
+        metrics = detection_metrics(mis, rejected)
+        assert metrics.recall == 1.0
+        assert metrics.precision == pytest.approx(0.25)
+        assert metrics.false_positive_rate == 1.0
+
+    def test_nothing_rejected(self):
+        mis = np.array([True, False, True, False])
+        metrics = detection_metrics(mis, np.zeros(4, dtype=bool))
+        assert metrics.recall == 0.0
+        assert metrics.false_negative_rate == 1.0
+
+    def test_counts_recorded(self):
+        mis = np.array([True, True, False])
+        metrics = detection_metrics(mis, [True, False, False])
+        assert metrics.n_samples == 3
+        assert metrics.n_mispredictions == 2
+
+    def test_as_dict_keys(self):
+        metrics = detection_metrics([True], [True])
+        assert set(metrics.as_dict()) >= {"accuracy", "precision", "recall", "f1"}
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            detection_metrics([True, False], [True])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            detection_metrics([], [])
+
+    @given(st.integers(1, 60), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_metrics_bounded(self, n, seed):
+        rng = np.random.default_rng(seed)
+        mis = rng.random(n) < 0.4
+        rej = rng.random(n) < 0.5
+        metrics = detection_metrics(mis, rej)
+        for value in (metrics.accuracy, metrics.precision, metrics.recall, metrics.f1):
+            assert 0.0 <= value <= 1.0
+
+    @given(st.integers(2, 50), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_property_f1_is_harmonic_mean(self, n, seed):
+        rng = np.random.default_rng(seed)
+        mis = rng.random(n) < 0.5
+        rej = rng.random(n) < 0.5
+        metrics = detection_metrics(mis, rej)
+        if metrics.precision + metrics.recall > 0:
+            expected = (
+                2 * metrics.precision * metrics.recall
+                / (metrics.precision + metrics.recall)
+            )
+            assert metrics.f1 == pytest.approx(expected)
+
+
+class TestPerformanceToOracle:
+    def test_matching_oracle_is_one(self):
+        ratios = performance_to_oracle([2.0, 3.0], [2.0, 3.0])
+        assert np.allclose(ratios, 1.0)
+
+    def test_capped_at_one(self):
+        ratios = performance_to_oracle([5.0], [2.0])
+        assert ratios[0] == 1.0
+
+    def test_half_performance(self):
+        assert performance_to_oracle([1.0], [2.0])[0] == pytest.approx(0.5)
+
+    def test_nonpositive_oracle_rejected(self):
+        with pytest.raises(ValueError):
+            performance_to_oracle([1.0], [0.0])
+
+
+class TestMispredictionMasks:
+    def test_classification_mask(self):
+        mask = misprediction_mask_classification([0, 1, 2], [0, 2, 2])
+        assert mask.tolist() == [False, True, False]
+
+    def test_performance_mask_threshold(self):
+        # 0.85 of oracle: fine; 0.75: misprediction at 20% threshold
+        mask = misprediction_mask_performance([0.85, 0.75], [1.0, 1.0])
+        assert mask.tolist() == [False, True]
+
+    def test_regression_mask_relative(self):
+        mask = misprediction_mask_regression([110.0, 130.0], [100.0, 100.0])
+        assert mask.tolist() == [False, True]
+
+    def test_regression_mask_custom_threshold(self):
+        mask = misprediction_mask_regression([105.0], [100.0], threshold=0.01)
+        assert mask.tolist() == [True]
+
+
+class TestHelpers:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_f1_score_basic(self):
+        assert f1_score([True, True, False], [True, False, False]) == pytest.approx(2 / 3)
+
+    def test_f1_score_no_positives(self):
+        assert f1_score([False, False], [False, False]) == 0.0
+
+    def test_coverage_deviation(self):
+        assert coverage_deviation(0.85, 0.1) == pytest.approx(0.05)
+        assert coverage_deviation(0.95, 0.1) == pytest.approx(0.05)

@@ -1,0 +1,163 @@
+"""Tests for the nonconformity functions (LAC, TopK, APS, RAPS + regression)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (
+    APS,
+    LAC,
+    RAPS,
+    AbsoluteErrorScore,
+    NormalizedErrorScore,
+    SquaredErrorScore,
+    TopK,
+    default_classification_functions,
+    default_regression_scores,
+)
+
+PROBS = np.array(
+    [
+        [0.7, 0.2, 0.1],
+        [0.1, 0.1, 0.8],
+        [0.34, 0.33, 0.33],
+    ]
+)
+
+
+class TestLAC:
+    def test_formula(self):
+        scores = LAC().score(PROBS, np.array([0, 2, 1]))
+        assert np.allclose(scores, [0.3, 0.2, 0.67])
+
+    def test_confident_correct_label_scores_low(self):
+        scores = LAC().score(PROBS, np.array([0, 0, 0]))
+        assert scores[0] < scores[1]  # 0.3 < 0.9
+
+    def test_all_labels_shape(self):
+        assert LAC().score_all_labels(PROBS).shape == (3, 3)
+
+
+class TestTopK:
+    def test_rank_of_top_label_is_one(self):
+        scores = TopK().score(PROBS, np.array([0, 2, 0]))
+        assert scores[0] == 1.0
+        assert scores[1] == 1.0
+
+    def test_rank_of_least_likely_label(self):
+        scores = TopK().score(PROBS, np.array([2, 0, 2]))
+        assert scores[0] == 3.0
+
+    def test_scores_are_integer_ranks(self):
+        scores = TopK().score_all_labels(PROBS)
+        assert set(np.unique(scores).tolist()) <= {1.0, 2.0, 3.0}
+
+
+class TestAPS:
+    def test_top_label_score_is_own_probability(self):
+        scores = APS().score(PROBS, np.array([0, 2, 0]))
+        assert scores[0] == pytest.approx(0.7)
+        assert scores[1] == pytest.approx(0.8)
+
+    def test_cumulative_for_lower_rank(self):
+        # label 1 of row 0: 0.7 (above) + 0.2 (own) = 0.9
+        scores = APS().score(PROBS, np.array([1, 1, 1]))
+        assert scores[0] == pytest.approx(0.9)
+
+    def test_bottom_label_score_is_one(self):
+        scores = APS().score(PROBS, np.array([2, 1, 2]))
+        assert scores[0] == pytest.approx(1.0)
+
+
+class TestRAPS:
+    def test_equals_aps_plus_penalty(self):
+        aps = APS().score(PROBS, np.array([2, 2, 2]))
+        raps = RAPS(lam=0.1, k_reg=1).score(PROBS, np.array([2, 2, 2]))
+        ranks = TopK().score(PROBS, np.array([2, 2, 2]))
+        expected = aps + 0.1 * np.clip(ranks - 1, 0, None)
+        assert np.allclose(raps, expected)
+
+    def test_no_penalty_for_top_label(self):
+        aps = APS().score(PROBS, np.array([0, 2, 0]))
+        raps = RAPS(lam=0.5, k_reg=1).score(PROBS, np.array([0, 2, 0]))
+        assert np.allclose(raps, aps)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RAPS(lam=-1.0)
+        with pytest.raises(ValueError):
+            RAPS(k_reg=-1)
+
+
+@pytest.mark.parametrize("function", default_classification_functions())
+class TestSharedClassificationProperties:
+    def test_higher_probability_never_stranger(self, function):
+        """Within one sample, a more probable label never scores higher."""
+        scores = function.score_all_labels(PROBS)
+        for row in range(len(PROBS)):
+            order = np.argsort(-PROBS[row])
+            ordered = scores[row, order]
+            assert np.all(np.diff(ordered) >= -1e-12)
+
+    def test_rejects_negative_probabilities(self, function):
+        with pytest.raises(ValueError):
+            function.score(np.array([[-0.5, 1.5]]), np.array([0]))
+
+    @given(
+        hnp.arrays(
+            np.float64, (4, 3), elements=st.floats(0.01, 1.0, allow_nan=False)
+        )
+    )
+    def test_property_finite_nonnegative(self, function, raw):
+        probs = raw / raw.sum(axis=1, keepdims=True)
+        scores = function.score_all_labels(probs)
+        assert np.all(np.isfinite(scores))
+        assert np.all(scores >= 0)
+
+
+class TestRegressionScores:
+    def test_absolute_error(self):
+        scores = AbsoluteErrorScore().score([1.0, 2.0], [1.5, 0.0])
+        assert np.allclose(scores, [0.5, 2.0])
+
+    def test_squared_error(self):
+        scores = SquaredErrorScore().score([1.0], [3.0])
+        assert scores[0] == pytest.approx(4.0)
+
+    def test_normalized_error_scale_invariance(self):
+        small = NormalizedErrorScore().score([1.0], [1.1])
+        large = NormalizedErrorScore().score([1000.0], [1100.0])
+        assert small[0] == pytest.approx(large[0], rel=1e-4)
+
+    def test_normalized_error_rejects_bad_beta(self):
+        with pytest.raises(ValueError):
+            NormalizedErrorScore(beta=0.0)
+
+    def test_perfect_prediction_scores_zero(self):
+        for function in default_regression_scores():
+            assert function.score([2.0], [2.0])[0] == pytest.approx(0.0)
+
+    @given(
+        st.lists(st.floats(-1e3, 1e3, allow_nan=False), min_size=1, max_size=10),
+        st.lists(st.floats(-1e3, 1e3, allow_nan=False), min_size=1, max_size=10),
+    )
+    def test_property_symmetric_in_sign_of_error(self, preds, targets):
+        n = min(len(preds), len(targets))
+        preds = np.asarray(preds[:n])
+        targets = np.asarray(targets[:n])
+        for function in (AbsoluteErrorScore(), SquaredErrorScore()):
+            forward = function.score(preds, targets)
+            flipped = function.score(targets, preds)
+            assert np.allclose(forward, flipped)
+
+
+class TestDefaults:
+    def test_four_default_functions(self):
+        functions = default_classification_functions()
+        assert [f.name for f in functions] == ["LAC", "TopK", "APS", "RAPS"]
+
+    def test_defaults_are_fresh_instances(self):
+        a = default_classification_functions()
+        b = default_classification_functions()
+        assert all(x is not y for x, y in zip(a, b))

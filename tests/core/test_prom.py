@@ -1,0 +1,198 @@
+"""Integration tests for PromClassifier and PromRegressor."""
+
+import numpy as np
+import pytest
+
+from repro import PromClassifier, PromRegressor
+from repro.core import (
+    CalibrationError,
+    LAC,
+    NotCalibratedError,
+    accepted_indices,
+    detection_metrics,
+    drifting_indices,
+)
+from repro.ml import MLPClassifier, MLPRegressor
+
+from ..conftest import make_blobs
+
+
+class TestPromClassifierLifecycle:
+    def test_evaluate_before_calibrate_raises(self):
+        prom = PromClassifier()
+        with pytest.raises(NotCalibratedError):
+            prom.evaluate_one(np.zeros(3), np.array([0.5, 0.5]))
+
+    def test_empty_calibration_rejected(self):
+        with pytest.raises(CalibrationError):
+            PromClassifier().calibrate(np.zeros((0, 3)), np.zeros((0, 2)), [])
+
+    def test_misaligned_calibration_rejected(self):
+        with pytest.raises(CalibrationError):
+            PromClassifier().calibrate(np.zeros((5, 3)), np.zeros((4, 2)), np.zeros(5))
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(CalibrationError):
+            PromClassifier().calibrate(
+                np.zeros((3, 2)), np.full((3, 2), 0.5), np.array([0, 1, 5])
+            )
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            PromClassifier(epsilon=0.0)
+        with pytest.raises(ValueError):
+            PromClassifier(epsilon=1.0)
+
+    def test_no_functions_rejected(self):
+        with pytest.raises(ValueError):
+            PromClassifier(functions=[])
+
+    def test_probability_width_mismatch_raises(self, calibrated_prom):
+        with pytest.raises(ValueError, match="entries"):
+            calibrated_prom.evaluate_one(np.zeros(32), np.array([0.5, 0.5]))
+
+    def test_is_calibrated_flag(self, calibrated_prom):
+        assert calibrated_prom.is_calibrated
+        assert not PromClassifier().is_calibrated
+
+
+class TestPromClassifierDetection:
+    def test_accepts_most_in_distribution_samples(self, blob_data, fitted_mlp, calibrated_prom):
+        X_test, _ = blob_data["test"]
+        probs = fitted_mlp.predict_proba(X_test)
+        decisions = calibrated_prom.evaluate(fitted_mlp.hidden_embedding(X_test), probs)
+        reject_rate = np.mean([d.drifting for d in decisions])
+        assert reject_rate < 0.25
+
+    def test_rejects_most_drifted_mispredictions(self, blob_data, fitted_mlp, calibrated_prom):
+        X_drift, y_drift = blob_data["drift"]
+        probs = fitted_mlp.predict_proba(X_drift)
+        preds = np.argmax(probs, axis=1)
+        decisions = calibrated_prom.evaluate(fitted_mlp.hidden_embedding(X_drift), probs, preds)
+        mispredicted = preds != y_drift
+        rejected = np.array([d.drifting for d in decisions])
+        metrics = detection_metrics(mispredicted, rejected)
+        assert metrics.recall >= 0.55
+
+    def test_mixed_stream_detection_quality(self, blob_data, fitted_mlp, calibrated_prom):
+        X = np.concatenate([blob_data["test"][0], blob_data["drift"][0]])
+        y = np.concatenate([blob_data["test"][1], blob_data["drift"][1]])
+        probs = fitted_mlp.predict_proba(X)
+        preds = np.argmax(probs, axis=1)
+        decisions = calibrated_prom.evaluate(fitted_mlp.hidden_embedding(X), probs, preds)
+        metrics = detection_metrics(preds != y, [d.drifting for d in decisions])
+        assert metrics.f1 > 0.5
+        assert metrics.recall > 0.55
+
+    def test_decisions_expose_votes(self, blob_data, fitted_mlp, calibrated_prom):
+        X_test, _ = blob_data["test"]
+        decision = calibrated_prom.evaluate_one(
+            fitted_mlp.hidden_embedding(X_test[:1])[0],
+            fitted_mlp.predict_proba(X_test[:1])[0],
+        )
+        assert len(decision.votes) == 4
+        names = [vote.function_name for vote in decision.votes]
+        assert names == ["LAC", "TopK", "APS", "RAPS"]
+
+    def test_index_helpers_partition(self, blob_data, fitted_mlp, calibrated_prom):
+        X_test, _ = blob_data["test"]
+        probs = fitted_mlp.predict_proba(X_test)
+        decisions = calibrated_prom.evaluate(fitted_mlp.hidden_embedding(X_test), probs)
+        drifted = set(drifting_indices(decisions).tolist())
+        accepted = set(accepted_indices(decisions).tolist())
+        assert drifted | accepted == set(range(len(decisions)))
+        assert drifted & accepted == set()
+
+    def test_single_function_committee(self, blob_data, fitted_mlp):
+        X_cal, y_cal = blob_data["cal"]
+        prom = PromClassifier(functions=[LAC()])
+        prom.calibrate(fitted_mlp.hidden_embedding(X_cal), fitted_mlp.predict_proba(X_cal), y_cal)
+        decision = prom.evaluate_one(
+            fitted_mlp.hidden_embedding(X_cal[:1])[0],
+            fitted_mlp.predict_proba(X_cal[:1])[0],
+        )
+        assert len(decision.votes) == 1
+
+    def test_multiply_mode_runs(self, blob_data, fitted_mlp):
+        X_cal, y_cal = blob_data["cal"]
+        prom = PromClassifier(weight_mode="multiply", tau=500.0)
+        prom.calibrate(fitted_mlp.hidden_embedding(X_cal), fitted_mlp.predict_proba(X_cal), y_cal)
+        X_test, _ = blob_data["test"]
+        decisions = prom.evaluate(
+            fitted_mlp.hidden_embedding(X_test[:10]), fitted_mlp.predict_proba(X_test[:10])
+        )
+        assert len(decisions) == 10
+
+    def test_prediction_region_contains_truth_mostly(self, blob_data, fitted_mlp, calibrated_prom):
+        X_test, y_test = blob_data["test"]
+        emb = fitted_mlp.hidden_embedding(X_test)
+        probs = fitted_mlp.predict_proba(X_test)
+        hits = sum(
+            1
+            for i in range(60)
+            if y_test[i] in calibrated_prom.prediction_region(emb[i], probs[i])
+        )
+        assert hits / 60 > 0.7  # roughly 1 - epsilon coverage
+
+
+class TestPromRegressor:
+    @pytest.fixture(scope="class")
+    def regression_setup(self):
+        X_train, _ = make_blobs(400, seed=10)
+        X_cal, _ = make_blobs(250, seed=11)
+        X_test, _ = make_blobs(150, seed=12)
+        X_drift, _ = make_blobs(150, shift=4.0, seed=13)
+
+        def target(X):
+            return 2.0 * X[:, 0] + np.sin(X[:, 1])
+
+        model = MLPRegressor(epochs=60, seed=0).fit(X_train, target(X_train))
+        prom = PromRegressor(n_clusters=4, seed=0)
+        prom.calibrate(X_cal, model.predict(X_cal), target(X_cal))
+        return model, prom, X_test, X_drift, target
+
+    def test_accepts_in_distribution(self, regression_setup):
+        model, prom, X_test, _, _ = regression_setup
+        decisions = prom.evaluate(X_test, model.predict(X_test))
+        assert np.mean([d.drifting for d in decisions]) < 0.35
+
+    def test_rejects_drifted(self, regression_setup):
+        model, prom, _, X_drift, _ = regression_setup
+        decisions = prom.evaluate(X_drift, model.predict(X_drift))
+        assert np.mean([d.drifting for d in decisions]) > 0.7
+
+    def test_approximate_target_tracks_knn(self, regression_setup):
+        model, prom, X_test, _, target = regression_setup
+        approx = prom.approximate_target(X_test[0])
+        assert np.isfinite(approx)
+
+    def test_gap_statistic_cluster_choice(self):
+        X_cal, _ = make_blobs(120, seed=20)
+        model = MLPRegressor(epochs=20, seed=0).fit(X_cal, X_cal[:, 0])
+        prom = PromRegressor(seed=0)  # n_clusters=None -> gap statistic
+        prom.calibrate(X_cal, model.predict(X_cal), X_cal[:, 0])
+        assert prom.clusterer_.k_ >= 2
+
+    def test_calibration_residual_modes_differ(self):
+        X_cal, _ = make_blobs(100, seed=21)
+        y = X_cal[:, 0]
+        preds = y + 0.01  # nearly perfect model
+        loo = PromRegressor(n_clusters=3, calibration_residuals="loo", seed=0)
+        true = PromRegressor(n_clusters=3, calibration_residuals="true", seed=0)
+        loo.calibrate(X_cal, preds, y)
+        true.calibrate(X_cal, preds, y)
+        # true-mode scores are the tiny model residuals; loo-mode scores
+        # include the kNN approximation error and are larger
+        assert np.mean(loo._scores[0]) > np.mean(true._scores[0])
+
+    def test_invalid_residual_mode(self):
+        with pytest.raises(ValueError):
+            PromRegressor(calibration_residuals="bogus")
+
+    def test_evaluate_before_calibrate_raises(self):
+        with pytest.raises(NotCalibratedError):
+            PromRegressor().evaluate_one(np.zeros(3), 1.0)
+
+    def test_invalid_k_neighbors(self):
+        with pytest.raises(ValueError):
+            PromRegressor(k_neighbors=0)

@@ -1,0 +1,150 @@
+"""Tests for the experiment harness (runner + table/figure rendering)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    detection_table,
+    distribution_summary,
+    figure7_drift_impact,
+    figure8_detection,
+    figure9_incremental,
+    figure10_comparison,
+    figure11_nonconformity,
+    figure12_overhead,
+    figure13_sensitivity,
+    format_table,
+    run_baseline_comparison,
+    run_classification,
+    run_incremental,
+    run_regression,
+    table2_summary,
+    table3_dnn_codegen,
+)
+from repro.models import magni
+from repro.tasks import DnnCodeGenerationTask, ThreadCoarseningTask
+
+
+@pytest.fixture(scope="module")
+def c1():
+    return ThreadCoarseningTask(kernels_per_suite=25, seed=0)
+
+
+@pytest.fixture(scope="module")
+def c1_result(c1):
+    return run_classification(c1, magni, model_name="Magni", seed=0)
+
+
+class TestRunClassification:
+    def test_result_fields(self, c1_result):
+        assert c1_result.task == "thread_coarsening"
+        assert c1_result.model == "Magni"
+        assert 0.0 <= c1_result.design_accuracy <= 1.0
+        assert len(c1_result.decisions) == len(c1_result.test_indices)
+        assert c1_result.mispredicted.shape == c1_result.test_indices.shape
+
+    def test_ratios_bounded(self, c1_result):
+        assert np.all(c1_result.design_ratios <= 1.0)
+        assert np.all(c1_result.deploy_ratios > 0.0)
+
+    def test_deterministic_given_seed(self, c1):
+        a = run_classification(c1, magni, seed=3)
+        b = run_classification(c1, magni, seed=3)
+        assert a.deploy_accuracy == b.deploy_accuracy
+        assert a.detection.f1 == b.detection.f1
+
+    def test_calibration_uses_model_columns(self, c1_result):
+        model_classes = np.asarray(c1_result.fitted_model.classes_)
+        assert c1_result.calibration_columns.max() < len(model_classes)
+
+
+class TestRunIncremental:
+    def test_reuses_base_result_without_mutation(self, c1, c1_result):
+        before = c1_result.fitted_model.predict_proba(c1.subset([0]))
+        outcome = run_incremental(
+            c1, magni, base_result=c1_result, budget_fraction=0.2
+        )
+        after = c1_result.fitted_model.predict_proba(c1.subset([0]))
+        assert np.allclose(before, after)  # deep copy protected the cache
+        assert outcome.n_relabelled <= max(
+            1, int(round(0.2 * max(outcome.n_flagged, 1)))
+        )
+
+    def test_improves_or_holds_performance(self, c1, c1_result):
+        outcome = run_incremental(
+            c1, magni, base_result=c1_result, budget_fraction=0.25, epochs=40
+        )
+        assert outcome.improved_ratios.mean() >= outcome.native_ratios.mean() - 0.05
+
+
+class TestRunRegression:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        task = DnnCodeGenerationTask(schedules_per_network=120, seed=0)
+        return run_regression(task, networks=("bert-tiny",), seed=0)
+
+    def test_structure(self, summary):
+        assert "base_ratio" in summary
+        assert "bert-tiny" in summary["networks"]
+        result = summary["networks"]["bert-tiny"]
+        assert 0.0 <= result.native_ratio <= 1.0
+        assert 0.0 <= result.prom_ratio <= 1.0
+
+    def test_table3_renders(self, summary):
+        text = table3_dnn_codegen(summary)
+        assert "bert-tiny" in text
+        assert "Native deployment" in text
+
+
+class TestComparisonsAndAblation:
+    def test_baseline_comparison_scores(self, c1, c1_result):
+        scores = run_baseline_comparison(c1, base_result=c1_result)
+        assert set(scores) == {"PROM", "RISE", "TESSERACT", "MAPIE-PUNCC"}
+        assert all(0.0 <= v <= 1.0 for v in scores.values())
+
+
+class TestRendering:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "22"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(set(len(line) for line in lines[1:])) <= 2
+
+    def test_distribution_summary_keys(self):
+        stats = distribution_summary([0.1, 0.5, 0.9])
+        assert stats["min"] == pytest.approx(0.1)
+        assert stats["median"] == pytest.approx(0.5)
+        assert stats["max"] == pytest.approx(0.9)
+
+    def test_distribution_summary_empty(self):
+        with pytest.raises(ValueError):
+            distribution_summary([])
+
+    def test_figure_renderers_accept_results(self, c1_result):
+        results = [c1_result]
+        assert "Figure 7" in figure7_drift_impact(results)
+        assert "Figure 8" in figure8_detection(results)
+        assert "thread_coarsening" in detection_table(results)
+        assert "Table 2" in table2_summary(results)
+
+    def test_figure9_renderer(self, c1, c1_result):
+        outcome = run_incremental(c1, magni, base_result=c1_result)
+        assert "Figure 9" in figure9_incremental([outcome])
+
+    def test_figure10_renderer(self):
+        text = figure10_comparison(
+            {"c1": {"PROM": 0.9, "RISE": 0.5, "TESSERACT": 0.6, "MAPIE-PUNCC": 0.4}}
+        )
+        assert "PROM" in text
+
+    def test_figure12_renderer(self):
+        text = figure12_overhead([("c1", 12.0, 0.5)])
+        assert "12.00s" in text
+
+    def test_figure13_renderer(self):
+        text = figure13_sensitivity({"f1": [(0.1, 0.8), (0.2, 0.9)]}, title="S")
+        assert "0.800" in text
+
+    def test_table2_requires_results(self):
+        with pytest.raises(ValueError):
+            table2_summary([])

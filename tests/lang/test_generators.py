@@ -1,0 +1,200 @@
+"""Tests for the kernel, loop, vulnerability and schedule generators."""
+
+import numpy as np
+import pytest
+
+from repro.lang import (
+    BERT_VARIANTS,
+    COARSENING_SUITES,
+    CWE_TYPES,
+    KernelDataset,
+    LoopDataset,
+    MAPPING_SUITES,
+    generate_kernel,
+    generate_loop,
+    render_kernel_source,
+    render_loop_source,
+    tokenize,
+)
+from repro.lang import tensor_programs
+from repro.lang.loops import FAMILY_NAMES
+from repro.lang.vulnerabilities import (
+    generate_dataset,
+    generate_sample,
+    split_by_year,
+)
+
+
+class TestKernelGenerator:
+    def test_deterministic(self):
+        a = KernelDataset.for_suites(COARSENING_SUITES, 10, seed=7)
+        b = KernelDataset.for_suites(COARSENING_SUITES, 10, seed=7)
+        assert a.features().tolist() == b.features().tolist()
+
+    def test_suite_count(self):
+        dataset = KernelDataset.for_suites(MAPPING_SUITES, 5, seed=0)
+        assert len(dataset) == 5 * len(MAPPING_SUITES)
+
+    def test_feature_matrix_shape(self):
+        dataset = KernelDataset.for_suites(COARSENING_SUITES, 4, seed=0)
+        from repro.lang.kernels import FEATURE_NAMES
+
+        assert dataset.features().shape == (12, len(FEATURE_NAMES))
+
+    def test_suites_differ_in_distribution(self):
+        dataset = KernelDataset.for_suites(("shoc", "npb"), 60, seed=0)
+        features = dataset.features()
+        suites = dataset.suites()
+        compute_shoc = features[suites == "shoc", 0].mean()
+        compute_npb = features[suites == "npb", 0].mean()
+        assert compute_npb > compute_shoc + 10  # genuinely shifted suites
+
+    def test_split_by_suite(self):
+        dataset = KernelDataset.for_suites(COARSENING_SUITES, 5, seed=0)
+        train_idx, test_idx = dataset.split_by_suite("parboil")
+        assert len(test_idx) == 5
+        assert len(train_idx) == 10
+        assert set(dataset.suites()[test_idx].tolist()) == {"parboil"}
+
+    def test_unknown_suite_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="unknown suite"):
+            generate_kernel("made-up", 0, rng)
+
+    def test_source_renders_and_tokenizes(self):
+        rng = np.random.default_rng(0)
+        spec = generate_kernel("parboil", 0, rng)
+        source = render_kernel_source(spec)
+        assert "__kernel" in source
+        assert len(tokenize(source)) > 20
+
+    def test_divergent_kernel_renders_branch(self):
+        rng = np.random.default_rng(0)
+        specs = [generate_kernel("rodinia", i, rng) for i in range(20)]
+        divergent = [s for s in specs if s.divergence > 0.3]
+        assert divergent, "rodinia should produce divergent kernels"
+        assert "if (gid" in render_kernel_source(divergent[0])
+
+
+class TestLoopGenerator:
+    def test_deterministic(self):
+        a = LoopDataset.generate(30, seed=3).features()
+        b = LoopDataset.generate(30, seed=3).features()
+        assert a.tolist() == b.tolist()
+
+    def test_covers_all_families(self):
+        dataset = LoopDataset.generate(len(FAMILY_NAMES) * 2, seed=0)
+        assert set(dataset.families().tolist()) == set(FAMILY_NAMES)
+
+    def test_split_by_family(self):
+        dataset = LoopDataset.generate(90, seed=0)
+        held_out = FAMILY_NAMES[:4]
+        train_idx, test_idx = dataset.split_by_family(held_out)
+        assert set(dataset.families()[test_idx]) == set(held_out)
+        assert len(train_idx) + len(test_idx) == 90
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            generate_loop("bogus", 0, np.random.default_rng(0))
+
+    def test_source_reflects_reduction(self):
+        rng = np.random.default_rng(0)
+        spec = generate_loop("s311_sum", 0, rng)
+        source = render_loop_source(spec)
+        assert "acc" in source
+
+    def test_source_reflects_conditional(self):
+        rng = np.random.default_rng(0)
+        spec = generate_loop("s411_branchy", 0, rng)
+        assert "if (" in render_loop_source(spec)
+
+    def test_variants_jitter_parameters(self):
+        rng = np.random.default_rng(0)
+        variants = [generate_loop("s000_saxpy", i, rng) for i in range(20)]
+        trip_counts = {v.trip_log2 for v in variants}
+        assert len(trip_counts) > 10  # genuinely perturbed
+
+
+class TestVulnerabilityGenerator:
+    def test_dataset_composition(self):
+        samples = generate_dataset(160, seed=0)
+        assert len(samples) == 160
+        assert {s.cwe for s in samples} == set(CWE_TYPES)
+        fraction = np.mean([s.vulnerable for s in samples])
+        assert 0.35 < fraction < 0.65
+
+    def test_all_cwe_year_combinations_render(self):
+        rng = np.random.default_rng(0)
+        for cwe in CWE_TYPES:
+            for year in (2013, 2019, 2023):
+                for vulnerable in (True, False):
+                    sample = generate_sample(cwe, year, vulnerable, 0, rng)
+                    assert len(sample.code) > 20
+                    assert len(tokenize(sample.code)) > 5
+
+    def test_vulnerable_and_patched_differ(self):
+        rng = np.random.default_rng(0)
+        for cwe in CWE_TYPES:
+            bad = generate_sample(cwe, 2015, True, 1, rng).code
+            good = generate_sample(cwe, 2015, False, 1, rng).code
+            assert bad != good
+
+    def test_eras_have_distinct_idioms(self):
+        rng = np.random.default_rng(0)
+        early = generate_sample("double-free", 2013, True, 0, rng).code
+        late = generate_sample("double-free", 2023, True, 0, rng).code
+        assert "pthread_create" in late
+        assert "pthread_create" not in early
+
+    def test_split_by_year(self):
+        samples = generate_dataset(200, seed=1)
+        train_idx, test_idx = split_by_year(samples, train_until=2020)
+        assert all(samples[i].year <= 2020 for i in train_idx)
+        assert all(samples[i].year >= 2021 for i in test_idx)
+        assert len(train_idx) + len(test_idx) == 200
+
+    def test_invalid_year_rejected(self):
+        with pytest.raises(ValueError, match="year"):
+            generate_sample("double-free", 2030, True, 0, np.random.default_rng(0))
+
+    def test_unknown_cwe_rejected(self):
+        with pytest.raises(ValueError, match="unknown CWE"):
+            generate_sample("made-up", 2015, True, 0, np.random.default_rng(0))
+
+    def test_era_property(self):
+        rng = np.random.default_rng(0)
+        assert generate_sample("format-string", 2014, True, 0, rng).era == "early"
+        assert generate_sample("format-string", 2019, True, 0, rng).era == "mid"
+        assert generate_sample("format-string", 2022, True, 0, rng).era == "late"
+
+
+class TestScheduleGenerator:
+    def test_deterministic(self):
+        a = tensor_programs.generate_dataset("bert-base", 20, seed=5)
+        b = tensor_programs.generate_dataset("bert-base", 20, seed=5)
+        assert tensor_programs.features(a).tolist() == tensor_programs.features(b).tolist()
+
+    def test_networks_have_distinct_shapes(self):
+        tiny = tensor_programs.generate_dataset("bert-tiny", 30, seed=0)
+        large = tensor_programs.generate_dataset("bert-large", 30, seed=0)
+        tiny_k = np.mean([s.k for s in tiny])
+        large_k = np.mean([s.k for s in large])
+        assert large_k > tiny_k * 2
+
+    def test_feature_shape(self):
+        schedules = tensor_programs.generate_dataset("bert-medium", 10, seed=0)
+        features = tensor_programs.features(schedules)
+        assert features.shape == (10, len(tensor_programs.FEATURE_NAMES))
+
+    def test_token_sequences_in_vocab(self):
+        schedules = tensor_programs.generate_dataset("bert-base", 10, seed=0)
+        tokens = tensor_programs.token_sequences(schedules)
+        assert tokens.max() < tensor_programs.SCHEDULE_VOCAB_SIZE
+        assert tokens.min() >= 0
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(ValueError, match="unknown network"):
+            tensor_programs.matmul_shape("gpt-5", np.random.default_rng(0))
+
+    def test_all_variants_defined(self):
+        assert set(BERT_VARIANTS) == {"bert-tiny", "bert-base", "bert-medium", "bert-large"}

@@ -1,0 +1,148 @@
+"""Tests for the tokenizer, vocabulary, static features and graphs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import (
+    CodeVocabulary,
+    build_program_graph,
+    code_metrics,
+    static_code_features,
+    token_histogram,
+    tokenize,
+)
+
+SAMPLE = """
+static int parse(char* buf) {
+  char* name = malloc(64);  /* allocate */
+  if (buf) strncpy(name, buf, 63);
+  free(name);
+  return 0; // done
+}
+"""
+
+
+class TestTokenizer:
+    def test_keywords_and_identifiers(self):
+        tokens = tokenize(SAMPLE)
+        assert "static" in tokens
+        assert "malloc" in tokens
+        assert "name" in tokens
+
+    def test_comments_dropped(self):
+        tokens = tokenize(SAMPLE)
+        assert not any("allocate" in t for t in tokens)
+        assert not any("done" in t for t in tokens)
+
+    def test_numbers_collapsed(self):
+        tokens = tokenize("int x = 64 + 0x1F + 3.5f;")
+        assert tokens.count("<num>") == 3
+
+    def test_strings_collapsed(self):
+        tokens = tokenize('printf("hello %s", name);')
+        assert "<str>" in tokens
+        assert not any("hello" in t for t in tokens)
+
+    def test_multichar_operators_kept_whole(self):
+        tokens = tokenize("a += b->c && d <= e;")
+        assert "+=" in tokens
+        assert "->" in tokens
+        assert "&&" in tokens
+        assert "<=" in tokens
+
+    def test_empty_source(self):
+        assert tokenize("") == []
+
+    def test_unrecognized_bytes_skipped(self):
+        tokens = tokenize("int x;\x01\x02 int y;")
+        assert tokens.count("int") == 2
+
+    @given(st.text(alphabet="abc123 +-*/;(){}=<>", max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_property_never_crashes(self, code):
+        tokens = tokenize(code)
+        assert all(isinstance(t, str) and t for t in tokens)
+
+
+class TestVocabulary:
+    def test_pad_and_unk_reserved(self):
+        vocabulary = CodeVocabulary()
+        assert vocabulary.PAD == 0
+        assert vocabulary.UNK == 1
+        assert vocabulary.token_id("if") >= 2
+
+    def test_encode_pads_and_truncates(self):
+        vocabulary = CodeVocabulary()
+        short = vocabulary.encode("int x;", max_len=10)
+        assert short.shape == (10,)
+        assert short[3] == 0  # padding
+        long = vocabulary.encode(SAMPLE, max_len=5)
+        assert long.shape == (5,)
+        assert np.all(long > 0)
+
+    def test_unknown_identifiers_bucketed_consistently(self):
+        vocabulary = CodeVocabulary()
+        a = vocabulary.token_id("my_custom_var")
+        b = vocabulary.token_id("my_custom_var")
+        assert a == b
+        assert a >= vocabulary.size - vocabulary.n_identifier_buckets
+
+    def test_encode_batch_shape(self):
+        vocabulary = CodeVocabulary()
+        batch = vocabulary.encode_batch(["int x;", "float y;"], max_len=8)
+        assert batch.shape == (2, 8)
+
+    def test_invalid_max_len(self):
+        with pytest.raises(ValueError):
+            CodeVocabulary().encode("int x;", max_len=0)
+
+    def test_histogram_normalized(self):
+        vocabulary = CodeVocabulary()
+        hist = token_histogram(SAMPLE, vocabulary)
+        assert hist.shape == (vocabulary.size,)
+        assert hist.sum() == pytest.approx(1.0)
+
+
+class TestCodeMetrics:
+    def test_feature_length_matches_names(self):
+        from repro.lang.features import FEATURE_NAMES
+
+        assert code_metrics(SAMPLE).shape == (len(FEATURE_NAMES),)
+
+    def test_memory_density_detected(self):
+        with_memory = code_metrics("void f() { free(p); malloc(4); }")
+        without = code_metrics("void f() { int x = 1 + 2; }")
+        memory_index = 4
+        assert with_memory[memory_index] > without[memory_index]
+
+    def test_batch_shape(self):
+        features = static_code_features([SAMPLE, "int f() { return 0; }"])
+        assert features.shape[0] == 2
+
+    def test_empty_code_is_finite(self):
+        assert np.all(np.isfinite(code_metrics("")))
+
+
+class TestProgramGraph:
+    def test_graph_structure(self):
+        graph = build_program_graph(SAMPLE)
+        n = graph["X"].shape[0]
+        assert graph["A"].shape == (n, n)
+        assert n >= 4  # several statements
+        assert np.array_equal(graph["A"], graph["A"].T)
+
+    def test_control_flow_chain_present(self):
+        graph = build_program_graph("int a = 1; int b = 2; int c = 3;")
+        assert graph["A"][0, 1] == 1.0
+        assert graph["A"][1, 2] == 1.0
+
+    def test_def_use_edge(self):
+        code = "int x = compute(); use(y); use(z); sink(x);"
+        graph = build_program_graph(code)
+        # statement 0 defines x, statement 3 reads it
+        assert graph["A"][0, 3] == 1.0
+
+    def test_empty_code_yields_single_node(self):
+        graph = build_program_graph("")
+        assert graph["X"].shape[0] == 1

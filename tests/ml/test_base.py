@@ -1,0 +1,107 @@
+"""Unit tests for repro.ml.base."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml.base import (
+    check_2d,
+    check_consistent_length,
+    one_hot,
+    sigmoid,
+    softmax,
+)
+from repro.ml.linear import LogisticRegression
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = np.array([[1.0, 2.0, 3.0], [-1.0, 0.0, 1.0]])
+        probs = softmax(logits)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_monotone_in_logits(self):
+        probs = softmax(np.array([[1.0, 2.0, 3.0]]))
+        assert probs[0, 0] < probs[0, 1] < probs[0, 2]
+
+    def test_stable_for_large_logits(self):
+        probs = softmax(np.array([[1000.0, 1000.0]]))
+        assert np.allclose(probs, 0.5)
+        assert np.all(np.isfinite(probs))
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            (3, 4),
+            elements=st.floats(-50, 50, allow_nan=False),
+        )
+    )
+    def test_property_valid_distribution(self, logits):
+        probs = softmax(logits)
+        assert np.all(probs >= 0)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_extremes_are_finite(self):
+        values = sigmoid(np.array([-1000.0, 1000.0]))
+        assert np.all(np.isfinite(values))
+        assert values[0] == pytest.approx(0.0, abs=1e-12)
+        assert values[1] == pytest.approx(1.0, abs=1e-12)
+
+    @given(
+        hnp.arrays(np.float64, (10,), elements=st.floats(-500, 500, allow_nan=False))
+    )
+    def test_property_range_and_symmetry(self, z):
+        s = sigmoid(z)
+        assert np.all((s >= 0) & (s <= 1))
+        assert np.allclose(s + sigmoid(-z), 1.0, atol=1e-12)
+
+
+class TestOneHot:
+    def test_basic_encoding(self):
+        encoded = one_hot(np.array([0, 2, 1]), 3)
+        expected = np.array([[1, 0, 0], [0, 0, 1], [0, 1, 0]], dtype=float)
+        assert np.array_equal(encoded, expected)
+
+    def test_row_sums(self):
+        encoded = one_hot(np.array([1, 1, 1, 0]), 4)
+        assert np.allclose(encoded.sum(axis=1), 1.0)
+
+
+class TestValidation:
+    def test_check_2d_promotes_1d(self):
+        assert check_2d([1.0, 2.0]).shape == (1, 2)
+
+    def test_check_2d_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_2d(np.zeros((2, 2, 2)))
+
+    def test_consistent_length_raises(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            check_consistent_length(np.zeros((3, 2)), np.zeros(4))
+
+
+class TestEstimatorProtocol:
+    def test_get_params_excludes_fitted_state(self):
+        model = LogisticRegression(epochs=5)
+        model.fit(np.random.default_rng(0).normal(size=(30, 3)), [0, 1] * 15)
+        params = model.get_params()
+        assert "epochs" in params
+        assert not any(key.endswith("_") for key in params)
+
+    def test_clone_returns_unfitted_copy(self):
+        model = LogisticRegression(epochs=7, learning_rate=0.2)
+        clone = model.clone()
+        assert clone is not model
+        assert clone.epochs == 7
+        assert clone.learning_rate == 0.2
+        assert not hasattr(clone, "coef_")
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            LogisticRegression().predict_proba(np.zeros((1, 2)))

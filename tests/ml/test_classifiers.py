@@ -1,0 +1,142 @@
+"""Cross-cutting behaviour tests for every vector classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    GradientBoostingClassifier,
+    KNeighborsClassifier,
+    LinearSVC,
+    LogisticRegression,
+    MLPClassifier,
+)
+
+CLASSIFIERS = [
+    pytest.param(lambda: LogisticRegression(epochs=60), id="logreg"),
+    pytest.param(lambda: MLPClassifier(epochs=40), id="mlp"),
+    pytest.param(lambda: LinearSVC(epochs=40), id="svm"),
+    pytest.param(lambda: GradientBoostingClassifier(n_estimators=15), id="gbc"),
+    pytest.param(lambda: KNeighborsClassifier(n_neighbors=5), id="knn"),
+]
+
+
+def _separable(n=200, n_classes=3, seed=0):
+    """One informative feature per class so every model family separates it."""
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, n_classes, n)
+    X = rng.normal(size=(n, 5)) * 0.3
+    X[np.arange(n), y] += 3.0
+    return X, y
+
+
+@pytest.mark.parametrize("factory", CLASSIFIERS)
+class TestClassifierContract:
+    def test_learns_separable_data(self, factory):
+        X, y = _separable()
+        model = factory().fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_predict_proba_is_distribution(self, factory):
+        X, y = _separable()
+        probs = factory().fit(X, y).predict_proba(X)
+        assert probs.shape == (len(X), 3)
+        assert np.all(probs >= -1e-9)
+        assert np.allclose(probs.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_predict_matches_argmax_classes(self, factory):
+        X, y = _separable()
+        model = factory().fit(X, y)
+        predictions = model.predict(X[:20])
+        assert set(predictions.tolist()) <= set(model.classes_.tolist())
+
+    def test_generalizes_to_fresh_samples(self, factory):
+        X, y = _separable(seed=0)
+        X2, y2 = _separable(seed=99)
+        model = factory().fit(X, y)
+        assert model.score(X2, y2) > 0.8
+
+    def test_binary_problem(self, factory):
+        X, y = _separable(n_classes=2, seed=3)
+        model = factory().fit(X, y)
+        assert model.predict_proba(X).shape[1] == 2
+        assert model.score(X, y) > 0.9
+
+    def test_string_labels_roundtrip(self, factory):
+        X, y = _separable(n_classes=2, seed=5)
+        labels = np.asarray(["cpu", "gpu"])[y]
+        model = factory().fit(X, labels)
+        assert set(model.predict(X).tolist()) <= {"cpu", "gpu"}
+
+    def test_single_class_rejected(self, factory):
+        X = np.random.default_rng(0).normal(size=(20, 3))
+        model = factory()
+        if isinstance(model, KNeighborsClassifier):
+            pytest.skip("knn tolerates single-class data")
+        with pytest.raises(ValueError):
+            model.fit(X, np.zeros(20, dtype=int))
+
+    def test_mismatched_lengths_rejected(self, factory):
+        with pytest.raises(ValueError):
+            factory().fit(np.zeros((10, 2)), np.zeros(7, dtype=int))
+
+
+class TestMLPSpecifics:
+    def test_hidden_embedding_shape(self):
+        X, y = _separable()
+        model = MLPClassifier(hidden_sizes=(16, 8), epochs=10).fit(X, y)
+        emb = model.hidden_embedding(X)
+        assert emb.shape == (len(X), 8)
+        assert np.all(emb >= 0)  # ReLU output
+
+    def test_partial_fit_improves_on_new_region(self):
+        X, y = _separable(seed=0)
+        model = MLPClassifier(epochs=40).fit(X, y)
+        rng = np.random.default_rng(7)
+        X_new = rng.normal(size=(100, 5)) + np.array([10, 5, 0, 0, 0])
+        y_new = rng.integers(0, 3, 100)
+        before = model.score(X_new, y_new)
+        model.partial_fit(X_new, y_new, epochs=60)
+        after = model.score(X_new, y_new)
+        assert after >= before
+        assert after > 0.5
+
+    def test_partial_fit_unseen_class_raises(self):
+        X, y = _separable(n_classes=2)
+        model = MLPClassifier(epochs=5).fit(X, y)
+        with pytest.raises(ValueError, match="unseen class"):
+            model.partial_fit(X[:5], np.full(5, 9))
+
+    def test_deterministic_given_seed(self):
+        X, y = _separable()
+        p1 = MLPClassifier(epochs=10, seed=42).fit(X, y).predict_proba(X[:5])
+        p2 = MLPClassifier(epochs=10, seed=42).fit(X, y).predict_proba(X[:5])
+        assert np.allclose(p1, p2)
+
+
+class TestSVMSpecifics:
+    def test_decision_function_shape(self):
+        X, y = _separable()
+        model = LinearSVC(epochs=20).fit(X, y)
+        assert model.decision_function(X).shape == (len(X), 3)
+
+    def test_platt_probabilities_track_margin(self):
+        X, y = _separable(n_classes=2, seed=1)
+        model = LinearSVC(epochs=40).fit(X, y)
+        margins = model.decision_function(X)[:, 1]
+        probs = model.predict_proba(X)[:, 1]
+        # after one-vs-rest renormalization probabilities should still
+        # strongly correlate with the class margin
+        assert np.corrcoef(margins, probs)[0, 1] > 0.8
+
+
+class TestGradientBoostingSpecifics:
+    def test_more_rounds_do_not_hurt_training_fit(self):
+        X, y = _separable(seed=2)
+        small = GradientBoostingClassifier(n_estimators=2).fit(X, y)
+        large = GradientBoostingClassifier(n_estimators=25).fit(X, y)
+        assert large.score(X, y) >= small.score(X, y)
+
+    def test_subsample_still_learns(self):
+        X, y = _separable(seed=4)
+        model = GradientBoostingClassifier(n_estimators=15, subsample=0.6).fit(X, y)
+        assert model.score(X, y) > 0.85

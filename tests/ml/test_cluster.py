@@ -1,0 +1,70 @@
+"""Tests for K-means and the Gap statistic."""
+
+import numpy as np
+import pytest
+
+from repro.ml import KMeans, gap_statistic
+
+
+def _three_blobs(n_per=40, separation=8.0, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0, 0], [separation, 0], [0, separation]], dtype=float)
+    X = np.vstack([rng.normal(c, 0.5, size=(n_per, 2)) for c in centers])
+    labels = np.repeat(np.arange(3), n_per)
+    return X, labels
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self):
+        X, truth = _three_blobs()
+        model = KMeans(n_clusters=3, seed=0).fit(X)
+        # Each true blob should map to exactly one cluster id.
+        for blob in range(3):
+            assigned = model.labels_[truth == blob]
+            assert len(set(assigned.tolist())) == 1
+
+    def test_inertia_decreases_with_more_clusters(self):
+        X, _ = _three_blobs()
+        inertia_2 = KMeans(n_clusters=2, seed=0).fit(X).inertia_
+        inertia_6 = KMeans(n_clusters=6, seed=0).fit(X).inertia_
+        assert inertia_6 < inertia_2
+
+    def test_predict_assigns_nearest_center(self):
+        X, _ = _three_blobs()
+        model = KMeans(n_clusters=3, seed=0).fit(X)
+        # A point at a cluster center must be assigned to that cluster.
+        for k, center in enumerate(model.cluster_centers_):
+            assert model.predict(center.reshape(1, -1))[0] == k
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError, match="cannot fit"):
+            KMeans(n_clusters=5).fit(np.zeros((3, 2)))
+
+    def test_deterministic_given_seed(self):
+        X, _ = _three_blobs()
+        a = KMeans(n_clusters=3, seed=7).fit(X).cluster_centers_
+        b = KMeans(n_clusters=3, seed=7).fit(X).cluster_centers_
+        assert np.allclose(a, b)
+
+    def test_single_cluster(self):
+        X, _ = _three_blobs()
+        model = KMeans(n_clusters=1).fit(X)
+        assert np.allclose(model.cluster_centers_[0], X.mean(axis=0))
+
+
+class TestGapStatistic:
+    def test_finds_three_blobs(self):
+        X, _ = _three_blobs(separation=10.0)
+        best_k, gaps = gap_statistic(X, k_min=2, k_max=6, seed=0)
+        assert best_k == 3
+        assert set(gaps) == {2, 3, 4, 5, 6}
+
+    def test_k_max_clamped_to_data(self):
+        X = np.random.default_rng(0).normal(size=(6, 2))
+        best_k, gaps = gap_statistic(X, k_min=2, k_max=20, seed=0)
+        assert best_k <= 5
+
+    def test_gap_values_finite(self):
+        X, _ = _three_blobs()
+        _, gaps = gap_statistic(X, k_min=2, k_max=5, seed=1)
+        assert all(np.isfinite(v) for v in gaps.values())

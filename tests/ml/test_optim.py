@@ -1,0 +1,93 @@
+"""Tests for the optimizers and gradient utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.optim import SGD, Adam, clip_gradients, minibatches
+
+
+def _quadratic_descent(optimizer, steps=300):
+    """Minimize f(x) = ||x - 3||^2 and return the final parameters."""
+    params = {"x": np.array([10.0, -10.0])}
+    for _ in range(steps):
+        grads = {"x": 2.0 * (params["x"] - 3.0)}
+        optimizer.step(params, grads)
+    return params["x"]
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        x = _quadratic_descent(SGD(learning_rate=0.05))
+        assert np.allclose(x, 3.0, atol=1e-3)
+
+    def test_momentum_converges(self):
+        x = _quadratic_descent(SGD(learning_rate=0.02, momentum=0.9))
+        assert np.allclose(x, 3.0, atol=1e-2)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGD(momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        x = _quadratic_descent(Adam(learning_rate=0.1), steps=500)
+        assert np.allclose(x, 3.0, atol=1e-2)
+
+    def test_per_parameter_state(self):
+        optimizer = Adam(learning_rate=0.1)
+        params = {"a": np.zeros(2), "b": np.zeros(3)}
+        optimizer.step(params, {"a": np.ones(2), "b": np.ones(3)})
+        assert params["a"].shape == (2,)
+        assert params["b"].shape == (3,)
+        # the first Adam step moves by ~learning_rate regardless of scale
+        assert np.allclose(np.abs(params["a"]), 0.1, atol=1e-6)
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            Adam(learning_rate=-1.0)
+
+
+class TestClipGradients:
+    def test_noop_below_norm(self):
+        grads = {"w": np.array([1.0, 0.0])}
+        clipped = clip_gradients(grads, max_norm=5.0)
+        assert np.array_equal(clipped["w"], grads["w"])
+
+    def test_scales_to_max_norm(self):
+        grads = {"w": np.array([30.0, 40.0])}  # norm 50
+        clipped = clip_gradients(grads, max_norm=5.0)
+        total = np.sqrt(np.sum(clipped["w"] ** 2))
+        assert total == pytest.approx(5.0, rel=1e-6)
+
+    def test_global_norm_over_multiple_tensors(self):
+        grads = {"a": np.array([3.0]), "b": np.array([4.0])}  # global norm 5
+        clipped = clip_gradients(grads, max_norm=1.0)
+        total = np.sqrt(sum(float(np.sum(g * g)) for g in clipped.values()))
+        assert total == pytest.approx(1.0, rel=1e-6)
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_gradients({"w": np.ones(2)}, max_norm=0.0)
+
+
+class TestMinibatches:
+    @given(st.integers(1, 100), st.integers(1, 32), st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_property_batches_cover_everything_once(self, n, batch_size, seed):
+        rng = np.random.default_rng(seed)
+        seen = np.concatenate(list(minibatches(n, batch_size, rng)))
+        assert sorted(seen.tolist()) == list(range(n))
+
+    def test_batch_sizes(self):
+        rng = np.random.default_rng(0)
+        batches = list(minibatches(10, 4, rng))
+        assert [len(b) for b in batches] == [4, 4, 2]
+
+    def test_shuffling_depends_on_rng(self):
+        a = np.concatenate(list(minibatches(50, 8, np.random.default_rng(1))))
+        b = np.concatenate(list(minibatches(50, 8, np.random.default_rng(2))))
+        assert not np.array_equal(a, b)

@@ -1,0 +1,133 @@
+"""Tests for scalers, encoders and data splitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml import (
+    LabelEncoder,
+    MinMaxScaler,
+    StandardScaler,
+    kfold_indices,
+    train_test_split,
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(3.0, 5.0, size=(200, 4))
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_is_safe(self):
+        X = np.hstack([np.ones((50, 1)), np.random.default_rng(0).normal(size=(50, 1))])
+        scaled = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(scaled))
+        assert np.allclose(scaled[:, 0], 0.0)
+
+    def test_inverse_roundtrip(self):
+        X = np.random.default_rng(1).normal(2.0, 3.0, size=(40, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            (20, 3),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        )
+    )
+    def test_property_finite_output(self, X):
+        scaled = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(scaled))
+
+
+class TestMinMaxScaler:
+    def test_output_in_unit_interval(self):
+        X = np.random.default_rng(0).normal(size=(100, 3)) * 10
+        scaled = MinMaxScaler().fit_transform(X)
+        assert scaled.min() >= -1e-12
+        assert scaled.max() <= 1.0 + 1e-12
+
+    def test_constant_feature_is_safe(self):
+        X = np.full((10, 2), 7.0)
+        scaled = MinMaxScaler().fit_transform(X)
+        assert np.all(np.isfinite(scaled))
+
+
+class TestLabelEncoder:
+    def test_roundtrip(self):
+        y = ["gpu", "cpu", "gpu", "cpu"]
+        encoder = LabelEncoder().fit(y)
+        encoded = encoder.transform(y)
+        assert set(encoded.tolist()) == {0, 1}
+        assert list(encoder.inverse_transform(encoded)) == y
+
+    def test_unseen_label_raises(self):
+        encoder = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError, match="unseen"):
+            encoder.transform(["c"])
+
+    def test_classes_sorted(self):
+        encoder = LabelEncoder().fit([3, 1, 2, 1])
+        assert encoder.classes_.tolist() == [1, 2, 3]
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(100).reshape(-1, 1)
+        y = np.arange(100)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.25, seed=0)
+        assert len(X_te) == 25
+        assert len(X_tr) == 75
+        assert len(y_te) == 25
+
+    def test_partition_is_exact(self):
+        X = np.arange(50)
+        X_tr, X_te = train_test_split(X, test_size=0.2, seed=1)
+        assert sorted(np.concatenate([X_tr, X_te]).tolist()) == list(range(50))
+
+    def test_rows_stay_aligned(self):
+        X = np.arange(60).reshape(-1, 2)
+        y = X[:, 0]
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.3, seed=2)
+        assert np.array_equal(X_tr[:, 0], y_tr)
+        assert np.array_equal(X_te[:, 0], y_te)
+
+    def test_deterministic_given_seed(self):
+        X = np.arange(30)
+        a = train_test_split(X, test_size=0.5, seed=9)[0]
+        b = train_test_split(X, test_size=0.5, seed=9)[0]
+        assert np.array_equal(a, b)
+
+    def test_invalid_test_size(self):
+        with pytest.raises(ValueError, match="test_size"):
+            train_test_split(np.arange(10), test_size=1.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="same length"):
+            train_test_split(np.arange(10), np.arange(9))
+
+
+class TestKFold:
+    def test_folds_partition_everything(self):
+        covered = []
+        for train_idx, test_idx in kfold_indices(23, 4, seed=0):
+            covered.extend(test_idx.tolist())
+            assert set(train_idx) & set(test_idx) == set()
+        assert sorted(covered) == list(range(23))
+
+    def test_fold_count(self):
+        folds = list(kfold_indices(30, 5))
+        assert len(folds) == 5
+
+    def test_too_many_folds_raises(self):
+        with pytest.raises(ValueError):
+            list(kfold_indices(3, 10))

@@ -1,0 +1,102 @@
+"""Tests for the regression estimators."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    GradientBoostingRegressor,
+    KNeighborsRegressor,
+    MLPRegressor,
+    RidgeRegression,
+)
+
+REGRESSORS = [
+    pytest.param(lambda: RidgeRegression(alpha=0.1), id="ridge"),
+    pytest.param(lambda: MLPRegressor(epochs=80), id="mlp"),
+    pytest.param(lambda: GradientBoostingRegressor(n_estimators=40), id="gbr"),
+    pytest.param(lambda: KNeighborsRegressor(n_neighbors=3), id="knn"),
+]
+
+
+def _linear_data(n=200, seed=0, noise=0.05):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    y = 2.0 * X[:, 0] - 1.5 * X[:, 1] + noise * rng.normal(size=n)
+    return X, y
+
+
+@pytest.mark.parametrize("factory", REGRESSORS)
+class TestRegressorContract:
+    def test_fits_linear_target(self, factory):
+        X, y = _linear_data()
+        model = factory().fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_predict_shape(self, factory):
+        X, y = _linear_data()
+        predictions = factory().fit(X, y).predict(X[:13])
+        assert predictions.shape == (13,)
+
+    def test_generalizes(self, factory):
+        X, y = _linear_data(seed=0)
+        X2, y2 = _linear_data(seed=5)
+        assert factory().fit(X, y).score(X2, y2) > 0.8
+
+    def test_mismatched_lengths_rejected(self, factory):
+        with pytest.raises(ValueError):
+            factory().fit(np.zeros((10, 2)), np.zeros(8))
+
+
+class TestRidgeSpecifics:
+    def test_recovers_exact_coefficients(self):
+        X, y = _linear_data(noise=0.0)
+        model = RidgeRegression(alpha=1e-8).fit(X, y)
+        assert model.coef_[0] == pytest.approx(2.0, abs=1e-3)
+        assert model.coef_[1] == pytest.approx(-1.5, abs=1e-3)
+
+    def test_intercept_not_regularized(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 2))
+        y = X[:, 0] + 100.0  # big intercept
+        model = RidgeRegression(alpha=10.0).fit(X, y)
+        assert model.intercept_ == pytest.approx(100.0, abs=0.5)
+
+
+class TestMLPRegressorSpecifics:
+    def test_learns_nonlinear_function(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-2, 2, size=(400, 2))
+        y = np.sin(X[:, 0]) + X[:, 1] ** 2
+        model = MLPRegressor(epochs=200, hidden_sizes=(32, 32)).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_partial_fit_adapts(self):
+        X, y = _linear_data(seed=0)
+        model = MLPRegressor(epochs=60).fit(X, y)
+        rng = np.random.default_rng(9)
+        X_new = rng.normal(size=(150, 4)) + 5.0
+        y_new = -3.0 * X_new[:, 0]
+        before = np.mean((model.predict(X_new) - y_new) ** 2)
+        model.partial_fit(X_new, y_new, epochs=80)
+        after = np.mean((model.predict(X_new) - y_new) ** 2)
+        assert after < before
+
+    def test_hidden_embedding_shape(self):
+        X, y = _linear_data()
+        model = MLPRegressor(hidden_sizes=(16, 8), epochs=10).fit(X, y)
+        assert model.hidden_embedding(X).shape == (len(X), 8)
+
+
+class TestKNNSpecifics:
+    def test_exact_on_training_point_with_k1(self):
+        X, y = _linear_data(noise=0.0)
+        model = KNeighborsRegressor(n_neighbors=1).fit(X, y)
+        assert np.allclose(model.predict(X), y)
+
+    def test_kneighbors_returns_sorted_distances(self):
+        X, y = _linear_data()
+        model = KNeighborsRegressor(n_neighbors=4).fit(X, y)
+        distances, indices = model.kneighbors(X[:3])
+        assert distances.shape == (3, 4)
+        assert indices.shape == (3, 4)
+        assert np.all(np.diff(distances, axis=1) >= -1e-12)

@@ -1,0 +1,174 @@
+"""Tests for the LSTM, Transformer and GNN models."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    GNNClassifier,
+    LSTMClassifier,
+    TransformerClassifier,
+    TransformerRegressor,
+    graph_from_networkx,
+)
+
+
+def _token_data(n=120, length=10, vocab=40, seed=0):
+    """Sequences whose class is determined by which token region dominates."""
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, n)
+    X = np.empty((n, length), dtype=int)
+    for i in range(n):
+        lo, hi = (1, vocab // 2) if y[i] == 0 else (vocab // 2, vocab)
+        X[i] = rng.integers(lo, hi, length)
+    return X, y
+
+
+class TestLSTM:
+    def test_learns_token_regions(self):
+        X, y = _token_data()
+        model = LSTMClassifier(vocab_size=40, epochs=15, seed=0).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_bidirectional_learns(self):
+        X, y = _token_data(seed=1)
+        model = LSTMClassifier(
+            vocab_size=40, epochs=15, bidirectional=True, seed=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_padding_invariance(self):
+        """Appending padding (token 0) must not change the prediction."""
+        X, y = _token_data(n=40)
+        model = LSTMClassifier(vocab_size=40, epochs=8).fit(X, y)
+        padded = np.hstack([X, np.zeros((len(X), 5), dtype=int)])
+        assert np.allclose(
+            model.predict_proba(X), model.predict_proba(padded), atol=1e-9
+        )
+
+    def test_probability_rows_sum_to_one(self):
+        X, y = _token_data(n=40)
+        probs = LSTMClassifier(vocab_size=40, epochs=4).fit(X, y).predict_proba(X)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_hidden_embedding_shape(self):
+        X, y = _token_data(n=40)
+        model = LSTMClassifier(vocab_size=40, hidden_size=12, epochs=4).fit(X, y)
+        assert model.hidden_embedding(X).shape == (40, 12)
+
+    def test_bidirectional_embedding_is_doubled(self):
+        X, y = _token_data(n=30)
+        model = LSTMClassifier(
+            vocab_size=40, hidden_size=12, epochs=3, bidirectional=True
+        ).fit(X, y)
+        assert model.hidden_embedding(X).shape == (30, 24)
+
+    def test_partial_fit_keeps_classes(self):
+        X, y = _token_data(n=60)
+        model = LSTMClassifier(vocab_size=40, epochs=5).fit(X, y)
+        model.partial_fit(X[:10], y[:10], epochs=2)
+        assert len(model.classes_) == 2
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError, match="batch, time"):
+            LSTMClassifier().fit(np.zeros(10, dtype=int), np.zeros(10))
+
+
+class TestTransformer:
+    def test_learns_token_regions(self):
+        X, y = _token_data(seed=2)
+        model = TransformerClassifier(
+            vocab_size=40, max_len=10, epochs=20, seed=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    def test_padding_invariance(self):
+        X, y = _token_data(n=40)
+        model = TransformerClassifier(vocab_size=40, max_len=20, epochs=5).fit(X, y)
+        padded = np.hstack([X, np.zeros((len(X), 5), dtype=int)])
+        assert np.allclose(
+            model.predict_proba(X), model.predict_proba(padded), atol=1e-6
+        )
+
+    def test_rejects_overlong_sequences(self):
+        X, y = _token_data(n=20, length=10)
+        model = TransformerClassifier(vocab_size=40, max_len=10, epochs=2).fit(X, y)
+        too_long = np.ones((2, 30), dtype=int)
+        with pytest.raises(ValueError, match="max_len"):
+            model.predict_proba(too_long)
+
+    def test_regressor_fits_token_sum_signal(self):
+        rng = np.random.default_rng(3)
+        X = rng.integers(1, 30, size=(150, 8))
+        y = X.mean(axis=1) / 30.0
+        model = TransformerRegressor(
+            vocab_size=30, max_len=8, epochs=40, seed=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.7
+
+    def test_regressor_partial_fit_runs(self):
+        rng = np.random.default_rng(4)
+        X = rng.integers(1, 30, size=(60, 8))
+        y = X.mean(axis=1)
+        model = TransformerRegressor(vocab_size=30, max_len=8, epochs=5).fit(X, y)
+        model.partial_fit(X[:10], y[:10], epochs=2)
+        assert model.predict(X).shape == (60,)
+
+
+def _graph_data(n=60, seed=0):
+    """Graphs labelled by the sign of the mean of one node feature."""
+    rng = np.random.default_rng(seed)
+    graphs, labels = [], []
+    for _ in range(n):
+        n_nodes = int(rng.integers(4, 9))
+        A = (rng.random((n_nodes, n_nodes)) < 0.4).astype(float)
+        A = np.triu(A, 1)
+        A = A + A.T
+        features = rng.normal(size=(n_nodes, 5))
+        label = int(features[:, 0].mean() > 0)
+        features[:, 1] += label * 2.0
+        graphs.append({"X": features, "A": A})
+        labels.append(label)
+    return graphs, np.asarray(labels)
+
+
+class TestGNN:
+    def test_learns_graph_labels(self):
+        graphs, y = _graph_data()
+        model = GNNClassifier(epochs=30, seed=0).fit(graphs, y)
+        assert model.score(graphs, y) > 0.9
+
+    def test_probabilities_valid(self):
+        graphs, y = _graph_data(n=20)
+        probs = GNNClassifier(epochs=5).fit(graphs, y).predict_proba(graphs)
+        assert probs.shape == (20, 2)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_hidden_embedding_shape(self):
+        graphs, y = _graph_data(n=20)
+        model = GNNClassifier(hidden_size=16, epochs=5).fit(graphs, y)
+        assert model.hidden_embedding(graphs).shape == (20, 16)
+
+    def test_node_permutation_invariance(self):
+        graphs, y = _graph_data(n=20)
+        model = GNNClassifier(epochs=5).fit(graphs, y)
+        graph = graphs[0]
+        perm = np.random.default_rng(0).permutation(len(graph["X"]))
+        permuted = {"X": graph["X"][perm], "A": graph["A"][np.ix_(perm, perm)]}
+        p1 = model.predict_proba([graph])
+        p2 = model.predict_proba([permuted])
+        assert np.allclose(p1, p2, atol=1e-9)
+
+    def test_graph_from_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        g = networkx.Graph()
+        g.add_node(0, feature=[1.0, 0.0])
+        g.add_node(1, feature=[0.0, 1.0])
+        g.add_edge(0, 1)
+        converted = graph_from_networkx(g)
+        assert converted["X"].shape == (2, 2)
+        assert converted["A"][0, 1] == 1.0
+        assert converted["A"][1, 0] == 1.0
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            GNNClassifier().fit([], [])

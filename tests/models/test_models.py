@@ -1,0 +1,126 @@
+"""Tests for the reproduced underlying models (catalog + families)."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    MODEL_CATALOG,
+    ProgramSample,
+    codexglue,
+    deeptune,
+    ir2vec,
+    linevul,
+    magni,
+    programl,
+    stock,
+    tlp,
+    vulde,
+)
+
+
+def _toy_samples(n=80, n_classes=2, seed=0):
+    """ProgramSamples whose every view carries the class signal."""
+    rng = np.random.default_rng(seed)
+    samples, labels = [], []
+    for _ in range(n):
+        label = int(rng.integers(0, n_classes))
+        features = rng.normal(size=6)
+        features[label] += 3.0
+        lo, hi = (1, 60) if label == 0 else (60, 120)
+        tokens = rng.integers(lo, hi, size=16)
+        n_nodes = int(rng.integers(4, 8))
+        A = np.triu((rng.random((n_nodes, n_nodes)) < 0.5).astype(float), 1)
+        A = A + A.T
+        node_features = rng.normal(size=(n_nodes, 5))
+        node_features[:, label] += 2.0
+        samples.append(
+            ProgramSample(
+                features=features,
+                tokens=tokens,
+                graph={"X": node_features, "A": A},
+                meta={"label": label},
+            )
+        )
+        labels.append(label)
+    return samples, np.asarray(labels)
+
+
+CLASSIFIER_FACTORIES = [
+    pytest.param(magni, id="magni"),
+    pytest.param(ir2vec, id="ir2vec"),
+    pytest.param(stock, id="stock"),
+    pytest.param(deeptune, id="deeptune"),
+    pytest.param(vulde, id="vulde"),
+    pytest.param(codexglue, id="codexglue"),
+    pytest.param(linevul, id="linevul"),
+    pytest.param(programl, id="programl"),
+]
+
+
+@pytest.mark.parametrize("factory", CLASSIFIER_FACTORIES)
+class TestUnderlyingModelContract:
+    def test_learns_toy_signal(self, factory):
+        samples, labels = _toy_samples()
+        model = factory(seed=0)
+        model.fit(samples, labels)
+        assert model.score(samples, labels) > 0.8
+
+    def test_predict_proba_shape(self, factory):
+        samples, labels = _toy_samples(n=40)
+        model = factory(seed=0).fit(samples, labels)
+        probs = model.predict_proba(samples[:7])
+        assert probs.shape == (7, 2)
+        assert np.allclose(probs.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_features_are_2d_and_finite(self, factory):
+        samples, labels = _toy_samples(n=40)
+        model = factory(seed=0).fit(samples, labels)
+        features = model.features(samples[:9])
+        assert features.ndim == 2
+        assert features.shape[0] == 9
+        assert np.all(np.isfinite(features))
+
+    def test_partial_fit_runs(self, factory):
+        samples, labels = _toy_samples(n=40)
+        model = factory(seed=0).fit(samples, labels)
+        model.partial_fit(samples[:10], labels[:10], epochs=2)
+        assert model.predict_proba(samples[:3]).shape == (3, 2)
+
+    def test_has_name(self, factory):
+        assert factory().name != "model"
+
+
+class TestTLP:
+    def test_regresses_schedule_tokens(self):
+        from repro.lang import tensor_programs
+        from repro.simulators import tensor
+
+        schedules = tensor_programs.generate_dataset("bert-base", 150, seed=0)
+        tokens = tensor_programs.token_sequences(schedules)
+        targets = tensor.throughputs(schedules)
+        scale = targets.mean()
+        model = tlp(seed=0)
+        model.fit(tokens, targets / scale)
+        predictions = model.predict(tokens) * scale
+        correlation = np.corrcoef(predictions, targets)[0, 1]
+        assert correlation > 0.5
+
+
+class TestCatalog:
+    def test_catalog_covers_five_case_studies(self):
+        assert set(MODEL_CATALOG) == {
+            "thread_coarsening",
+            "loop_vectorization",
+            "heterogeneous_mapping",
+            "vulnerability_detection",
+            "dnn_code_generation",
+        }
+
+    def test_thirteen_model_task_pairs(self):
+        total = sum(len(models) for models in MODEL_CATALOG.values())
+        assert total == 13
+
+    def test_factories_return_fresh_instances(self):
+        first = MODEL_CATALOG["thread_coarsening"]["Magni"]()
+        second = MODEL_CATALOG["thread_coarsening"]["Magni"]()
+        assert first is not second

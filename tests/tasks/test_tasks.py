@@ -1,0 +1,205 @@
+"""Tests for the five case-study tasks."""
+
+import numpy as np
+import pytest
+
+from repro.tasks import (
+    DnnCodeGenerationTask,
+    HeterogeneousMappingTask,
+    LoopVectorizationTask,
+    Split,
+    ThreadCoarseningTask,
+    VulnerabilityDetectionTask,
+)
+
+
+@pytest.fixture(scope="module")
+def c1():
+    return ThreadCoarseningTask(kernels_per_suite=20, seed=0)
+
+
+@pytest.fixture(scope="module")
+def c2():
+    return LoopVectorizationTask(n_loops=120, seed=0)
+
+
+@pytest.fixture(scope="module")
+def c3():
+    return HeterogeneousMappingTask(kernels_per_suite=10, seed=0)
+
+
+@pytest.fixture(scope="module")
+def c4():
+    return VulnerabilityDetectionTask(n_samples=160, seed=0)
+
+
+class TestSplitInvariants:
+    def test_split_rejects_leakage(self):
+        with pytest.raises(ValueError, match="leak"):
+            Split(train=np.array([0, 1, 2]), test=np.array([2, 3]))
+
+    @pytest.mark.parametrize("fixture", ["c1", "c2", "c3", "c4"])
+    def test_design_split_partitions(self, fixture, request):
+        task = request.getfixturevalue(fixture)
+        split = task.design_split(test_fraction=0.25, seed=1)
+        union = set(split.train.tolist()) | set(split.test.tolist())
+        assert union == set(range(len(task)))
+
+    @pytest.mark.parametrize("fixture", ["c1", "c2", "c3", "c4"])
+    def test_drift_split_partitions(self, fixture, request):
+        task = request.getfixturevalue(fixture)
+        split = task.drift_split()
+        union = set(split.train.tolist()) | set(split.test.tolist())
+        assert union == set(range(len(task)))
+        assert len(split.test) > 0
+
+    def test_invalid_design_fraction(self, c1):
+        with pytest.raises(ValueError):
+            c1.design_split(test_fraction=0.0)
+
+
+class TestThreadCoarsening:
+    def test_labels_index_factor_classes(self, c1):
+        assert c1.classes.tolist() == [1, 2, 4, 8, 16, 32]
+        assert c1.labels.max() < len(c1.classes)
+
+    def test_oracle_label_has_ratio_one(self, c1):
+        for index in range(0, len(c1), 7):
+            assert c1.performance_ratio(index, int(c1.labels[index])) == pytest.approx(1.0)
+
+    def test_wrong_label_ratio_below_one(self, c1):
+        degraded = 0
+        for index in range(len(c1)):
+            wrong = (int(c1.labels[index]) + 3) % len(c1.classes)
+            if c1.performance_ratio(index, wrong) < 0.8:
+                degraded += 1
+        assert degraded > len(c1) // 2
+
+    def test_drift_split_holds_out_suite(self, c1):
+        split = c1.drift_split("parboil")
+        assert set(c1.suites()[split.test]) == {"parboil"}
+
+    def test_unknown_gpu_rejected(self):
+        with pytest.raises(ValueError, match="unknown GPU"):
+            ThreadCoarseningTask(gpu_name="apple-m1")
+
+    def test_samples_have_all_views(self, c1):
+        sample = c1.samples[0]
+        assert sample.features.ndim == 1
+        assert sample.tokens.ndim == 1
+        assert "X" in sample.graph
+        assert "suite" in sample.meta
+
+
+class TestLoopVectorization:
+    def test_class_names_encode_configs(self, c2):
+        assert all(name.startswith("vf") for name in c2.classes)
+
+    def test_oracle_label_ratio_one(self, c2):
+        for index in range(0, len(c2), 11):
+            assert c2.performance_ratio(index, int(c2.labels[index])) == pytest.approx(1.0)
+
+    def test_drift_split_families(self, c2):
+        split = c2.drift_split()
+        from repro.tasks import DEFAULT_HELD_OUT
+
+        assert set(c2.families()[split.test]) <= set(DEFAULT_HELD_OUT)
+
+    def test_unknown_family_rejected(self, c2):
+        with pytest.raises(ValueError):
+            c2.drift_split(held_out_families=("nope",))
+
+
+class TestHeterogeneousMapping:
+    def test_binary_classes(self, c3):
+        assert c3.classes.tolist() == ["cpu", "gpu"]
+
+    def test_ratio_of_wrong_device_below_one(self, c3):
+        for index in range(0, len(c3), 5):
+            right = int(c3.labels[index])
+            wrong = 1 - right
+            assert c3.performance_ratio(index, right) == pytest.approx(1.0)
+            assert c3.performance_ratio(index, wrong) < 1.0
+
+    def test_unknown_suite_rejected(self, c3):
+        with pytest.raises(ValueError):
+            c3.drift_split("fake-suite")
+
+
+class TestVulnerabilityDetection:
+    def test_cwe_mode_has_eight_classes(self, c4):
+        from repro.lang import CWE_TYPES
+
+        assert c4.classes.tolist() == list(CWE_TYPES)
+        assert c4.labels.max() < 8
+
+    def test_binary_mode(self):
+        task = VulnerabilityDetectionTask(n_samples=80, mode="binary", seed=0)
+        assert task.classes.tolist() == ["benign", "vulnerable"]
+        assert set(task.labels.tolist()) <= {0, 1}
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            VulnerabilityDetectionTask(n_samples=10, mode="bogus")
+
+    def test_temporal_drift_split(self, c4):
+        split = c4.drift_split(train_until=2020)
+        years = c4.years()
+        assert years[split.train].max() <= 2020
+        assert years[split.test].min() >= 2021
+
+    def test_era_split_windows(self, c4):
+        split = c4.era_split(range(2013, 2016), range(2021, 2024))
+        years = c4.years()
+        assert set(years[split.train]) <= set(range(2013, 2016))
+        assert set(years[split.test]) <= set(range(2021, 2024))
+
+    def test_era_split_empty_rejected(self, c4):
+        with pytest.raises(ValueError):
+            c4.era_split(range(1990, 1991), range(2021, 2024))
+
+    def test_accuracy_style_ratio(self, c4):
+        assert c4.performance_ratio(0, int(c4.labels[0])) == 1.0
+        wrong = (int(c4.labels[0]) + 1) % len(c4.classes)
+        assert c4.performance_ratio(0, wrong) == 0.0
+
+
+class TestDnnCodeGeneration:
+    @pytest.fixture(scope="class")
+    def c5(self):
+        return DnnCodeGenerationTask(schedules_per_network=60, seed=0)
+
+    def test_dataset_views_aligned(self, c5):
+        data = c5.dataset("bert-base")
+        n = len(data["schedules"])
+        assert data["tokens"].shape[0] == n
+        assert data["features"].shape[0] == n
+        assert data["throughputs"].shape == (n,)
+
+    def test_dataset_cached(self, c5):
+        assert c5.dataset("bert-base") is c5.dataset("bert-base")
+
+    def test_unknown_network_rejected(self, c5):
+        with pytest.raises(ValueError):
+            c5.dataset("resnet")
+
+    def test_design_split(self, c5):
+        train_idx, test_idx = c5.design_data(test_fraction=0.25, seed=0)
+        assert len(set(train_idx) & set(test_idx)) == 0
+        assert len(test_idx) == 15
+
+    def test_search_performance_oracle_predictor(self, c5):
+        true = c5.dataset("bert-base")["throughputs"]
+        ratios = c5.search_performance(true, true, batch_size=10)
+        assert np.allclose(ratios, 1.0)
+
+    def test_search_performance_random_predictor_below_oracle(self, c5):
+        true = c5.dataset("bert-base")["throughputs"]
+        rng = np.random.default_rng(0)
+        random_scores = rng.random(len(true))
+        ratios = c5.search_performance(random_scores, true, batch_size=10)
+        assert ratios.mean() < 0.95
+
+    def test_search_performance_shape_mismatch(self, c5):
+        with pytest.raises(ValueError):
+            c5.search_performance(np.ones(5), np.ones(6))

@@ -1,0 +1,44 @@
+"""Tests for shared utilities."""
+
+import subprocess
+import sys
+
+from hypothesis import given, strategies as st
+
+from repro.util import stable_hash
+
+
+class TestStableHash:
+    def test_deterministic_within_process(self):
+        assert stable_hash("parboil") == stable_hash("parboil")
+
+    def test_distinguishes_inputs(self):
+        assert stable_hash("a") != stable_hash("b")
+        assert stable_hash("a", 1) != stable_hash("a", 2)
+
+    def test_32bit_range(self):
+        value = stable_hash("anything", 42, 3.14)
+        assert 0 <= value < 2**32
+
+    def test_stable_across_processes(self):
+        """The whole point: immune to PYTHONHASHSEED salting."""
+        code = "from repro.util import stable_hash; print(stable_hash('kernel-k001', 'cf4'))"
+        outputs = {
+            subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+            ).stdout.strip()
+            for seed in ("0", "1")
+        }
+        local = str(stable_hash("kernel-k001", "cf4"))
+        outputs.discard("")  # subprocess may fail in constrained envs
+        if outputs:
+            assert outputs == {local}
+
+    @given(st.text(max_size=50), st.integers(-1000, 1000))
+    def test_property_mixed_arguments_hash(self, text, number):
+        value = stable_hash(text, number)
+        assert 0 <= value < 2**32
+        assert value == stable_hash(text, number)
