@@ -1,0 +1,154 @@
+"""Batch-evaluation engine: throughput vs the per-sample loop.
+
+The deployment story (paper Sec. 7.6) needs cheap per-sample scoring;
+the batch engine goes further and amortizes scoring across a whole
+test window, the way a production drift monitor consumes traffic.
+This bench pits ``evaluate()`` (vectorized batch path) against
+``evaluate_serial()`` (the original per-sample loop, kept as the
+reference implementation) at a realistic deployment size and asserts:
+
+* the batch path is at least 10x faster, and
+* both paths produce identical accept/reject decisions, with
+  credibility/confidence equal to floating-point tolerance.
+
+Results are appended to ``out/BENCH_batch_eval.json`` so later PRs can
+track the perf trajectory.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import PromClassifier, PromRegressor
+
+from conftest import update_bench_json
+
+#: acceptance floor for the batch-vs-serial speedup (classifier,
+#: n_test=500 vs n_calibration=2000)
+SPEEDUP_FLOOR = 10.0
+
+
+def _classification_setup(n_calibration, n_classes, n_features, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(n_calibration, n_features))
+    raw = rng.random((n_calibration, n_classes)) + 0.05
+    probabilities = raw / raw.sum(axis=1, keepdims=True)
+    labels = rng.integers(0, n_classes, n_calibration)
+    prom = PromClassifier()
+    prom.calibrate(features, probabilities, labels)
+    return prom, rng
+
+
+def _time_best(function, repeats):
+    best = np.inf
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = function()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _assert_identical(batch, serial):
+    assert [d.accepted for d in batch] == [d.accepted for d in serial]
+    np.testing.assert_allclose(
+        batch.credibility, [d.credibility for d in serial], rtol=1e-9, atol=1e-12
+    )
+    np.testing.assert_allclose(
+        batch.confidence, [d.confidence for d in serial], rtol=1e-9, atol=1e-12
+    )
+
+
+def test_classifier_batch_speedup():
+    """The ISSUE 1 acceptance measurement: >= 10x at 500 x 2000."""
+    n_test, n_calibration = 500, 2000
+    prom, rng = _classification_setup(n_calibration, n_classes=8, n_features=32)
+    test_features = rng.normal(size=(n_test, 32))
+    raw = rng.random((n_test, 8)) + 0.05
+    test_probabilities = raw / raw.sum(axis=1, keepdims=True)
+
+    prom.evaluate(test_features[:32], test_probabilities[:32])  # warmup
+    serial_seconds, serial = _time_best(
+        lambda: prom.evaluate_serial(test_features, test_probabilities), repeats=2
+    )
+    batch_seconds, batch = _time_best(
+        lambda: prom.evaluate(test_features, test_probabilities), repeats=5
+    )
+    _assert_identical(batch, serial)
+
+    speedup = serial_seconds / batch_seconds
+    update_bench_json(
+        "BENCH_batch_eval.json",
+        {
+            "classifier": {
+                "n_test": n_test,
+                "n_calibration": n_calibration,
+                "serial_seconds": round(serial_seconds, 6),
+                "batch_seconds": round(batch_seconds, 6),
+                "serial_samples_per_second": round(n_test / serial_seconds, 1),
+                "batch_samples_per_second": round(n_test / batch_seconds, 1),
+                "speedup": round(speedup, 2),
+            }
+        },
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"batch evaluate() only {speedup:.1f}x faster than the per-sample "
+        f"loop (floor {SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_regressor_batch_speedup():
+    """Regressor batch path: identical decisions, speedup recorded."""
+    n_test, n_calibration = 300, 1000
+    rng = np.random.default_rng(0)
+    features = rng.normal(size=(n_calibration, 16))
+    targets = 2.0 * features[:, 0] + np.sin(features[:, 1])
+    predictions = targets + rng.normal(scale=0.1, size=n_calibration)
+    prom = PromRegressor(n_clusters=5, seed=0)
+    prom.calibrate(features, predictions, targets)
+
+    test_features = rng.normal(size=(n_test, 16))
+    test_predictions = rng.normal(size=n_test)
+    prom.evaluate(test_features[:16], test_predictions[:16])  # warmup
+    serial_seconds, serial = _time_best(
+        lambda: prom.evaluate_serial(test_features, test_predictions), repeats=2
+    )
+    batch_seconds, batch = _time_best(
+        lambda: prom.evaluate(test_features, test_predictions), repeats=5
+    )
+    _assert_identical(batch, serial)
+
+    speedup = serial_seconds / batch_seconds
+    update_bench_json(
+        "BENCH_batch_eval.json",
+        {
+            "regressor": {
+                "n_test": n_test,
+                "n_calibration": n_calibration,
+                "serial_seconds": round(serial_seconds, 6),
+                "batch_seconds": round(batch_seconds, 6),
+                "batch_samples_per_second": round(n_test / batch_seconds, 1),
+                "speedup": round(speedup, 2),
+            }
+        },
+    )
+    assert speedup >= 5.0
+
+
+def test_weight_modes_identical_under_batching():
+    """Both p-value weight modes stay serial-identical at bench sizes."""
+    prom_count, rng = _classification_setup(600, n_classes=6, n_features=16)
+    features = rng.normal(size=(600, 16))
+    raw = rng.random((600, 6)) + 0.05
+    probabilities = raw / raw.sum(axis=1, keepdims=True)
+    labels = rng.integers(0, 6, 600)
+    test_features = rng.normal(size=(120, 16))
+    raw_t = rng.random((120, 6)) + 0.05
+    test_probabilities = raw_t / raw_t.sum(axis=1, keepdims=True)
+    for mode in ("count", "multiply"):
+        prom = PromClassifier(weight_mode=mode)
+        prom.calibrate(features, probabilities, labels)
+        _assert_identical(
+            prom.evaluate(test_features, test_probabilities),
+            prom.evaluate_serial(test_features, test_probabilities),
+        )

@@ -12,6 +12,7 @@ incremental learning.  Rendered outputs are also written to
 ``benchmarks/out/`` for inspection.
 """
 
+import json
 import os
 import pickle
 
@@ -51,6 +52,26 @@ def write_artifact(name: str, text: str) -> None:
     os.makedirs(OUT_DIR, exist_ok=True)
     with open(os.path.join(OUT_DIR, name), "w") as handle:
         handle.write(text + "\n")
+
+
+def update_bench_json(name: str, payload: dict) -> str:
+    """Merge ``payload`` into a JSON perf artifact under ``out/``.
+
+    Several benches contribute sections to the same tracking file (e.g.
+    ``BENCH_batch_eval.json``), so the update is a read-merge-write of
+    top-level keys.  Returns the artifact path.
+    """
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, name)
+    data = {}
+    if os.path.exists(path):
+        with open(path) as handle:
+            data = json.load(handle)
+    data.update(payload)
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 class ExperimentSuite:

@@ -80,11 +80,14 @@ def coverage_assessment(
         prom = prom_factory()
         prom.epsilon = epsilon
         prom.calibrate(features[cal_idx], probabilities[cal_idx], labels[cal_idx])
-        hits = 0
-        for i in val_idx:
-            region = prom.prediction_region(features[i], probabilities[i])
-            if labels[i] in region:
-                hits += 1
+        membership = prom.prediction_region_batch(
+            features[val_idx], probabilities[val_idx]
+        )
+        val_labels = labels[val_idx]
+        in_range = val_labels < membership.shape[1]
+        hits = int(
+            np.sum(membership[np.flatnonzero(in_range), val_labels[in_range]])
+        )
         per_round.append(hits / n_val)
 
     coverage = float(np.mean(per_round))
@@ -159,7 +162,7 @@ def grid_search(
         decisions = prom.evaluate(
             features[val_idx], probabilities[val_idx], predictions[val_idx]
         )
-        rejected = [decision.drifting for decision in decisions]
+        rejected = np.asarray(decisions.drifting)
         if mispredicted.any():
             f1 = detection_metrics(mispredicted, rejected).f1
         else:

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .committee import DecisionBatch
 from .prom import drifting_indices
 
 
@@ -52,7 +53,10 @@ def select_relabel_budget(
         return flagged
     budget = max(minimum, int(round(budget_fraction * len(flagged))))
     budget = min(budget, len(flagged))
-    credibilities = np.asarray([decisions[i].credibility for i in flagged])
+    if isinstance(decisions, DecisionBatch):
+        credibilities = np.asarray(decisions.credibility, dtype=float)[flagged]
+    else:
+        credibilities = np.asarray([decisions[i].credibility for i in flagged])
     order = np.argsort(credibilities, kind="stable")
     return flagged[order[:budget]]
 

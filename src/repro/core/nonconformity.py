@@ -51,7 +51,12 @@ class NonconformityFunction(abc.ABC):
         """
 
     def score_all_labels(self, probabilities) -> np.ndarray:
-        """Return the ``(n, n_classes)`` score of every candidate label."""
+        """Return the ``(n, n_classes)`` score of every candidate label.
+
+        The generic implementation loops over candidate labels; the
+        built-in functions override it with closed forms that score the
+        whole batch in one broadcast (same values, no Python loop).
+        """
         probs = _check_probabilities(probabilities)
         n, n_classes = probs.shape
         out = np.empty((n, n_classes))
@@ -73,6 +78,20 @@ class LAC(NonconformityFunction):
         labels = np.asarray(labels, dtype=int)
         return 1.0 - probs[np.arange(len(probs)), labels]
 
+    def score_all_labels(self, probabilities) -> np.ndarray:
+        return 1.0 - _check_probabilities(probabilities)
+
+
+def _strictly_higher_mask(probs: np.ndarray) -> np.ndarray:
+    """``(n, n_classes, n_classes)`` mask: ``[i, c, j]`` = p_ij > p_ic.
+
+    O(n * C^2) on purpose: it reproduces the per-label ``score()``
+    reductions bit-for-bit (a sort-based O(n * C log C) form would
+    reassociate the sums), and the evaluation chunker bounds ``n`` by
+    the same ``C^2`` factor so the temporary stays within budget.
+    """
+    return probs[:, None, :] > probs[:, :, None]
+
 
 class TopK(NonconformityFunction):
     """Rank of the label when classes are sorted by descending probability.
@@ -89,6 +108,11 @@ class TopK(NonconformityFunction):
         # rank = number of classes with strictly higher probability + 1.
         label_probs = probs[np.arange(len(probs)), labels]
         ranks = np.sum(probs > label_probs[:, None], axis=1) + 1
+        return ranks.astype(float)
+
+    def score_all_labels(self, probabilities) -> np.ndarray:
+        probs = _check_probabilities(probabilities)
+        ranks = _strictly_higher_mask(probs).sum(axis=2) + 1
         return ranks.astype(float)
 
 
@@ -108,6 +132,11 @@ class APS(NonconformityFunction):
         label_probs = probs[np.arange(len(probs)), labels]
         above = probs * (probs > label_probs[:, None])
         return above.sum(axis=1) + label_probs
+
+    def score_all_labels(self, probabilities) -> np.ndarray:
+        probs = _check_probabilities(probabilities)
+        above = (_strictly_higher_mask(probs) * probs[:, None, :]).sum(axis=2)
+        return above + probs
 
 
 class RAPS(NonconformityFunction):
@@ -131,6 +160,14 @@ class RAPS(NonconformityFunction):
         above = probs * (probs > label_probs[:, None])
         aps = above.sum(axis=1) + label_probs
         ranks = np.sum(probs > label_probs[:, None], axis=1) + 1
+        penalty = self.lam * np.clip(ranks - self.k_reg, 0, None)
+        return aps + penalty
+
+    def score_all_labels(self, probabilities) -> np.ndarray:
+        probs = _check_probabilities(probabilities)
+        higher = _strictly_higher_mask(probs)
+        aps = (higher * probs[:, None, :]).sum(axis=2) + probs
+        ranks = higher.sum(axis=2) + 1
         penalty = self.lam * np.clip(ranks - self.k_reg, 0, None)
         return aps + penalty
 

@@ -6,10 +6,15 @@ Workflow (paper Figures 3 and 5):
    feature vectors, the underlying model's outputs, and ground truth.
    Per-sample nonconformity scores are precomputed offline for every
    expert (nonconformity function).
-2. **Deployment** — ``evaluate()`` each test sample: select and weight
-   the nearest calibration subset, compute per-expert credibility
+2. **Deployment** — ``evaluate()`` a batch of test samples: the
+   vectorized engine selects and weights the nearest calibration
+   subsets (chunked distance matrix), computes per-expert credibility
    (p-value of the predicted label) and confidence (Gaussian of the
-   prediction-set size), and majority-vote the accept/reject decision.
+   prediction-set size) for the whole batch with a handful of NumPy
+   kernels, and majority-votes the accept/reject decisions into a
+   :class:`~repro.core.committee.DecisionBatch`.  ``evaluate_one`` is a
+   thin wrapper evaluating a batch of one; ``evaluate_serial`` keeps
+   the original per-sample loop as a reference implementation.
 """
 
 from __future__ import annotations
@@ -17,15 +22,40 @@ from __future__ import annotations
 import numpy as np
 
 from .clustering import CalibrationClusterer
-from .committee import Decision, ExpertCommittee
+from .committee import Decision, DecisionBatch, ExpertCommittee
 from .exceptions import CalibrationError, NotCalibratedError
 from .nonconformity import (
     default_classification_functions,
     default_regression_scores,
 )
-from .pvalue import pvalues_all_labels
-from .scores import assess
-from .weighting import AdaptiveWeighting
+from .pvalue import (
+    bin_subset_by_label,
+    group_scores_by_label,
+    pvalues_all_labels,
+    pvalues_from_binning,
+)
+from .scores import assess, assess_batch
+from .weighting import AdaptiveWeighting, iter_squared_distance_chunks, squared_distance_matrix
+
+#: soft bound on the number of float64 cells one evaluation chunk's
+#: largest temporary may hold (~16 MB).
+_EVALUATE_CELL_BUDGET = 2_000_000
+
+
+def _evaluation_chunk(n_calibration: int, chunk_size: int | None, n_labels: int = 1) -> int:
+    """Test rows per chunk so per-chunk temporaries stay bounded.
+
+    The widest temporaries are the ``(chunk, k)`` selection/binning
+    matrices (``k <= n_calibration``) and the ``(chunk, n_labels,
+    n_labels)`` broadcast inside the closed-form ``score_all_labels``
+    kernels, so both dimensions cap the chunk.
+    """
+    if chunk_size is not None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        return chunk_size
+    widest = max(1, n_calibration, n_labels * n_labels)
+    return max(1, _EVALUATE_CELL_BUDGET // widest)
 
 
 def _check_calibration_inputs(features, outputs, targets):
@@ -120,6 +150,13 @@ class PromClassifier:
         self._scores = [
             function.score(probabilities, labels) for function in self.functions
         ]
+        # Batch-engine layout: per expert, validated scores with label
+        # bookkeeping so deployment p-values reduce to label-binned
+        # scatter-adds (see DESIGN.md).
+        self._layouts = [
+            group_scores_by_label(scores, labels, self._n_classes)
+            for scores in self._scores
+        ]
         return self
 
     @property
@@ -130,20 +167,116 @@ class PromClassifier:
         if not self.is_calibrated:
             raise NotCalibratedError("call calibrate() before evaluating samples")
 
-    # -- deployment --------------------------------------------------------------
-    def evaluate_one(self, feature, probability_row, predicted_label=None) -> Decision:
-        """Assess one test sample; returns the committee :class:`Decision`."""
-        self._require_calibrated()
-        probability_row = np.asarray(probability_row, dtype=float).ravel()
-        if probability_row.shape[0] != self._n_classes:
+    def _check_evaluate_inputs(self, features, probabilities, predicted_labels):
+        features = np.asarray(features, dtype=float)
+        probabilities = np.asarray(probabilities, dtype=float)
+        if features.ndim == 1:
+            features = features.reshape(1, -1)
+        if probabilities.ndim == 1:
+            probabilities = probabilities.reshape(1, -1)
+        if probabilities.shape[1] != self._n_classes:
             raise ValueError(
-                f"probability vector has {probability_row.shape[0]} entries, "
+                f"probability vector has {probabilities.shape[1]} entries, "
                 f"calibration used {self._n_classes} classes"
             )
-        if predicted_label is None:
-            predicted_label = int(np.argmax(probability_row))
-        subset = self.weighting.select(self._features, np.asarray(feature, dtype=float))
+        if predicted_labels is None:
+            predicted_labels = np.argmax(probabilities, axis=1)
+        predicted_labels = np.asarray(predicted_labels, dtype=int).ravel()
+        return features, probabilities, predicted_labels
 
+    # -- deployment --------------------------------------------------------------
+    def evaluate_one(self, feature, probability_row, predicted_label=None) -> Decision:
+        """Assess one test sample; returns the committee :class:`Decision`.
+
+        Thin compatibility wrapper over the batch engine: the sample is
+        evaluated as a batch of one and the verdict materialized as a
+        scalar :class:`Decision`.
+        """
+        predicted = None if predicted_label is None else [int(predicted_label)]
+        batch = self.evaluate(
+            np.asarray(feature, dtype=float).ravel().reshape(1, -1),
+            np.asarray(probability_row, dtype=float).ravel().reshape(1, -1),
+            predicted,
+        )
+        return batch[0]
+
+    def evaluate(
+        self, features, probabilities, predicted_labels=None, chunk_size=None
+    ) -> DecisionBatch:
+        """Assess a batch of test samples with the vectorized engine.
+
+        Returns a :class:`DecisionBatch` — a sequence of per-sample
+        :class:`Decision` objects backed by flat arrays.  The batch is
+        processed in memory-bounded chunks: each chunk costs one chunked
+        distance matrix, one p-value kernel per expert, and one
+        committee vote, independent of the number of samples.
+        """
+        self._require_calibrated()
+        features, probabilities, predicted_labels = self._check_evaluate_inputs(
+            features, probabilities, predicted_labels
+        )
+        chunk = _evaluation_chunk(
+            len(self._features), chunk_size, self._n_classes
+        )
+        chunks = [
+            self._evaluate_chunk(
+                features[start : start + chunk],
+                probabilities[start : start + chunk],
+                predicted_labels[start : start + chunk],
+            )
+            for start in range(0, len(features), chunk)
+        ]
+        return DecisionBatch.concatenate(
+            chunks, expert_names=tuple(f.name for f in self.functions)
+        )
+
+    def _evaluate_chunk(self, features, probabilities, predicted_labels) -> DecisionBatch:
+        subset = self.weighting.select_batch(self._features, features)
+        # Selection, weights and labels are expert-independent: bin them
+        # once and share across the committee.
+        binning = bin_subset_by_label(subset, self._labels, self._n_classes)
+        assessments = []
+        for function, layout in zip(self.functions, self._layouts):
+            test_scores = function.score_all_labels(probabilities)
+            pvalues = pvalues_from_binning(
+                layout,
+                binning,
+                test_scores,
+                weight_mode=self.weight_mode,
+                tail=function.tail,
+            )
+            assessments.append(
+                assess_batch(
+                    pvalues,
+                    predicted_labels,
+                    epsilon=self.epsilon,
+                    gaussian_scale=self.gaussian_scale,
+                    credibility_threshold=self.credibility_threshold,
+                    confidence_threshold=self.confidence_threshold,
+                    function_name=function.name,
+                )
+            )
+        return self.committee.decide_batch(assessments)
+
+    def evaluate_serial(self, features, probabilities, predicted_labels=None) -> list:
+        """Per-sample reference implementation (pre-batch engine).
+
+        Kept for the batch-vs-serial equivalence tests and throughput
+        benchmarks; production callers should use :meth:`evaluate`.
+        """
+        self._require_calibrated()
+        features, probabilities, predicted_labels = self._check_evaluate_inputs(
+            features, probabilities, predicted_labels
+        )
+        return [
+            self._evaluate_one_serial(
+                features[i], probabilities[i], int(predicted_labels[i])
+            )
+            for i in range(len(features))
+        ]
+
+    def _evaluate_one_serial(self, feature, probability_row, predicted_label) -> Decision:
+        subset = self.weighting.select(self._features, np.asarray(feature, dtype=float))
         assessments = []
         for function, calibration_scores in zip(self.functions, self._scores):
             test_scores = function.score_all_labels(probability_row.reshape(1, -1))[0]
@@ -169,21 +302,6 @@ class PromClassifier:
             )
         return self.committee.decide(assessments)
 
-    def evaluate(self, features, probabilities, predicted_labels=None) -> list:
-        """Assess a batch of test samples; returns one Decision each."""
-        features = np.asarray(features, dtype=float)
-        probabilities = np.asarray(probabilities, dtype=float)
-        if features.ndim == 1:
-            features = features.reshape(1, -1)
-        if probabilities.ndim == 1:
-            probabilities = probabilities.reshape(1, -1)
-        if predicted_labels is None:
-            predicted_labels = np.argmax(probabilities, axis=1)
-        return [
-            self.evaluate_one(features[i], probabilities[i], int(predicted_labels[i]))
-            for i in range(len(features))
-        ]
-
     def prediction_region(self, feature, probability_row) -> np.ndarray:
         """Return the committee prediction region for one sample.
 
@@ -191,23 +309,47 @@ class PromClassifier:
         in their CP prediction set at level epsilon.  Used by the
         initialization assessment's coverage computation.
         """
+        membership = self.prediction_region_batch(
+            np.asarray(feature, dtype=float).ravel().reshape(1, -1),
+            np.asarray(probability_row, dtype=float).ravel().reshape(1, -1),
+        )
+        return np.flatnonzero(membership[0])
+
+    def prediction_region_batch(
+        self, features, probabilities, chunk_size=None
+    ) -> np.ndarray:
+        """Return ``(n_test, n_classes)`` region-membership for a batch.
+
+        ``membership[i, y]`` is True when a majority of experts include
+        label ``y`` in their CP prediction set for sample ``i``.
+        """
         self._require_calibrated()
-        probability_row = np.asarray(probability_row, dtype=float).ravel()
-        subset = self.weighting.select(self._features, np.asarray(feature, dtype=float))
-        inclusion_votes = np.zeros(self._n_classes)
-        for function, calibration_scores in zip(self.functions, self._scores):
-            test_scores = function.score_all_labels(probability_row.reshape(1, -1))[0]
-            pvalues = pvalues_all_labels(
-                calibration_scores,
-                self._labels,
-                subset,
-                test_scores,
-                self._n_classes,
-                weight_mode=self.weight_mode,
-                tail=function.tail,
+        features, probabilities, _ = self._check_evaluate_inputs(
+            features, probabilities, None
+        )
+        chunk = _evaluation_chunk(
+            len(self._features), chunk_size, self._n_classes
+        )
+        membership = np.empty((len(features), self._n_classes), dtype=bool)
+        for start in range(0, len(features), chunk):
+            stop = min(len(features), start + chunk)
+            subset = self.weighting.select_batch(
+                self._features, features[start:stop]
             )
-            inclusion_votes += (pvalues > self.epsilon).astype(float)
-        return np.flatnonzero(inclusion_votes > 0.5 * len(self.functions))
+            binning = bin_subset_by_label(subset, self._labels, self._n_classes)
+            inclusion_votes = np.zeros((stop - start, self._n_classes))
+            for function, layout in zip(self.functions, self._layouts):
+                test_scores = function.score_all_labels(probabilities[start:stop])
+                pvalues = pvalues_from_binning(
+                    layout,
+                    binning,
+                    test_scores,
+                    weight_mode=self.weight_mode,
+                    tail=function.tail,
+                )
+                inclusion_votes += (pvalues > self.epsilon).astype(float)
+            membership[start:stop] = inclusion_votes > 0.5 * len(self.functions)
+        return membership
 
 
 class PromRegressor:
@@ -298,6 +440,10 @@ class PromRegressor:
             n_clusters=self.n_clusters, seed=self.seed
         ).fit(features)
         self._clusters = self.clusterer_.labels_
+        self._layouts = [
+            group_scores_by_label(scores, self._clusters, self.clusterer_.k_)
+            for scores in self._scores
+        ]
         return self
 
     @property
@@ -312,11 +458,7 @@ class PromRegressor:
         """Leave-one-out k-NN approximation of each calibration target."""
         n = len(features)
         k = min(self.k_neighbors, max(1, n - 1))
-        squared = (
-            np.sum(features * features, axis=1)[:, None]
-            + np.sum(features * features, axis=1)[None, :]
-            - 2.0 * features @ features.T
-        )
+        squared = squared_distance_matrix(features)
         np.fill_diagonal(squared, np.inf)
         nearest = np.argpartition(squared, k - 1, axis=1)[:, :k]
         return targets[nearest].mean(axis=1)
@@ -330,10 +472,112 @@ class PromRegressor:
         nearest = np.argpartition(distances, k - 1)[:k]
         return float(self._targets[nearest].mean())
 
+    def approximate_target_batch(self, features, chunk_size=None) -> np.ndarray:
+        """k-NN ground-truth estimates for a batch of test samples.
+
+        The test-vs-calibration distance matrix is built in
+        memory-bounded chunks; each chunk needs one ``argpartition``
+        and one gather-mean.
+        """
+        self._require_calibrated()
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features.reshape(1, -1)
+        k = min(self.k_neighbors, len(self._features))
+        approximations = np.empty(len(features))
+        for start, stop, block in iter_squared_distance_chunks(
+            features, self._features, chunk_size
+        ):
+            nearest = np.argpartition(block, k - 1, axis=1)[:, :k]
+            approximations[start:stop] = self._targets[nearest].mean(axis=1)
+        return approximations
+
     # -- deployment --------------------------------------------------------------
     def evaluate_one(self, feature, prediction: float) -> Decision:
-        """Assess one regression prediction; returns the committee Decision."""
+        """Assess one regression prediction; returns the committee Decision.
+
+        Thin compatibility wrapper over the batch engine (a batch of
+        one), mirroring :meth:`PromClassifier.evaluate_one`.
+        """
+        batch = self.evaluate(
+            np.asarray(feature, dtype=float).ravel().reshape(1, -1),
+            np.asarray([prediction], dtype=float),
+        )
+        return batch[0]
+
+    def evaluate(self, features, predictions, chunk_size=None) -> DecisionBatch:
+        """Assess a batch of regression predictions with the batch engine."""
         self._require_calibrated()
+        features = np.asarray(features, dtype=float)
+        predictions = np.asarray(predictions, dtype=float).ravel()
+        if features.ndim == 1:
+            features = features.reshape(1, -1)
+        chunk = _evaluation_chunk(
+            len(self._features), chunk_size, self.clusterer_.k_
+        )
+        chunks = [
+            self._evaluate_chunk(
+                features[start : start + chunk],
+                predictions[start : start + chunk],
+            )
+            for start in range(0, len(features), chunk)
+        ]
+        return DecisionBatch.concatenate(
+            chunks, expert_names=tuple(f.name for f in self.score_functions)
+        )
+
+    def _evaluate_chunk(self, features, predictions) -> DecisionBatch:
+        approx_targets = self.approximate_target_batch(features)
+        subset = self.weighting.select_batch(self._features, features)
+        binning = bin_subset_by_label(subset, self._clusters, self.clusterer_.k_)
+        assigned_clusters = np.asarray(
+            self.clusterer_.assign(features), dtype=int
+        )
+        n_clusters = self.clusterer_.k_
+        assessments = []
+        for function, layout in zip(self.score_functions, self._layouts):
+            test_scores = function.score(predictions, approx_targets)
+            # The same residual score stands in for every candidate
+            # cluster (the scalar path's np.full, batched).
+            test_matrix = np.repeat(
+                np.asarray(test_scores, dtype=float)[:, None], n_clusters, axis=1
+            )
+            pvalues = pvalues_from_binning(
+                layout,
+                binning,
+                test_matrix,
+                weight_mode=self.weight_mode,
+            )
+            assessments.append(
+                assess_batch(
+                    pvalues,
+                    assigned_clusters,
+                    epsilon=self.epsilon,
+                    gaussian_scale=self.gaussian_scale,
+                    credibility_threshold=self.credibility_threshold,
+                    confidence_threshold=self.confidence_threshold,
+                    function_name=function.name,
+                )
+            )
+        return self.committee.decide_batch(assessments)
+
+    def evaluate_serial(self, features, predictions) -> list:
+        """Per-sample reference implementation (pre-batch engine).
+
+        Kept for the batch-vs-serial equivalence tests and throughput
+        benchmarks; production callers should use :meth:`evaluate`.
+        """
+        self._require_calibrated()
+        features = np.asarray(features, dtype=float)
+        predictions = np.asarray(predictions, dtype=float).ravel()
+        if features.ndim == 1:
+            features = features.reshape(1, -1)
+        return [
+            self._evaluate_one_serial(features[i], float(predictions[i]))
+            for i in range(len(features))
+        ]
+
+    def _evaluate_one_serial(self, feature, prediction: float) -> Decision:
         feature = np.asarray(feature, dtype=float).ravel()
         approx_target = self.approximate_target(feature)
         subset = self.weighting.select(self._features, feature)
@@ -369,23 +613,16 @@ class PromRegressor:
             )
         return self.committee.decide(assessments)
 
-    def evaluate(self, features, predictions) -> list:
-        """Assess a batch of regression predictions."""
-        features = np.asarray(features, dtype=float)
-        predictions = np.asarray(predictions, dtype=float).ravel()
-        if features.ndim == 1:
-            features = features.reshape(1, -1)
-        return [
-            self.evaluate_one(features[i], float(predictions[i]))
-            for i in range(len(features))
-        ]
-
 
 def drifting_indices(decisions) -> np.ndarray:
     """Return the positions of decisions flagged as drifting."""
+    if isinstance(decisions, DecisionBatch):
+        return np.flatnonzero(decisions.drifting)
     return np.flatnonzero([decision.drifting for decision in decisions])
 
 
 def accepted_indices(decisions) -> np.ndarray:
     """Return the positions of decisions the committee accepted."""
+    if isinstance(decisions, DecisionBatch):
+        return np.flatnonzero(np.asarray(decisions.accepted, dtype=bool))
     return np.flatnonzero([decision.accepted for decision in decisions])

@@ -16,18 +16,29 @@ provided:
   p-value to zero — exactly the "alien input" signal Prom uses for
   drift detection.
 * ``"multiply"`` — the paper's literal Eq. 2: adjust
-  ``a_i' = w_i * a_i`` and count unweighted.  With the paper's
+  ``a_i' = w_i * a_i`` and count unweighted against the ``n + 1``
+  denominator (the test sample counts itself).  With the paper's
   ``tau = 500`` and small feature distances the two coincide; for
   large distances or discrete scores the multiplicative form deflates
   calibration scores and over-rejects, which is why counting is the
   default here (see DESIGN.md).
+
+Two implementations are provided: the scalar reference
+(:func:`classification_pvalue` / :func:`pvalues_all_labels`, one test
+sample at a time) and the batch engine
+(:func:`group_scores_by_label` + :func:`pvalues_all_labels_batch`),
+which evaluates all labels of all test samples with label-binned
+weighted scatter-adds over a per-label-grouped calibration layout — see
+DESIGN.md for the data layout and complexity bounds.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-from .weighting import CalibrationSubset
+from .weighting import CalibrationSubset, CalibrationSubsetBatch
 
 WEIGHT_MODES = ("count", "multiply")
 
@@ -79,7 +90,8 @@ def classification_pvalue(
         adjusted = weights * scores
         right = float(np.sum(adjusted >= test_score))
         left = float(np.sum(adjusted <= test_score))
-        denominator = float(mask.sum())
+        # Eq. 2 counts the test sample itself in the denominator (n + 1).
+        denominator = float(mask.sum()) + 1.0
     if tail == "right":
         numerator = right
     else:
@@ -114,6 +126,206 @@ def pvalues_all_labels(
             )
             for label in range(n_classes)
         ]
+    )
+
+
+@dataclass(frozen=True)
+class LabelGroupedScores:
+    """Calibration scores pre-grouped by label for the batch engine.
+
+    Built once per expert at ``calibrate()`` time.  The batch p-value
+    kernel consumes the original-order ``scores``/``labels`` pair with
+    one label-binned scatter-add per tail; ``group_counts`` records how
+    many calibration samples each label group holds (zero for labels
+    never observed, whose p-values are exactly 0).  See DESIGN.md for
+    the kernel design and the alternatives that were measured.
+
+    Attributes:
+        scores: per-calibration-sample nonconformity scores (original
+            calibration order).
+        labels: true label index of each calibration sample, validated
+            against ``n_labels``.
+        group_counts: ``(n_labels,)`` calibration samples per label.
+        n_labels: number of candidate labels.
+    """
+
+    scores: np.ndarray
+    labels: np.ndarray
+    group_counts: np.ndarray
+    n_labels: int
+
+
+def group_scores_by_label(
+    calibration_scores: np.ndarray,
+    calibration_labels: np.ndarray,
+    n_labels: int,
+) -> LabelGroupedScores:
+    """Return the :class:`LabelGroupedScores` layout for one expert."""
+    scores = np.asarray(calibration_scores, dtype=float).ravel()
+    labels = np.asarray(calibration_labels, dtype=int).ravel()
+    if scores.shape != labels.shape:
+        raise ValueError("calibration scores and labels must align")
+    if len(labels) and (labels.min() < 0 or labels.max() >= n_labels):
+        raise ValueError("calibration label index out of range")
+    return LabelGroupedScores(
+        scores=scores,
+        labels=labels,
+        group_counts=np.bincount(labels, minlength=n_labels),
+        n_labels=n_labels,
+    )
+
+
+def _label_binned_sums(flat_bins, values, n_test, n_labels) -> np.ndarray:
+    """Per-(test sample, label) sums via one scatter-add (bincount)."""
+    return np.bincount(
+        flat_bins, weights=values.ravel(), minlength=n_test * n_labels
+    ).reshape(n_test, n_labels)
+
+
+@dataclass(frozen=True)
+class SubsetBinning:
+    """Expert-independent bookkeeping for one evaluation batch.
+
+    Every expert of a committee shares the same calibration selection,
+    distance weights and true labels; only the score values differ.
+    This structure is computed once per batch and reused across experts:
+    the selected labels, the flattened (test sample, label) bin index of
+    every selected calibration sample, and both denominators (weighted
+    and unweighted per-bin totals, for the two weight modes).
+
+    Attributes:
+        indices / weights: the selection, as in
+            :class:`~repro.core.weighting.CalibrationSubsetBatch`.
+        selected_labels: true label of each selected sample.
+        flat_bins: flattened scatter-add target bin of each selected
+            sample (``row * n_labels + label``).
+        weight_sums: ``(n_test, n_labels)`` sum of selected weights per
+            bin — the ``"count"``-mode denominator before its ``+1``.
+        counts: ``(n_test, n_labels)`` selected samples per bin — the
+            ``"multiply"``-mode denominator before its ``+1``.
+        n_labels: number of candidate labels.
+    """
+
+    indices: np.ndarray
+    weights: np.ndarray
+    selected_labels: np.ndarray
+    flat_bins: np.ndarray
+    weight_sums: np.ndarray
+    counts: np.ndarray
+    n_labels: int
+
+
+def bin_subset_by_label(
+    subset_batch: CalibrationSubsetBatch,
+    calibration_labels: np.ndarray,
+    n_labels: int,
+) -> SubsetBinning:
+    """Build the shared :class:`SubsetBinning` for one evaluation batch."""
+    indices = np.asarray(subset_batch.indices)
+    weights = np.asarray(subset_batch.weights)
+    labels = np.asarray(calibration_labels, dtype=int)
+    selected_labels = labels[indices]
+    n_test = len(indices)
+    rows = np.arange(n_test)[:, None]
+    flat_bins = (rows * n_labels + selected_labels).ravel()
+    return SubsetBinning(
+        indices=indices,
+        weights=weights,
+        selected_labels=selected_labels,
+        flat_bins=flat_bins,
+        weight_sums=_label_binned_sums(flat_bins, weights, n_test, n_labels),
+        counts=np.bincount(flat_bins, minlength=n_test * n_labels)
+        .reshape(n_test, n_labels)
+        .astype(float),
+        n_labels=n_labels,
+    )
+
+
+def pvalues_from_binning(
+    layout: LabelGroupedScores,
+    binning: SubsetBinning,
+    test_scores: np.ndarray,
+    weight_mode: str = "count",
+    tail: str = "right",
+) -> np.ndarray:
+    """One expert's ``(n_test, n_labels)`` p-values from shared binning.
+
+    The hot path of the batch engine: gathers the expert's calibration
+    scores at the selected positions, compares them against each
+    sample's candidate-label threshold in one elementwise pass, and
+    reduces the weighted tail sums with one label-binned scatter-add
+    per tail.  Everything is ``O(n_test * k)`` time and memory — never
+    the dense ``n_test * n_labels * k`` of per-label boolean masks.
+    """
+    if weight_mode not in WEIGHT_MODES:
+        raise ValueError(f"weight_mode must be one of {WEIGHT_MODES}, got {weight_mode!r}")
+    if tail not in ("right", "both"):
+        raise ValueError(f"tail must be 'right' or 'both', got {tail!r}")
+    test_scores = np.asarray(test_scores, dtype=float)
+    n_labels = layout.n_labels
+    if test_scores.ndim != 2 or test_scores.shape[1] != n_labels:
+        raise ValueError(
+            f"test_scores must be (n_test, {n_labels}), got {test_scores.shape}"
+        )
+    n_test = test_scores.shape[0]
+    selected_scores = layout.scores[binning.indices]
+    # Each selected sample competes for its own true label: its
+    # comparison threshold is the test sample's score at that label.
+    rows = np.arange(n_test)[:, None]
+    thresholds = test_scores[rows, binning.selected_labels]
+
+    if weight_mode == "count":
+        compared = selected_scores >= thresholds
+        compared = binning.weights * compared
+        right = _label_binned_sums(binning.flat_bins, compared, n_test, n_labels)
+        if tail == "both":
+            compared_left = binning.weights * (selected_scores <= thresholds)
+            left = _label_binned_sums(
+                binning.flat_bins, compared_left, n_test, n_labels
+            )
+            numerators = 2.0 * np.minimum(right, left)
+        else:
+            numerators = right
+        denominators = binning.weight_sums
+    else:
+        adjusted = binning.weights * selected_scores
+        right = _label_binned_sums(
+            binning.flat_bins, (adjusted >= thresholds).astype(float), n_test, n_labels
+        )
+        if tail == "both":
+            left = _label_binned_sums(
+                binning.flat_bins,
+                (adjusted <= thresholds).astype(float),
+                n_test,
+                n_labels,
+            )
+            numerators = 2.0 * np.minimum(right, left)
+        else:
+            numerators = right
+        denominators = binning.counts
+    return np.minimum(1.0, numerators / (denominators + 1.0))
+
+
+def pvalues_all_labels_batch(
+    layout: LabelGroupedScores,
+    subset_batch: CalibrationSubsetBatch,
+    test_scores: np.ndarray,
+    weight_mode: str = "count",
+    tail: str = "right",
+) -> np.ndarray:
+    """Return the ``(n_test, n_labels)`` p-value matrix for a batch.
+
+    Vectorized equivalent of calling :func:`pvalues_all_labels` per
+    test sample.  Convenience wrapper over :func:`bin_subset_by_label`
+    + :func:`pvalues_from_binning`; committee evaluation builds the
+    binning once and shares it across experts instead.
+
+    ``test_scores`` holds each test sample's nonconformity at every
+    candidate label, shape ``(n_test, n_labels)``.
+    """
+    binning = bin_subset_by_label(subset_batch, layout.labels, layout.n_labels)
+    return pvalues_from_binning(
+        layout, binning, test_scores, weight_mode=weight_mode, tail=tail
     )
 
 

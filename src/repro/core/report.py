@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .committee import DecisionBatch
+
 
 @dataclass(frozen=True)
 class DriftReport:
@@ -57,21 +59,36 @@ class DriftReport:
 
 
 def summarize_decisions(decisions, predicted_labels=None) -> DriftReport:
-    """Condense a list of committee decisions into a :class:`DriftReport`."""
-    decisions = list(decisions)
-    if not decisions:
-        raise ValueError("cannot summarize an empty decision stream")
-    rejected = np.asarray([d.drifting for d in decisions])
-    credibilities = np.asarray([d.credibility for d in decisions])
-    confidences = np.asarray([d.confidence for d in decisions])
-    disagreements = np.asarray(
-        [
-            0.0 if not d.votes else float(
-                0 < sum(1 for v in d.votes if v.accept) < len(d.votes)
-            )
-            for d in decisions
-        ]
-    )
+    """Condense a stream of committee decisions into a :class:`DriftReport`.
+
+    Accepts either a list of per-sample ``Decision`` objects or a
+    :class:`~repro.core.committee.DecisionBatch` (the batch-engine
+    output), which is summarized with array reductions directly.
+    """
+    if isinstance(decisions, DecisionBatch):
+        if len(decisions) == 0:
+            raise ValueError("cannot summarize an empty decision stream")
+        rejected = np.asarray(decisions.drifting)
+        credibilities = np.asarray(decisions.credibility, dtype=float)
+        confidences = np.asarray(decisions.confidence, dtype=float)
+        accepts = decisions.expert_accept.sum(axis=0)
+        n_experts = decisions.expert_accept.shape[0]
+        disagreements = ((accepts > 0) & (accepts < n_experts)).astype(float)
+    else:
+        decisions = list(decisions)
+        if not decisions:
+            raise ValueError("cannot summarize an empty decision stream")
+        rejected = np.asarray([d.drifting for d in decisions])
+        credibilities = np.asarray([d.credibility for d in decisions])
+        confidences = np.asarray([d.confidence for d in decisions])
+        disagreements = np.asarray(
+            [
+                0.0 if not d.votes else float(
+                    0 < sum(1 for v in d.votes if v.accept) < len(d.votes)
+                )
+                for d in decisions
+            ]
+        )
 
     per_label = {}
     if predicted_labels is not None:
@@ -128,6 +145,12 @@ class DriftMonitor:
 
     def observe_batch(self, decisions) -> bool:
         """Record a batch of decisions; returns the current alert state."""
+        if isinstance(decisions, DecisionBatch):
+            flags = np.asarray(decisions.drifting, dtype=bool)
+            self._flags.extend(map(bool, flags))
+            self._total_seen += len(flags)
+            self._total_rejected += int(flags.sum())
+            return self.alert
         for decision in decisions:
             self.observe(decision)
         return self.alert

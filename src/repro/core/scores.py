@@ -51,6 +51,35 @@ class ExpertAssessment:
     accept: bool
 
 
+@dataclass(frozen=True)
+class ExpertAssessmentBatch:
+    """One nonconformity function's verdicts on a batch of test samples.
+
+    Struct-of-arrays counterpart of :class:`ExpertAssessment`: each
+    field holds one ``(n_test,)`` array so the committee can vote with
+    array operations instead of per-sample Python objects.
+    """
+
+    function_name: str
+    credibility: np.ndarray
+    confidence: np.ndarray
+    prediction_set_size: np.ndarray
+    accept: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.credibility)
+
+    def sample(self, i: int) -> ExpertAssessment:
+        """Return the ``i``-th test sample's verdict as a scalar object."""
+        return ExpertAssessment(
+            function_name=self.function_name,
+            credibility=float(self.credibility[i]),
+            confidence=float(self.confidence[i]),
+            prediction_set_size=int(self.prediction_set_size[i]),
+            accept=bool(self.accept[i]),
+        )
+
+
 def assess(
     pvalues: np.ndarray,
     predicted_label: int,
@@ -90,4 +119,46 @@ def assess(
         confidence=confidence,
         prediction_set_size=len(region),
         accept=not reject,
+    )
+
+
+def assess_batch(
+    pvalues: np.ndarray,
+    predicted_labels: np.ndarray,
+    epsilon: float,
+    gaussian_scale: float = 1.0,
+    credibility_threshold: float | None = None,
+    confidence_threshold: float = 0.9,
+    require_predicted_in_set: bool = True,
+    function_name: str = "",
+) -> ExpertAssessmentBatch:
+    """Vectorized :func:`assess` over a ``(n_test, n_labels)`` p-value matrix.
+
+    Applies the same credibility/confidence thresholds as the scalar
+    path to every test sample at once and returns one
+    :class:`ExpertAssessmentBatch`.
+    """
+    if gaussian_scale <= 0:
+        raise ValueError("gaussian_scale must be positive")
+    if credibility_threshold is None:
+        credibility_threshold = epsilon
+    pvalues = np.asarray(pvalues, dtype=float)
+    predicted_labels = np.asarray(predicted_labels, dtype=int)
+    rows = np.arange(len(pvalues))
+    credibility = pvalues[rows, predicted_labels]
+    in_region = pvalues > epsilon
+    set_sizes = in_region.sum(axis=1)
+    effective_sizes = set_sizes
+    if require_predicted_in_set:
+        effective_sizes = np.where(in_region[rows, predicted_labels], set_sizes, 0)
+    confidence = np.exp(
+        -((effective_sizes - 1.0) ** 2) / (2.0 * gaussian_scale**2)
+    )
+    reject = (credibility < credibility_threshold) & (confidence < confidence_threshold)
+    return ExpertAssessmentBatch(
+        function_name=function_name,
+        credibility=credibility,
+        confidence=confidence,
+        prediction_set_size=set_sizes,
+        accept=~reject,
     )

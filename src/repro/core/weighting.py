@@ -13,6 +13,69 @@ from dataclasses import dataclass
 
 import numpy as np
 
+#: soft bound on the number of float64 cells a distance block may hold
+#: (~32 MB); chunked helpers size their blocks so temporaries stay flat
+#: no matter how large the test stream or calibration set grows.
+DISTANCE_CELL_BUDGET = 4_000_000
+
+
+def _auto_chunk(n_columns: int, chunk_size: int | None = None) -> int:
+    if chunk_size is not None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        return chunk_size
+    return max(1, DISTANCE_CELL_BUDGET // max(1, n_columns))
+
+
+def iter_squared_distance_chunks(test_features, calibration_features, chunk_size=None):
+    """Yield ``(start, stop, block)`` of squared Euclidean distances.
+
+    ``block`` is the ``(stop - start, n_calibration)`` squared-distance
+    matrix of test rows ``start:stop`` against every calibration row,
+    computed with the ``||a - b||^2 = ||a||^2 + ||b||^2 - 2 a.b``
+    identity: one GEMM per block instead of an ``(n, m, d)`` broadcast,
+    with temporary memory bounded by ``chunk * n_calibration`` cells.
+    """
+    test = np.asarray(test_features, dtype=float)
+    calibration = np.asarray(calibration_features, dtype=float)
+    if test.ndim == 1:
+        test = test.reshape(1, -1)
+    if calibration.ndim != 2 or test.ndim != 2:
+        raise ValueError("feature arrays must be 2-D")
+    if test.shape[1] != calibration.shape[1]:
+        raise ValueError(
+            f"feature dimensionality mismatch: calibration has "
+            f"{calibration.shape[1]}, test has {test.shape[1]}"
+        )
+    calibration_sq = np.einsum("ij,ij->i", calibration, calibration)
+    chunk = _auto_chunk(len(calibration), chunk_size)
+    for start in range(0, len(test), chunk):
+        stop = min(len(test), start + chunk)
+        block_rows = test[start:stop]
+        block = block_rows @ calibration.T
+        block *= -2.0
+        block += np.einsum("ij,ij->i", block_rows, block_rows)[:, None]
+        block += calibration_sq[None, :]
+        np.clip(block, 0.0, None, out=block)
+        yield start, stop, block
+
+
+def squared_distance_matrix(A, B=None, chunk_size=None) -> np.ndarray:
+    """Return the full ``(len(A), len(B))`` squared-distance matrix.
+
+    Built block-by-block via :func:`iter_squared_distance_chunks`, so the
+    result costs ``n * m`` cells but the temporaries never exceed the
+    chunk budget (the naive ``A[:, None, :] - B[None, :, :]`` broadcast
+    needs ``n * m * d``).  ``B=None`` computes pairwise distances of
+    ``A`` against itself.
+    """
+    A = np.asarray(A, dtype=float)
+    B = A if B is None else np.asarray(B, dtype=float)
+    out = np.empty((len(A), len(B)))
+    for start, stop, block in iter_squared_distance_chunks(A, B, chunk_size):
+        out[start:stop] = block
+    return out
+
 
 @dataclass(frozen=True)
 class CalibrationSubset:
@@ -28,6 +91,38 @@ class CalibrationSubset:
     indices: np.ndarray
     distances: np.ndarray
     weights: np.ndarray
+
+
+@dataclass(frozen=True)
+class CalibrationSubsetBatch:
+    """Per-test-sample calibration views for a whole batch at once.
+
+    Struct-of-arrays counterpart of :class:`CalibrationSubset`: every
+    test sample selects the same number ``k`` of calibration samples
+    (all of them below ``min_samples``, the nearest fraction above), so
+    the selection is three rectangular ``(n_test, k)`` arrays instead
+    of ``n_test`` ragged objects.
+
+    Attributes:
+        indices: selected calibration positions, one row per test sample.
+        distances: Euclidean distances aligned with ``indices``.
+        weights: exponential distance weights aligned with ``indices``.
+    """
+
+    indices: np.ndarray
+    distances: np.ndarray
+    weights: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def sample(self, i: int) -> CalibrationSubset:
+        """Return the ``i``-th test sample's view as a scalar subset."""
+        return CalibrationSubset(
+            indices=np.asarray(self.indices[i]),
+            distances=np.asarray(self.distances[i]),
+            weights=np.asarray(self.weights[i]),
+        )
 
 
 class AdaptiveWeighting:
@@ -95,8 +190,7 @@ class AdaptiveWeighting:
         if n > max_pairs:
             rows = rng.choice(n, size=max_pairs, replace=False)
             features = features[rows]
-        diffs = features[:, None, :] - features[None, :, :]
-        squared = np.sum(diffs * diffs, axis=2)
+        squared = squared_distance_matrix(features)
         upper = squared[np.triu_indices(len(features), k=1)]
         median = float(np.median(upper)) if len(upper) else 1.0
         self._resolved_tau = max(median, 1e-9)
@@ -132,6 +226,63 @@ class AdaptiveWeighting:
             weights=weights,
         )
 
+    def select_batch(
+        self,
+        calibration_features: np.ndarray,
+        test_features: np.ndarray,
+        chunk_size: int | None = None,
+    ) -> CalibrationSubsetBatch:
+        """Return the weighted nearest subsets for a batch of test samples.
+
+        The test-vs-calibration distance matrix is computed in
+        memory-bounded chunks via the dot-product identity; selection
+        and weighting are then a per-row ``argpartition`` plus one
+        vectorized ``exp``, so the whole batch costs a handful of NumPy
+        kernels instead of ``n_test`` Python iterations of
+        :meth:`select`.
+        """
+        features = np.asarray(calibration_features, dtype=float)
+        test = np.asarray(test_features, dtype=float)
+        if test.ndim == 1:
+            test = test.reshape(1, -1)
+        if features.ndim != 2:
+            raise ValueError("calibration_features must be 2-D")
+        if features.shape[1] != test.shape[1]:
+            raise ValueError(
+                f"feature dimensionality mismatch: calibration has "
+                f"{features.shape[1]}, test has {test.shape[1]}"
+            )
+        n = len(features)
+        n_test = len(test)
+        keep = n if n < self.min_samples else max(1, int(round(n * self.fraction)))
+        tau = self._resolved_tau
+        if tau is None:
+            tau = self.resolve_tau(features)
+
+        indices = np.empty((n_test, keep), dtype=int)
+        squared = np.empty((n_test, keep))
+        for start, stop, block in iter_squared_distance_chunks(
+            test, features, chunk_size
+        ):
+            rows = np.arange(stop - start)[:, None]
+            if keep == n:
+                block_indices = np.broadcast_to(np.arange(n), block.shape)
+                block_squared = block
+            else:
+                block_indices = np.argpartition(block, keep - 1, axis=1)[:, :keep]
+                block_squared = block[rows, block_indices]
+            indices[start:stop] = block_indices
+            squared[start:stop] = block_squared
+        weights = squared / -tau
+        np.exp(weights, out=weights)
+        np.maximum(weights, self.weight_floor, out=weights)
+        np.sqrt(squared, out=squared)
+        return CalibrationSubsetBatch(
+            indices=indices,
+            distances=squared,
+            weights=weights,
+        )
+
     def adjusted_scores(self, scores: np.ndarray, subset: CalibrationSubset) -> np.ndarray:
         """Return the distance-weighted scores of the selected subset.
 
@@ -162,4 +313,19 @@ class UniformWeighting(AdaptiveWeighting):
             indices=np.arange(n),
             distances=distances,
             weights=np.ones(n),
+        )
+
+    def select_batch(
+        self, calibration_features, test_features, chunk_size=None
+    ) -> CalibrationSubsetBatch:
+        features = np.asarray(calibration_features, dtype=float)
+        test = np.asarray(test_features, dtype=float)
+        if test.ndim == 1:
+            test = test.reshape(1, -1)
+        n = len(features)
+        squared = squared_distance_matrix(test, features, chunk_size)
+        return CalibrationSubsetBatch(
+            indices=np.broadcast_to(np.arange(n), (len(test), n)),
+            distances=np.sqrt(squared),
+            weights=np.ones((len(test), n)),
         )

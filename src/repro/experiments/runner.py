@@ -62,7 +62,8 @@ class ClassificationResult:
     design_accuracy: float
     deploy_accuracy: float
     detection: DetectionMetrics
-    decisions: list = field(repr=False, default_factory=list)
+    #: DecisionBatch (sequence of Decision) from the drift deployment
+    decisions: object = field(repr=False, default_factory=list)
     mispredicted: np.ndarray = field(repr=False, default=None)
     test_indices: np.ndarray = field(repr=False, default=None)
     predicted_labels: np.ndarray = field(repr=False, default=None)
@@ -173,7 +174,7 @@ def run_classification(
         calibration_ratio, max_calibration, misprediction_threshold, seed,
     )
 
-    rejected = np.asarray([d.drifting for d in drift_run["decisions"]])
+    rejected = np.asarray(drift_run["decisions"].drifting)
     if drift_run["mispredicted"].any() or rejected.any():
         detection = detection_metrics(drift_run["mispredicted"], rejected)
     else:
@@ -287,7 +288,8 @@ class RegressionResult:
     native_ratio: float
     prom_ratio: float
     detection: DetectionMetrics
-    decisions: list = field(repr=False, default_factory=list)
+    #: DecisionBatch (sequence of Decision) from the deployment stream
+    decisions: object = field(repr=False, default_factory=list)
 
 
 def run_regression(
@@ -345,7 +347,7 @@ def run_regression(
             np.abs(data["throughputs"]), 1e-12
         )
         mispredicted = relative_error >= misprediction_threshold
-        rejected = np.asarray([d.drifting for d in decisions])
+        rejected = np.asarray(decisions.drifting)
         detection = detection_metrics(mispredicted, rejected)
 
         # Prom-assisted deployment: profile a small budget of flagged
@@ -440,7 +442,7 @@ def reevaluate_with_prom(
         model.predict_proba(test_samples),
         base_result.predicted_columns,
     )
-    rejected = [d.drifting for d in decisions]
+    rejected = np.asarray(decisions.drifting)
     return detection_metrics(base_result.mispredicted, rejected)
 
 

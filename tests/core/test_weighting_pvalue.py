@@ -155,7 +155,9 @@ class TestClassificationPvalue:
         p = classification_pvalue(
             scores, labels, subset, test_score=0.65, label=0, weight_mode="multiply"
         )
-        assert p == pytest.approx(2 / 4)
+        # Paper Eq. 2: two adjusted scores (0.7, 0.8) are >= 0.65 and the
+        # denominator is n + 1 = 5 (the test sample counts itself).
+        assert p == pytest.approx(2 / 5)
 
     def test_invalid_mode_rejected(self):
         with pytest.raises(ValueError, match="weight_mode"):
