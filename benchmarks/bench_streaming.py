@@ -1,0 +1,172 @@
+"""Streaming calibration runtime: incremental update vs full recalibration.
+
+The deployment story (paper Secs. 5.3-5.4) feeds relabelled samples
+back into the calibration set continuously.  Before the streaming
+runtime, every such round paid a full ``calibrate()`` — per-expert
+scores, label groupings and tau over the entire calibration set.  The
+:class:`~repro.core.streaming.StreamingPromClassifier` amortizes that:
+``update()`` scores only the micro-batch and carries the rest of the
+state across the store mutation.
+
+This bench asserts, at a production-ish scale (12k calibration samples,
+64 classes):
+
+* ``update()`` of a full store is at least **5x** faster than a full
+  recalibration on the same samples (measured ~7x), while remaining
+  decision-identical to it; and
+* the end-to-end serving loop (``stream_deployment``: evaluate ->
+  monitor -> relabel -> recalibrate) sustains a floor throughput in
+  decisions/sec.
+
+Results are appended to ``out/BENCH_streaming.json`` alongside
+``BENCH_batch_eval.json`` so later PRs can track both trajectories.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import ModelInterface, PromClassifier, StreamingPromClassifier
+from repro.experiments import stream_deployment
+from repro.ml import MLPClassifier
+
+from conftest import update_bench_json
+
+#: acceptance floor for incremental update() vs full recalibration
+#: (n_calibration=12000, n_classes=64, batch=32)
+SPEEDUP_FLOOR = 5.0
+
+#: conservative floor for the end-to-end serving loop (decisions/sec);
+#: measured throughput is one to two orders of magnitude above this.
+THROUGHPUT_FLOOR = 1000.0
+
+
+def _classification_batch(n, n_classes, n_features, seed=0):
+    g = np.random.default_rng(seed)
+    features = g.normal(size=(n, n_features))
+    raw = g.random((n, n_classes)) + 0.05
+    probabilities = raw / raw.sum(axis=1, keepdims=True)
+    labels = g.integers(0, n_classes, n)
+    return features, probabilities, labels
+
+
+def _time_best(function, repeats):
+    best = np.inf
+    for _ in range(repeats):
+        started = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_incremental_update_speedup():
+    """The ISSUE 2 acceptance measurement: >= 5x at 12000 x 64."""
+    n_calibration, n_classes, n_features, batch = 12_000, 64, 64, 32
+    streaming = StreamingPromClassifier(capacity=n_calibration, seed=0)
+    streaming.calibrate(
+        *_classification_batch(n_calibration, n_classes, n_features, seed=0)
+    )
+    new = _classification_batch(batch, n_classes, n_features, seed=1)
+
+    streaming.update(*new)  # warmup (store reaches steady state)
+    update_seconds = _time_best(lambda: streaming.update(*new), repeats=15)
+
+    # Full-recalibration baseline on the same surviving samples.
+    features = streaming.store.column("features").copy()
+    probabilities = streaming.store.column("probabilities").copy()
+    labels = streaming.store.column("label").copy()
+    full_seconds = _time_best(
+        lambda: PromClassifier().calibrate(features, probabilities, labels),
+        repeats=8,
+    )
+
+    # The speedup must not come at the cost of the guarantee: the
+    # streamed detector stays decision-identical to the fresh one.
+    fresh = PromClassifier().calibrate(features, probabilities, labels)
+    test_f, test_p, _ = _classification_batch(200, n_classes, n_features, seed=2)
+    streamed_batch = streaming.evaluate(test_f, test_p)
+    fresh_batch = fresh.evaluate(test_f, test_p)
+    assert np.array_equal(streamed_batch.accepted, fresh_batch.accepted)
+    assert np.array_equal(streamed_batch.credibility, fresh_batch.credibility)
+
+    speedup = full_seconds / update_seconds
+    update_bench_json(
+        "BENCH_streaming.json",
+        {
+            "incremental_update": {
+                "n_calibration": n_calibration,
+                "n_classes": n_classes,
+                "batch": batch,
+                "update_seconds": round(update_seconds, 6),
+                "full_recalibration_seconds": round(full_seconds, 6),
+                "updates_per_second": round(1.0 / update_seconds, 1),
+                "speedup": round(speedup, 2),
+            }
+        },
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"incremental update() only {speedup:.1f}x faster than full "
+        f"recalibration (floor {SPEEDUP_FLOOR}x)"
+    )
+
+
+class _BlobInterface(ModelInterface):
+    def feature_extraction(self, X):
+        return np.asarray(X)
+
+
+def _make_blobs(n, n_classes=3, n_features=6, shift=0.0, seed=0):
+    g = np.random.default_rng(seed)
+    y = g.integers(0, n_classes, n)
+    X = g.normal(size=(n, n_features)) * 0.5
+    X[:, 0] += y * 2.0 + shift
+    X[:, 1] += (y == n_classes - 1) * 1.5 + shift
+    return X, y
+
+
+def test_stream_deployment_throughput():
+    """End-to-end serving loop throughput over a drifting stream."""
+    X_train, y_train = _make_blobs(600, seed=0)
+    interface = _BlobInterface(
+        MLPClassifier(epochs=30, seed=0), max_calibration=200, seed=0
+    )
+    interface.train(X_train, y_train)
+
+    X_a, y_a = _make_blobs(1000, seed=1)
+    X_b, y_b = _make_blobs(1000, shift=3.0, seed=2)
+    X_stream = np.concatenate([X_a, X_b])
+    y_stream = np.concatenate([y_a, y_b])
+
+    result = stream_deployment(
+        interface,
+        X_stream,
+        y_stream,
+        batch_size=100,
+        budget_fraction=0.1,
+        epochs=10,
+    )
+    assert result.final_calibration_size <= 200
+    assert all(step.calibration_size <= 200 for step in result.steps)
+    assert result.n_flagged > 0
+
+    update_bench_json(
+        "BENCH_streaming.json",
+        {
+            "stream_deployment": {
+                "n_samples": result.n_samples,
+                "batch_size": 100,
+                "decisions_per_second": round(result.decisions_per_second, 1),
+                "n_flagged": result.n_flagged,
+                "n_relabelled": result.n_relabelled,
+                "n_model_updates": result.n_model_updates,
+                "lifetime_rejection_rate": round(
+                    result.lifetime_rejection_rate, 4
+                ),
+                "final_calibration_size": result.final_calibration_size,
+            }
+        },
+    )
+    assert result.decisions_per_second >= THROUGHPUT_FLOOR, (
+        f"serving loop sustained only {result.decisions_per_second:.0f} "
+        f"decisions/sec (floor {THROUGHPUT_FLOOR:.0f})"
+    )

@@ -1,0 +1,493 @@
+"""Capped calibration sample store with pluggable eviction policies.
+
+Prom's deployment story is a stream: flagged samples get relabelled and
+folded back into the calibration set continuously.  Left unchecked that
+set grows without bound (and every recalibration gets slower), so the
+store enforces ``capacity`` on every :meth:`CalibrationStore.add` by
+delegating the *which samples go* decision to an
+:class:`EvictionPolicy`:
+
+* :class:`FIFOEviction` (default) — evict the oldest samples first,
+  keeping the newest, most drift-informative ones.
+* :class:`ReservoirEviction` — Vitter's Algorithm R: at steady state
+  every sample ever streamed has equal probability ``capacity / seen``
+  of residing in the store, preserving an unbiased long-run view.
+* :class:`LowestWeightEviction` — evict the lowest-priority samples
+  first (ties broken oldest-first); callers attach a per-sample
+  ``priority`` at :meth:`~CalibrationStore.add` time (e.g. ``1 -
+  credibility`` so the strangest samples survive longest).
+
+The store keeps an arbitrary set of *aligned columns* (features, model
+outputs, labels, raw inputs, ...) as flat NumPy arrays in one canonical
+order: survivors keep their relative order, new samples append at the
+end.  Every mutation returns a :class:`StoreUpdate` whose ``keep_mask``
+lets incremental consumers (the streaming detectors in
+:mod:`repro.core.streaming`) update any aligned auxiliary array with a
+single ``concatenate + mask`` instead of recomputing it — see
+DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from .exceptions import CalibrationError
+
+
+@dataclass(frozen=True)
+class StoreUpdate:
+    """Outcome of one store mutation, in *combined-layout* coordinates.
+
+    The combined layout is the ``n_before`` pre-existing rows followed
+    by the ``n_added`` rows of the triggering ``add`` call.  An
+    auxiliary array aligned with the store is carried across the
+    mutation with::
+
+        aux = np.concatenate([aux_old, aux_new])[update.keep_mask]
+
+    Attributes:
+        n_before: store size before the mutation.
+        n_added: rows the triggering ``add`` supplied (0 for ``evict``).
+        keep_mask: ``(n_before + n_added,)`` boolean mask of survivors.
+        evicted: combined-layout positions that were dropped, sorted.
+    """
+
+    n_before: int
+    n_added: int
+    keep_mask: np.ndarray
+    evicted: np.ndarray
+
+    @property
+    def n_after(self) -> int:
+        """Store size after the mutation."""
+        return int(self.keep_mask.sum())
+
+    @property
+    def evicted_existing(self) -> np.ndarray:
+        """Evicted positions that were store members before the add."""
+        return self.evicted[self.evicted < self.n_before]
+
+    @property
+    def evicted_added(self) -> np.ndarray:
+        """Evicted positions belonging to the just-added batch."""
+        return self.evicted[self.evicted >= self.n_before]
+
+
+class EvictionPolicy(abc.ABC):
+    """Decides which samples leave a full :class:`CalibrationStore`."""
+
+    #: registry name accepted by :func:`resolve_eviction_policy`
+    name: str = "base"
+
+    @abc.abstractmethod
+    def select_victims(
+        self,
+        n_over: int,
+        arrival: np.ndarray,
+        priority: np.ndarray,
+        n_before: int,
+        capacity: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Return exactly ``n_over`` distinct combined-layout positions.
+
+        Args:
+            n_over: how many samples must go.
+            arrival: per-sample monotone arrival counter (combined
+                layout: existing members then the incoming batch).
+            priority: per-sample retention priority, aligned with
+                ``arrival``.
+            n_before: how many leading rows are pre-existing members.
+            capacity: the store's capacity.
+            rng: the store's generator (policies must not own RNG state
+                so that a store replay is reproducible from its seed).
+        """
+
+    def __repr__(self) -> str:
+        return f"{self.__class__.__name__}()"
+
+
+class FIFOEviction(EvictionPolicy):
+    """Evict the oldest samples first (keep the newest)."""
+
+    name = "fifo"
+
+    def select_victims(self, n_over, arrival, priority, n_before, capacity, rng):
+        # CalibrationStore layouts are always arrival-ordered, making
+        # the oldest a prefix; the argsort is only for foreign callers.
+        if n_over == len(arrival) or arrival[:n_over].max() <= arrival[n_over:].min():
+            return np.arange(n_over)
+        return np.argsort(arrival, kind="stable")[:n_over]
+
+
+class LowestWeightEviction(EvictionPolicy):
+    """Evict the lowest-priority samples first, ties oldest-first."""
+
+    name = "lowest_weight"
+
+    def select_victims(self, n_over, arrival, priority, n_before, capacity, rng):
+        # lexsort sorts by the *last* key first: priority ascending,
+        # then arrival ascending among equal priorities.
+        return np.lexsort((arrival, priority))[:n_over]
+
+
+class ReservoirEviction(EvictionPolicy):
+    """Vitter's Algorithm R over the sample stream.
+
+    Each streamed sample ``t`` (1-indexed arrival order) enters a full
+    reservoir with probability ``capacity / t``, replacing a uniformly
+    random member; otherwise the sample itself is the victim.  The
+    invariant: after any prefix of the stream, every sample seen so far
+    is in the store with equal probability.
+    """
+
+    name = "reservoir"
+
+    def select_victims(self, n_over, arrival, priority, n_before, capacity, rng):
+        members = list(range(n_before))
+        victims = []
+        for position in range(n_before, len(arrival)):
+            if len(members) < capacity:
+                members.append(position)
+                continue
+            # arrival counters are 0-indexed; sample t = arrival + 1.
+            j = int(rng.integers(0, arrival[position] + 1))
+            if j < capacity:
+                slot = int(rng.integers(0, len(members)))
+                victims.append(members[slot])
+                members[slot] = position
+            else:
+                victims.append(position)
+        # Defensive remainder (never reached while n_before <= capacity,
+        # which CalibrationStore guarantees): evict oldest-first.
+        if len(victims) < n_over:
+            victim_set = set(victims)
+            for position in np.argsort(arrival, kind="stable"):
+                if len(victims) >= n_over:
+                    break
+                if int(position) not in victim_set:
+                    victims.append(int(position))
+        return np.asarray(victims[:n_over], dtype=int)
+
+
+_POLICIES = {
+    policy.name: policy
+    for policy in (FIFOEviction, LowestWeightEviction, ReservoirEviction)
+}
+
+
+def resolve_eviction_policy(policy) -> EvictionPolicy:
+    """Return an :class:`EvictionPolicy` from an instance or registry name."""
+    if isinstance(policy, EvictionPolicy):
+        return policy
+    if isinstance(policy, str):
+        try:
+            return _POLICIES[policy]()
+        except KeyError:
+            raise ValueError(
+                f"unknown eviction policy {policy!r}; "
+                f"choose from {sorted(_POLICIES)}"
+            ) from None
+    raise TypeError(
+        f"policy must be an EvictionPolicy or one of {sorted(_POLICIES)}, "
+        f"got {type(policy).__name__}"
+    )
+
+
+class CalibrationStore:
+    """Bounded, eviction-managed container of aligned sample columns.
+
+    Args:
+        capacity: hard upper bound on the number of stored samples.
+        policy: an :class:`EvictionPolicy` instance or registry name
+            (``"fifo"``, ``"reservoir"``, ``"lowest_weight"``).
+        seed: seed of the store's generator (used by randomized
+            policies), making any add/evict sequence reproducible.
+
+    The column schema is fixed by the first :meth:`add`; later adds
+    must supply the same column names with matching trailing shapes.
+
+    Storage is a set of over-allocated buffers with a shared
+    ``[head, tail)`` live window.  Appends write ``batch`` rows at the
+    tail, and evicting the *oldest* samples — what the default FIFO
+    policy always does — just advances the head: the steady-state
+    streaming mutation costs ``O(batch)``, not an ``O(n)`` recopy of
+    every column.  (The store is always arrival-ordered: appends arrive
+    in order and compaction preserves relative order, so FIFO victims
+    are always a prefix.)  Non-prefix evictions fall back to one
+    compacting copy.
+    """
+
+    def __init__(self, capacity: int, policy="fifo", seed: int = 0):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.policy = resolve_eviction_policy(policy)
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._buffers: dict[str, np.ndarray] = {}
+        self._arrival_buffer = np.zeros(0, dtype=np.int64)
+        self._priority_buffer = np.zeros(0, dtype=float)
+        self._head = 0
+        self._tail = 0
+        self._seen = 0
+
+    def __len__(self) -> int:
+        return self._tail - self._head
+
+    @property
+    def n_seen(self) -> int:
+        """Total samples ever streamed through the store."""
+        return self._seen
+
+    @property
+    def column_names(self) -> tuple:
+        return tuple(self._buffers)
+
+    @property
+    def arrival(self) -> np.ndarray:
+        """Monotone arrival counter of each stored sample."""
+        return self._arrival_buffer[self._head : self._tail]
+
+    @property
+    def priority(self) -> np.ndarray:
+        """Retention priority of each stored sample."""
+        return self._priority_buffer[self._head : self._tail]
+
+    def column(self, name: str) -> np.ndarray:
+        """Return one stored column (canonical store order).
+
+        The returned array is a view of the store's buffer — treat it
+        as read-only.  It is a stable snapshot: later mutations replace
+        the live window rather than rewriting rows under it.
+        """
+        try:
+            return self._buffers[name][self._head : self._tail]
+        except KeyError:
+            raise KeyError(
+                f"store has no column {name!r}; columns: {self.column_names}"
+            ) from None
+
+    def clear(self) -> None:
+        """Drop all samples and the column schema; keep the RNG state."""
+        self._buffers = {}
+        self._arrival_buffer = np.zeros(0, dtype=np.int64)
+        self._priority_buffer = np.zeros(0, dtype=float)
+        self._head = 0
+        self._tail = 0
+        self._seen = 0
+
+    # -- internal storage ---------------------------------------------------------
+    def _set_from_arrays(self, columns: dict, arrival, priority) -> None:
+        """Adopt exact arrays as the new live window (head 0)."""
+        self._buffers = dict(columns)
+        self._arrival_buffer = arrival
+        self._priority_buffer = priority
+        self._head = 0
+        self._tail = len(arrival)
+
+    def _append(self, columns: dict, arrival, priority) -> None:
+        """Write a batch at the tail, growing-and-compacting if needed.
+
+        Buffer dtypes are promoted when an incoming batch needs it
+        (e.g. int column receiving floats, or longer unicode class
+        names) — a plain slice assignment would silently cast or
+        truncate instead.
+        """
+        n = len(self)
+        n_new = len(arrival)
+        promoted = {
+            name: np.result_type(self._buffers[name], values)
+            for name, values in columns.items()
+        }
+        needs_promotion = any(
+            promoted[name] != self._buffers[name].dtype for name in columns
+        )
+        if needs_promotion or self._tail + n_new > len(self._arrival_buffer):
+            grown = max(2 * (n + n_new), 16)
+
+            def regrow(buffer, dtype=None):
+                fresh = np.empty(
+                    (grown,) + buffer.shape[1:], dtype=dtype or buffer.dtype
+                )
+                fresh[:n] = buffer[self._head : self._tail]
+                return fresh
+
+            self._buffers = {
+                name: regrow(b, promoted.get(name))
+                for name, b in self._buffers.items()
+            }
+            self._arrival_buffer = regrow(self._arrival_buffer)
+            self._priority_buffer = regrow(self._priority_buffer)
+            self._head, self._tail = 0, n
+        stop = self._tail + n_new
+        for name, values in columns.items():
+            self._buffers[name][self._tail : stop] = values
+        self._arrival_buffer[self._tail : stop] = arrival
+        self._priority_buffer[self._tail : stop] = priority
+        self._tail = stop
+
+    def _check_batch(self, columns: dict) -> int:
+        if not columns:
+            raise ValueError("add() needs at least one column")
+        lengths = {name: len(np.asarray(values)) for name, values in columns.items()}
+        if len(set(lengths.values())) != 1:
+            raise CalibrationError(f"store columns must align, got lengths {lengths}")
+        if self._buffers:
+            expected = set(self._buffers)
+            if set(columns) != expected:
+                raise CalibrationError(
+                    f"store columns are fixed to {sorted(expected)}, "
+                    f"got {sorted(columns)}"
+                )
+            for name, values in columns.items():
+                trailing = np.asarray(values).shape[1:]
+                expected_trailing = self._buffers[name].shape[1:]
+                if trailing != expected_trailing:
+                    raise CalibrationError(
+                        f"column {name!r} rows have shape {trailing}, "
+                        f"store holds {expected_trailing}"
+                    )
+        return next(iter(lengths.values()))
+
+    def add(self, priority=None, **columns) -> StoreUpdate:
+        """Append a batch of samples, evicting down to capacity.
+
+        Args:
+            priority: optional ``(n_new,)`` retention priorities
+                (default 1.0 each); consumed by priority-aware policies.
+            **columns: aligned arrays, one keyword per schema column.
+
+        Returns:
+            the :class:`StoreUpdate` describing survivors and victims.
+        """
+        n_new = self._check_batch(columns)
+        n_before = len(self)
+        arrays = {name: np.asarray(values) for name, values in columns.items()}
+        if priority is None:
+            new_priority = np.ones(n_new, dtype=float)
+        else:
+            new_priority = np.asarray(priority, dtype=float).ravel()
+            if len(new_priority) != n_new:
+                raise CalibrationError("priority must align with the added batch")
+
+        new_arrival = self._seen + np.arange(n_new, dtype=np.int64)
+        combined_arrival = np.concatenate([self.arrival, new_arrival])
+        combined_priority = np.concatenate([self.priority, new_priority])
+        self._seen += n_new
+
+        n_total = n_before + n_new
+        keep_mask = np.ones(n_total, dtype=bool)
+        n_over = n_total - self.capacity
+        if n_over > 0:
+            victims = np.asarray(
+                self.policy.select_victims(
+                    n_over,
+                    combined_arrival,
+                    combined_priority,
+                    n_before,
+                    self.capacity,
+                    self._rng,
+                ),
+                dtype=int,
+            )
+            if len(victims) != n_over or len(np.unique(victims)) != n_over:
+                raise RuntimeError(
+                    f"{self.policy!r} returned {len(victims)} victims, "
+                    f"needed {n_over} distinct"
+                )
+            keep_mask[victims] = False
+
+        if n_over <= 0 or not keep_mask[:n_over].any():
+            # Prefix eviction (FIFO's only shape): advance the head and
+            # append — O(batch), no column recopy.
+            dropped_new = max(0, n_over - n_before)
+            if dropped_new:
+                arrays = {name: values[dropped_new:] for name, values in arrays.items()}
+                new_arrival = new_arrival[dropped_new:]
+                new_priority = new_priority[dropped_new:]
+            self._head += min(max(n_over, 0), n_before)
+            if self._buffers:
+                self._append(arrays, new_arrival, new_priority)
+            else:
+                # Copy on adoption: the store must own its buffers so a
+                # caller mutating the input arrays afterwards cannot
+                # corrupt the stable snapshots column() hands out.
+                self._set_from_arrays(
+                    {name: np.array(values) for name, values in arrays.items()},
+                    new_arrival,
+                    np.array(new_priority),
+                )
+        else:
+            merged = {
+                name: (
+                    np.concatenate([self.column(name), values])[keep_mask]
+                    if self._buffers
+                    else values[keep_mask]
+                )
+                for name, values in arrays.items()
+            }
+            self._set_from_arrays(
+                merged, combined_arrival[keep_mask], combined_priority[keep_mask]
+            )
+        return StoreUpdate(
+            n_before=n_before,
+            n_added=n_new,
+            keep_mask=keep_mask,
+            evicted=np.flatnonzero(~keep_mask),
+        )
+
+    def evict(self, positions) -> StoreUpdate:
+        """Explicitly remove samples at ``positions`` (store order)."""
+        n = len(self)
+        positions = np.unique(np.asarray(positions, dtype=int))
+        if len(positions) and (positions.min() < -n or positions.max() >= n):
+            raise IndexError(f"eviction position out of range for store of {n}")
+        positions = positions % n if len(positions) else positions
+        keep_mask = np.ones(n, dtype=bool)
+        keep_mask[positions] = False
+        merged = {name: self.column(name)[keep_mask] for name in self._buffers}
+        self._set_from_arrays(
+            merged, self.arrival[keep_mask], self.priority[keep_mask]
+        )
+        return StoreUpdate(
+            n_before=n,
+            n_added=0,
+            keep_mask=keep_mask,
+            evicted=np.flatnonzero(~keep_mask),
+        )
+
+    def replace_column(self, name: str, values) -> None:
+        """Overwrite one column in place (same length, same order).
+
+        Used after a model update: membership is unchanged but derived
+        columns (features, probabilities) must be recomputed — possibly
+        with a different trailing shape (e.g. a grown class head).
+        """
+        # np.array (not asarray): the store must own the buffer — see
+        # the copy-on-adoption note in add().
+        values = np.array(values)
+        if name not in self._buffers:
+            raise KeyError(f"store has no column {name!r}")
+        if len(values) != len(self):
+            raise CalibrationError(
+                f"replacement column {name!r} has {len(values)} rows, "
+                f"store holds {len(self)}"
+            )
+        # Re-anchor every buffer to the live window so the replaced
+        # column (whose trailing shape may differ) stays aligned.
+        self._set_from_arrays(
+            {n: self.column(n) for n in self._buffers},
+            self.arrival,
+            self.priority,
+        )
+        self._buffers[name] = values
+
+    def __repr__(self) -> str:
+        return (
+            f"CalibrationStore(n={len(self)}/{self.capacity}, "
+            f"policy={self.policy.name!r}, seen={self._seen})"
+        )

@@ -20,12 +20,18 @@ from .prom import drifting_indices
 
 @dataclass(frozen=True)
 class IncrementalResult:
-    """Outcome of one incremental-learning round."""
+    """Outcome of one incremental-learning round.
+
+    ``calibration_size`` records the detector's calibration-set size
+    after the round — with the capped store it must never exceed the
+    interface's ``max_calibration``.
+    """
 
     n_flagged: int
     n_relabelled: int
     relabelled_indices: np.ndarray
     budget_fraction: float
+    calibration_size: int = 0
 
 
 def select_relabel_budget(
@@ -91,4 +97,5 @@ def incremental_learning_round(
         n_relabelled=len(chosen),
         relabelled_indices=chosen,
         budget_fraction=budget_fraction,
+        calibration_size=interface.prom.calibration_size,
     )

@@ -4,9 +4,12 @@ Model developers wrap their trained model in a subclass of
 :class:`ModelInterface` (classification) or
 :class:`RegressionModelInterface`, overriding ``feature_extraction``
 (and optionally ``data_partitioning``).  The interface owns a Prom
-detector, handles the train/calibration split, and exposes a
-``predict`` that returns the underlying prediction together with the
-drift verdict.
+detector behind a streaming calibration runtime
+(:mod:`repro.core.streaming`): the calibration set lives in a bounded
+:class:`~repro.core.calibration_store.CalibrationStore` whose eviction
+policy enforces ``max_calibration`` on *every* recalibration, and
+calibration-only extensions (``extend_calibration``) are folded in
+incrementally instead of recomputed from scratch.
 """
 
 from __future__ import annotations
@@ -17,15 +20,42 @@ import numpy as np
 
 from .exceptions import CalibrationError
 from .prom import PromClassifier, PromRegressor
+from .streaming import StreamingPromClassifier, StreamingPromRegressor
 
 
-def _split_indices(n: int, calibration_ratio: float, max_calibration: int, seed: int):
+def split_calibration(indices, calibration_ratio: float, max_calibration: int, seed: int):
+    """Carve a calibration part out of a pool of sample indices.
+
+    The single splitter behind :meth:`ModelInterface.data_partitioning`
+    and the experiment harness.  Shuffles ``indices`` and holds out
+    ``round(n * calibration_ratio)`` of them (at least 1, at most
+    ``max_calibration``, never the whole pool) for calibration.
+
+    Returns:
+        ``(train_indices, calibration_indices)``.
+
+    Raises:
+        CalibrationError: when the ratio is outside ``(0, 1)``, the cap
+            is < 1, or the pool has fewer than 2 samples (an early,
+            explicit failure — downstream ``calibrate()`` would
+            otherwise fail opaquely on an empty calibration set).
+    """
+    indices = np.asarray(indices)
     if not 0.0 < calibration_ratio < 1.0:
         raise CalibrationError(
             f"calibration_ratio must be in (0, 1), got {calibration_ratio}"
         )
+    if max_calibration < 1:
+        raise CalibrationError(
+            f"max_calibration must be >= 1, got {max_calibration}"
+        )
+    n = len(indices)
+    if n < 2:
+        raise CalibrationError(
+            f"need at least 2 samples to carve out a calibration set, got {n}"
+        )
     rng = np.random.default_rng(seed)
-    order = rng.permutation(n)
+    order = rng.permutation(indices)
     n_cal = min(max(1, int(round(n * calibration_ratio))), max_calibration, n - 1)
     return order[n_cal:], order[:n_cal]
 
@@ -41,10 +71,14 @@ class ModelInterface(abc.ABC):
         model: the (untrained or trained) underlying model object.
         calibration_ratio: share of training data held out for
             calibration (paper default 10%).
-        max_calibration: cap on the calibration-set size (paper: 1000).
+        max_calibration: cap on the calibration-set size (paper: 1000),
+            enforced by the store's eviction policy on every update.
         prom: a preconfigured :class:`PromClassifier`; a default one is
             created when omitted.
-        seed: RNG seed for the data partition.
+        seed: RNG seed for the data partition and the store.
+        eviction: eviction policy name or instance (``"fifo"`` keeps
+            the newest, drift-informative samples; see
+            :mod:`repro.core.calibration_store`).
     """
 
     def __init__(
@@ -54,12 +88,19 @@ class ModelInterface(abc.ABC):
         max_calibration: int = 1000,
         prom: PromClassifier | None = None,
         seed: int = 0,
+        eviction="fifo",
     ):
         self.model = model
         self.calibration_ratio = calibration_ratio
         self.max_calibration = max_calibration
-        self.prom = prom or PromClassifier()
         self.seed = seed
+        self.streaming = StreamingPromClassifier(
+            prom=prom or PromClassifier(),
+            capacity=max_calibration,
+            eviction=eviction,
+            seed=seed,
+        )
+        self.prom = self.streaming.prom
 
     # -- hooks the user overrides ------------------------------------------------
     @abc.abstractmethod
@@ -77,8 +118,8 @@ class ModelInterface(abc.ABC):
         a custom (e.g. stratified or temporal) split.
         """
         ratio = calibration_ratio if calibration_ratio is not None else self.calibration_ratio
-        train_idx, cal_idx = _split_indices(
-            len(X), ratio, self.max_calibration, self.seed
+        train_idx, cal_idx = split_calibration(
+            np.arange(len(X)), ratio, self.max_calibration, self.seed
         )
         X = np.asarray(X)
         y = np.asarray(y)
@@ -91,18 +132,25 @@ class ModelInterface(abc.ABC):
         self.model.fit(X_train, y_train)
         self._X_train = X_train
         self._y_train = y_train
-        self._X_cal = X_cal
-        self._y_cal = y_cal
         self.calibrate(X_cal, y_cal)
         return self
 
     def calibrate(self, X_cal, y_cal) -> "ModelInterface":
-        """(Re)calibrate Prom from held-out samples and the fitted model."""
+        """(Re)calibrate Prom from held-out samples and the fitted model.
+
+        Resets the calibration store to these samples (trimmed to
+        ``max_calibration`` by the eviction policy when oversized).
+        """
+        X_cal = np.asarray(X_cal)
+        y_cal = np.asarray(y_cal)
         probabilities = self.model.predict_proba(X_cal)
         label_index = self._label_indices(y_cal)
-        self.prom.calibrate(self.feature_extraction(X_cal), probabilities, label_index)
-        self._X_cal = np.asarray(X_cal)
-        self._y_cal = np.asarray(y_cal)
+        self.streaming.calibrate(
+            self.feature_extraction(X_cal),
+            probabilities,
+            label_index,
+            extra={"X": X_cal, "y": y_cal},
+        )
         return self
 
     def _label_indices(self, y) -> np.ndarray:
@@ -112,6 +160,34 @@ class ModelInterface(abc.ABC):
             return np.asarray([index_of[label] for label in np.asarray(y).tolist()])
         except KeyError as err:
             raise CalibrationError(f"calibration label {err} unknown to the model") from err
+
+    # -- calibration-set state ----------------------------------------------------
+    @property
+    def X_calibration(self) -> np.ndarray:
+        """Raw inputs currently in the calibration store."""
+        return self.streaming.store.column("X")
+
+    @property
+    def y_calibration(self) -> np.ndarray:
+        """Ground-truth labels currently in the calibration store."""
+        return self.streaming.store.column("y")
+
+    @property
+    def calibration_size(self) -> int:
+        return len(self.streaming.store)
+
+    @property
+    def learns_new_classes(self) -> bool:
+        """Whether :meth:`incremental_update` can absorb unseen classes.
+
+        The default update strategy refits from scratch when the model
+        lacks ``partial_fit`` (growing the class head) and updates in
+        place otherwise (fixed head).  Subclasses overriding
+        :meth:`incremental_update` should override this to match —
+        stream drivers consult it to decide whether relabelled samples
+        of never-observed classes are worth keeping.
+        """
+        return not hasattr(self.model, "partial_fit")
 
     # -- deployment ---------------------------------------------------------------
     def predict(self, X):
@@ -130,14 +206,39 @@ class ModelInterface(abc.ABC):
         return predictions, decisions
 
     # -- incremental learning -------------------------------------------------------
+    def extend_calibration(self, X_new, y_new, priority=None):
+        """Fold relabelled samples into the calibration set — model unchanged.
+
+        The amortized streaming path: only the new samples are scored,
+        the store's eviction policy enforces ``max_calibration``, and
+        the detector stays decision-identical to a full recalibration
+        on the surviving samples.  Returns the
+        :class:`~repro.core.calibration_store.StoreUpdate`.
+        """
+        X_new = np.asarray(X_new)
+        y_new = np.asarray(y_new)
+        probabilities = self.model.predict_proba(X_new)
+        label_index = self._label_indices(y_new)
+        return self.streaming.update(
+            self.feature_extraction(X_new),
+            probabilities,
+            label_index,
+            priority=priority,
+            extra={"X": X_new, "y": y_new},
+        )
+
     def incremental_update(self, X_new, y_new, epochs: int = 20) -> "ModelInterface":
         """Fold relabelled drifting samples back into the deployed model.
 
         Uses ``partial_fit`` when the underlying model supports it,
-        otherwise refits on the original training data plus the new
-        samples (paper Sec. 8, "Overfitting").  Prom is recalibrated on
-        the original calibration set extended with the new samples so
-        the detector adapts alongside the model.
+        otherwise refits on the *accumulated* training set — original
+        data plus every batch folded in so far — and persists the
+        extension, so no earlier relabelled round is ever dropped
+        (paper Sec. 8, "Overfitting").  The calibration store is then
+        rebuilt against the updated model (its outputs moved for every
+        stored sample) and extended with the new batch, with
+        ``max_calibration`` enforced by the eviction policy on every
+        round.
         """
         X_new = np.asarray(X_new)
         y_new = np.asarray(y_new)
@@ -148,9 +249,30 @@ class ModelInterface(abc.ABC):
             y_all = np.concatenate([self._y_train, y_new])
             self.model = self.model.clone()
             self.model.fit(X_all, y_all)
-        X_cal = np.concatenate([self._X_cal, X_new])
-        y_cal = np.concatenate([self._y_cal, y_new])
-        self.calibrate(X_cal, y_cal)
+            self._X_train = X_all
+            self._y_train = y_all
+        # Fold the new batch into the capped store first (zero
+        # placeholders for the derived columns, sized to the stored
+        # schema), then rebuild the whole calibration state once: the
+        # model moved, so every stored feature vector and probability
+        # row is stale anyway.  replace_outputs handles a grown class
+        # head (trailing shapes may change on replacement).
+        store = self.streaming.store
+        store.add(
+            features=np.zeros((len(X_new),) + store.column("features").shape[1:]),
+            probabilities=np.zeros(
+                (len(X_new),) + store.column("probabilities").shape[1:]
+            ),
+            label=np.zeros(len(X_new), dtype=int),
+            X=X_new,
+            y=y_new,
+        )
+        X_cal = self.X_calibration
+        self.streaming.replace_outputs(
+            self.feature_extraction(X_cal),
+            self.model.predict_proba(X_cal),
+            self._label_indices(self.y_calibration),
+        )
         return self
 
 
@@ -159,6 +281,13 @@ class RegressionModelInterface(abc.ABC):
 
     The underlying model must provide ``fit(X, y)`` and ``predict(X)``
     returning scalars; ``partial_fit`` enables incremental updates.
+
+    Note: the default :class:`PromRegressor` uses leave-one-out
+    calibration residuals, which couple every score to its neighbours —
+    ``extend_calibration`` then falls back to a (still capacity-capped)
+    full residual recompute with the fitted clusterer.  Pass a prom
+    with ``calibration_residuals="true"`` to get the amortized
+    streaming path.
     """
 
     def __init__(
@@ -168,12 +297,19 @@ class RegressionModelInterface(abc.ABC):
         max_calibration: int = 1000,
         prom: PromRegressor | None = None,
         seed: int = 0,
+        eviction="fifo",
     ):
         self.model = model
         self.calibration_ratio = calibration_ratio
         self.max_calibration = max_calibration
-        self.prom = prom or PromRegressor()
         self.seed = seed
+        self.streaming = StreamingPromRegressor(
+            prom=prom or PromRegressor(),
+            capacity=max_calibration,
+            eviction=eviction,
+            seed=seed,
+        )
+        self.prom = self.streaming.prom
 
     @abc.abstractmethod
     def feature_extraction(self, X) -> np.ndarray:
@@ -182,8 +318,8 @@ class RegressionModelInterface(abc.ABC):
     def data_partitioning(self, X, y, calibration_ratio: float | None = None):
         """Split training data into training and calibration parts."""
         ratio = calibration_ratio if calibration_ratio is not None else self.calibration_ratio
-        train_idx, cal_idx = _split_indices(
-            len(X), ratio, self.max_calibration, self.seed
+        train_idx, cal_idx = split_calibration(
+            np.arange(len(X)), ratio, self.max_calibration, self.seed
         )
         X = np.asarray(X)
         y = np.asarray(y)
@@ -200,13 +336,29 @@ class RegressionModelInterface(abc.ABC):
 
     def calibrate(self, X_cal, y_cal) -> "RegressionModelInterface":
         """(Re)calibrate Prom from held-out samples and the fitted model."""
+        X_cal = np.asarray(X_cal)
         predictions = self.model.predict(X_cal)
-        self.prom.calibrate(
-            self.feature_extraction(X_cal), predictions, np.asarray(y_cal, dtype=float)
+        self.streaming.calibrate(
+            self.feature_extraction(X_cal),
+            predictions,
+            np.asarray(y_cal, dtype=float),
+            extra={"X": X_cal},
         )
-        self._X_cal = np.asarray(X_cal)
-        self._y_cal = np.asarray(y_cal, dtype=float)
         return self
+
+    @property
+    def X_calibration(self) -> np.ndarray:
+        """Raw inputs currently in the calibration store."""
+        return self.streaming.store.column("X")
+
+    @property
+    def y_calibration(self) -> np.ndarray:
+        """Ground-truth targets currently in the calibration store."""
+        return self.streaming.store.column("target")
+
+    @property
+    def calibration_size(self) -> int:
+        return len(self.streaming.store)
 
     def predict(self, X):
         """Return ``(predictions, decisions)`` for a batch of inputs."""
@@ -214,8 +366,27 @@ class RegressionModelInterface(abc.ABC):
         decisions = self.prom.evaluate(self.feature_extraction(X), predictions)
         return predictions, decisions
 
+    def extend_calibration(self, X_new, y_new, priority=None):
+        """Fold relabelled samples into the calibration set — model unchanged."""
+        X_new = np.asarray(X_new)
+        y_new = np.asarray(y_new, dtype=float)
+        predictions = np.asarray(self.model.predict(X_new), dtype=float)
+        return self.streaming.update(
+            self.feature_extraction(X_new),
+            predictions,
+            y_new,
+            priority=priority,
+            extra={"X": X_new},
+        )
+
     def incremental_update(self, X_new, y_new, epochs: int = 20):
-        """Fold relabelled drifting samples back into the deployed model."""
+        """Fold relabelled drifting samples back into the deployed model.
+
+        Mirrors :meth:`ModelInterface.incremental_update`: the refit
+        path persists the accumulated training set, and the calibration
+        store is rebuilt against the updated model then extended with
+        the new batch under the ``max_calibration`` cap.
+        """
         X_new = np.asarray(X_new)
         y_new = np.asarray(y_new, dtype=float)
         if hasattr(self.model, "partial_fit"):
@@ -225,7 +396,28 @@ class RegressionModelInterface(abc.ABC):
             y_all = np.concatenate([self._y_train, y_new])
             self.model = self.model.clone()
             self.model.fit(X_all, y_all)
-        X_cal = np.concatenate([self._X_cal, X_new])
-        y_cal = np.concatenate([self._y_cal, y_new])
-        self.calibrate(X_cal, y_cal)
+            self._X_train = X_all
+            self._y_train = y_all
+        # Fold the new batch into the capped store first, then rebuild
+        # the whole calibration state once against the updated model.
+        # (Unlike the classifier there is no output-width hazard, and a
+        # single rebuild avoids paying the "loo" mode's clustering and
+        # leave-one-out costs twice per round.)  The derived columns of
+        # the new rows are zero placeholders: replace_outputs recomputes
+        # them for every surviving row anyway.
+        store = self.streaming.store
+        store.add(
+            features=np.zeros(
+                (len(X_new),) + store.column("features").shape[1:]
+            ),
+            prediction=np.zeros(len(X_new)),
+            target=y_new,
+            X=X_new,
+        )
+        X_cal = self.X_calibration
+        self.streaming.replace_outputs(
+            self.feature_extraction(X_cal),
+            np.asarray(self.model.predict(X_cal), dtype=float),
+            self.y_calibration,
+        )
         return self

@@ -15,6 +15,14 @@ Workflow (paper Figures 3 and 5):
    :class:`~repro.core.committee.DecisionBatch`.  ``evaluate_one`` is a
    thin wrapper evaluating a batch of one; ``evaluate_serial`` keeps
    the original per-sample loop as a reference implementation.
+3. **Streaming deployment** — when the calibration set itself churns
+   (relabelled samples arrive, old ones are evicted), wrap the
+   detector in :class:`~repro.core.streaming.StreamingPromClassifier`
+   or :class:`~repro.core.streaming.StreamingPromRegressor`: their
+   ``update()`` folds a micro-batch into the calibration state in time
+   proportional to the batch, not the calibration-set size, and is
+   decision-identical to a fresh ``calibrate()`` on the surviving
+   samples (DESIGN.md §3).
 """
 
 from __future__ import annotations
@@ -162,6 +170,12 @@ class PromClassifier:
     @property
     def is_calibrated(self) -> bool:
         return hasattr(self, "_features")
+
+    @property
+    def calibration_size(self) -> int:
+        """Number of calibration samples backing the detector (0 before
+        ``calibrate()``)."""
+        return len(self._features) if self.is_calibrated else 0
 
     def _require_calibrated(self):
         if not self.is_calibrated:
@@ -449,6 +463,12 @@ class PromRegressor:
     @property
     def is_calibrated(self) -> bool:
         return hasattr(self, "_features")
+
+    @property
+    def calibration_size(self) -> int:
+        """Number of calibration samples backing the detector (0 before
+        ``calibrate()``)."""
+        return len(self._features) if self.is_calibrated else 0
 
     def _require_calibrated(self):
         if not self.is_calibrated:

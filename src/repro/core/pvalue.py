@@ -175,6 +175,52 @@ def group_scores_by_label(
     )
 
 
+def update_label_groups(
+    layout: LabelGroupedScores,
+    keep_mask: np.ndarray,
+    new_scores: np.ndarray,
+    new_labels: np.ndarray,
+) -> LabelGroupedScores:
+    """Incremental counterpart of :func:`group_scores_by_label`.
+
+    Carries one expert's layout across a calibration-store mutation:
+    the combined layout is the existing calibration rows followed by
+    the ``new`` batch, and ``keep_mask`` marks the survivors (see
+    :class:`~repro.core.calibration_store.StoreUpdate`).  Group counts
+    are adjusted arithmetically from the added and evicted labels —
+    ``O(batch + n_labels)`` bookkeeping on top of the ``O(n)`` survivor
+    copy — and the result is exactly what
+    :func:`group_scores_by_label` would build from the surviving
+    scores and labels.
+    """
+    new_scores = np.asarray(new_scores, dtype=float).ravel()
+    new_labels = np.asarray(new_labels, dtype=int).ravel()
+    if new_scores.shape != new_labels.shape:
+        raise ValueError("new scores and labels must align")
+    if len(new_labels) and (
+        new_labels.min() < 0 or new_labels.max() >= layout.n_labels
+    ):
+        raise ValueError("new calibration label index out of range")
+    keep_mask = np.asarray(keep_mask, dtype=bool)
+    if len(keep_mask) != len(layout.labels) + len(new_labels):
+        raise ValueError(
+            f"keep_mask covers {len(keep_mask)} rows, combined layout has "
+            f"{len(layout.labels) + len(new_labels)}"
+        )
+    combined_labels = np.concatenate([layout.labels, new_labels])
+    group_counts = (
+        layout.group_counts
+        + np.bincount(new_labels, minlength=layout.n_labels)
+        - np.bincount(combined_labels[~keep_mask], minlength=layout.n_labels)
+    )
+    return LabelGroupedScores(
+        scores=np.concatenate([layout.scores, new_scores])[keep_mask],
+        labels=combined_labels[keep_mask],
+        group_counts=group_counts,
+        n_labels=layout.n_labels,
+    )
+
+
 def _label_binned_sums(flat_bins, values, n_test, n_labels) -> np.ndarray:
     """Per-(test sample, label) sums via one scatter-add (bincount)."""
     return np.bincount(

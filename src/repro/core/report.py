@@ -182,6 +182,15 @@ class DriftMonitor:
             return 0.0
         return self._total_rejected / self._total_seen
 
-    def reset(self) -> None:
-        """Clear the window (e.g. after a model update)."""
+    def reset(self, lifetime: bool = False) -> None:
+        """Clear the rolling window (e.g. after a model update).
+
+        The lifetime counters (``lifetime_rejection_rate``) deliberately
+        survive a window reset so operators keep the whole-deployment
+        view across model updates; pass ``lifetime=True`` to zero them
+        too (a brand-new deployment).
+        """
         self._flags.clear()
+        if lifetime:
+            self._total_seen = 0
+            self._total_rejected = 0

@@ -1,0 +1,454 @@
+"""Streaming Prom detectors: incremental recalibration over a live store.
+
+``PromClassifier.calibrate()`` is a batch operation: every call
+recomputes per-expert nonconformity scores, label groupings and the
+adaptive tau from scratch.  In deployment (paper Secs. 5.3-5.4) the
+calibration set is a *stream* — relabelled drifting samples arrive in
+micro-batches and stale samples are evicted — so full recalibration per
+round costs ``O(rounds * n_calibration)`` where ``O(rounds * batch)``
+suffices.
+
+The wrappers here own a bounded
+:class:`~repro.core.calibration_store.CalibrationStore` and maintain
+the detector's calibration state *incrementally*:
+
+* per-expert nonconformity scores are computed only for the new batch
+  (every score function is row-wise pure, so per-batch scores are
+  bit-identical to batch recomputation);
+* per-label score groupings (:class:`~repro.core.pvalue.LabelGroupedScores`)
+  are carried across the store mutation with one survivor copy and
+  ``O(batch + n_labels)`` count arithmetic;
+* the automatic tau is re-resolved against the surviving features via
+  the same bounded kernel (``median_pairwise_tau``) a fresh
+  ``calibrate()`` would use.
+
+The invariant, property-tested in ``tests/core/test_streaming.py``:
+after ANY sequence of ``update()``/``evict()`` calls, the wrapped
+detector is **decision-identical** (bit-for-bit, including credibility
+and confidence) to a fresh detector calibrated on the store's surviving
+samples.  For the regressor the cluster pseudo-labeller is fixed at
+``calibrate()`` time (new samples are assigned, never re-clustered), so
+the equivalence reference is :meth:`StreamingPromRegressor.refresh`
+with ``refit_clusters=False``; call ``refresh()`` to re-fit clusters
+after heavy drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .calibration_store import CalibrationStore, StoreUpdate
+from .exceptions import CalibrationError
+from .prom import PromClassifier, PromRegressor, _check_calibration_inputs
+from .pvalue import group_scores_by_label, update_label_groups
+
+
+def _as_columns(extra) -> dict:
+    if extra is None:
+        return {}
+    return dict(extra)
+
+
+def _check_leaves_survivors(store: CalibrationStore, positions) -> None:
+    """Reject evictions that would empty the calibration store."""
+    positions = np.asarray(positions, dtype=int)
+    if len(store) - len(np.unique(positions % max(1, len(store)))) < 1:
+        raise CalibrationError("eviction would empty the calibration store")
+
+
+class StreamingPromClassifier:
+    """Online wrapper around a :class:`~repro.core.prom.PromClassifier`.
+
+    Args:
+        prom: the detector to manage; a default one is created when
+            omitted.  Evaluation methods (``evaluate``,
+            ``evaluate_one``, ``prediction_region_batch``) delegate to
+            it unchanged.
+        capacity: calibration-store cap (paper: 1000).
+        eviction: eviction policy instance or name (``"fifo"``,
+            ``"reservoir"``, ``"lowest_weight"``).
+        seed: RNG seed of the store (randomized policies).
+
+    ``calibrate()`` resets the store and performs one full calibration;
+    ``update()`` folds a micro-batch in incrementally.  Extra aligned
+    columns (e.g. raw model inputs) may ride along in the store via
+    ``extra=`` — the schema is fixed by the first call.
+    """
+
+    def __init__(self, prom=None, capacity: int = 1000, eviction="fifo", seed: int = 0):
+        self.prom = prom or PromClassifier()
+        self.store = CalibrationStore(capacity, eviction, seed=seed)
+
+    # -- state --------------------------------------------------------------------
+    @property
+    def is_calibrated(self) -> bool:
+        return self.prom.is_calibrated
+
+    @property
+    def calibration_size(self) -> int:
+        return self.prom.calibration_size
+
+    def _check_update_inputs(self, features, probabilities, labels):
+        features, probabilities, labels = _check_calibration_inputs(
+            features, probabilities, labels
+        )
+        labels = labels.astype(int)
+        n_classes = self.prom._n_classes
+        if probabilities.ndim != 2 or probabilities.shape[1] != n_classes:
+            raise CalibrationError(
+                f"probabilities must be (n, {n_classes}) to match the "
+                f"calibrated detector"
+            )
+        if labels.min(initial=0) < 0 or labels.max(initial=0) >= n_classes:
+            raise CalibrationError("label index out of calibrated range")
+        return features, probabilities, labels
+
+    # -- lifecycle ----------------------------------------------------------------
+    def calibrate(
+        self, features, probabilities, labels, priority=None, extra=None
+    ) -> "StreamingPromClassifier":
+        """Reset the store to this batch and fully calibrate the detector.
+
+        When the batch exceeds ``capacity`` the eviction policy trims it
+        first, so the cap holds from the very first calibration.
+        """
+        features, probabilities, labels = _check_calibration_inputs(
+            features, probabilities, labels
+        )
+        # Build the new store aside and swap it in only once the
+        # detector accepted the batch — a validation failure inside
+        # prom.calibrate must not leave store and detector desynced.
+        staged = CalibrationStore(
+            self.store.capacity, self.store.policy, seed=self.store.seed
+        )
+        staged.add(
+            priority=priority,
+            features=features,
+            probabilities=probabilities,
+            label=np.asarray(labels).astype(int),
+            **_as_columns(extra),
+        )
+        self.prom.calibrate(
+            staged.column("features"),
+            staged.column("probabilities"),
+            staged.column("label"),
+        )
+        self.store = staged
+        return self
+
+    def update(
+        self,
+        features,
+        probabilities,
+        labels,
+        priority=None,
+        extra=None,
+        retune_tau: bool = True,
+    ) -> StoreUpdate:
+        """Fold a micro-batch into the calibration state incrementally.
+
+        Scores are computed for the new batch only; groupings and
+        counts are carried across the store mutation; tau is
+        re-resolved against the surviving features (pass
+        ``retune_tau=False`` to freeze it — faster, but the detector
+        then diverges from a fresh ``calibrate()`` until the next
+        ``refresh``).  Returns the :class:`StoreUpdate` describing who
+        survived.
+        """
+        self.prom._require_calibrated()
+        features, probabilities, labels = self._check_update_inputs(
+            features, probabilities, labels
+        )
+        prom = self.prom
+        new_scores = [
+            function.score(probabilities, labels) for function in prom.functions
+        ]
+        update = self.store.add(
+            priority=priority,
+            features=features,
+            probabilities=probabilities,
+            label=labels,
+            **_as_columns(extra),
+        )
+        self._apply(update, new_scores, labels, retune_tau)
+        return update
+
+    def evict(self, positions, retune_tau: bool = True) -> StoreUpdate:
+        """Remove calibration samples by store position."""
+        self.prom._require_calibrated()
+        _check_leaves_survivors(self.store, positions)
+        update = self.store.evict(positions)
+        self._apply(
+            update,
+            [np.zeros(0)] * len(self.prom.functions),
+            np.zeros(0, dtype=int),
+            retune_tau,
+        )
+        return update
+
+    def _apply(self, update: StoreUpdate, new_scores, new_labels, retune_tau: bool):
+        prom = self.prom
+        keep = update.keep_mask
+        prom._layouts = [
+            update_label_groups(layout, keep, scores, new_labels)
+            for layout, scores in zip(prom._layouts, new_scores)
+        ]
+        prom._scores = [layout.scores for layout in prom._layouts]
+        prom._features = self.store.column("features")
+        prom._labels = self.store.column("label")
+        if retune_tau:
+            prom.weighting.resolve_tau(prom._features)
+
+    def refresh(self) -> "StreamingPromClassifier":
+        """Full recalibration from the current store contents.
+
+        The batch-path reference the incremental path must match; also
+        the escape hatch after ``retune_tau=False`` updates.
+        """
+        self.prom.calibrate(
+            self.store.column("features"),
+            self.store.column("probabilities"),
+            self.store.column("label"),
+        )
+        return self
+
+    def replace_outputs(self, features, probabilities, labels) -> None:
+        """Swap the derived columns after a model update, then recalibrate.
+
+        Membership is unchanged — same samples, same arrival order —
+        but the deployed model changed, so every stored feature vector
+        and probability row is stale.  Incremental maintenance cannot
+        help here (all scores change); this is the designed full-rebuild
+        path.
+        """
+        features, probabilities, labels = _check_calibration_inputs(
+            features, probabilities, labels
+        )
+        self.store.replace_column("features", features)
+        self.store.replace_column("probabilities", probabilities)
+        self.store.replace_column("label", np.asarray(labels))
+        self.refresh()
+
+    # -- deployment (delegation) --------------------------------------------------
+    def evaluate(self, features, probabilities, predicted_labels=None, chunk_size=None):
+        return self.prom.evaluate(features, probabilities, predicted_labels, chunk_size)
+
+    def evaluate_one(self, feature, probability_row, predicted_label=None):
+        return self.prom.evaluate_one(feature, probability_row, predicted_label)
+
+    def prediction_region_batch(self, features, probabilities, chunk_size=None):
+        return self.prom.prediction_region_batch(features, probabilities, chunk_size)
+
+    def __repr__(self) -> str:
+        return f"StreamingPromClassifier(store={self.store!r})"
+
+
+class StreamingPromRegressor:
+    """Online wrapper around a :class:`~repro.core.prom.PromRegressor`.
+
+    The regression detector has two batch-coupled stages the classifier
+    lacks: K-means pseudo-labels and (optionally) leave-one-out
+    residual references.  Streaming handles them as follows:
+
+    * the clusterer is **fixed** at ``calibrate()`` time; new samples
+      are assigned to their nearest cluster (``clusterer_.assign``),
+      never re-clustered.  Call :meth:`refresh` with
+      ``refit_clusters=True`` after heavy drift.
+    * ``calibration_residuals="true"`` (the default prom built here)
+      keeps scores per-sample pure, enabling the incremental fast path.
+      A ``"loo"`` detector couples every score to its neighbours, so
+      ``update()`` transparently falls back to a full recompute of the
+      LOO residuals — with the *fitted* clusterer, like every other
+      update path — correct and still capacity-capped, just not
+      amortized.
+    """
+
+    def __init__(self, prom=None, capacity: int = 1000, eviction="fifo", seed: int = 0):
+        self.prom = prom or PromRegressor(calibration_residuals="true")
+        self.store = CalibrationStore(capacity, eviction, seed=seed)
+
+    @property
+    def is_calibrated(self) -> bool:
+        return self.prom.is_calibrated
+
+    @property
+    def calibration_size(self) -> int:
+        return self.prom.calibration_size
+
+    # -- lifecycle ----------------------------------------------------------------
+    def calibrate(
+        self, features, predictions, targets, priority=None, extra=None
+    ) -> "StreamingPromRegressor":
+        """Reset the store to this batch and fully calibrate (fits clusters)."""
+        features, predictions, targets = _check_calibration_inputs(
+            features, predictions, targets
+        )
+        # Staged swap, as in the classifier: a calibration failure must
+        # not leave store and detector desynced.
+        staged = CalibrationStore(
+            self.store.capacity, self.store.policy, seed=self.store.seed
+        )
+        staged.add(
+            priority=priority,
+            features=features,
+            prediction=predictions.astype(float).ravel(),
+            target=np.asarray(targets, dtype=float).ravel(),
+            **_as_columns(extra),
+        )
+        self.prom.calibrate(
+            staged.column("features"),
+            staged.column("prediction"),
+            staged.column("target"),
+        )
+        self.store = staged
+        return self
+
+    def _full_calibrate(self):
+        self.prom.calibrate(
+            self.store.column("features"),
+            self.store.column("prediction"),
+            self.store.column("target"),
+        )
+
+    def update(
+        self,
+        features,
+        predictions,
+        targets,
+        priority=None,
+        extra=None,
+        retune_tau: bool = True,
+    ) -> StoreUpdate:
+        """Fold a micro-batch into the calibration state.
+
+        Incremental when the detector uses per-sample (``"true"``)
+        residuals; ``"loo"`` falls back to recomputing all residuals
+        (fitted clusterer kept — only :meth:`refresh` re-clusters).
+        """
+        self.prom._require_calibrated()
+        features, predictions, targets = _check_calibration_inputs(
+            features, predictions, targets
+        )
+        predictions = predictions.astype(float).ravel()
+        targets = np.asarray(targets, dtype=float).ravel()
+        if features.shape[1] != self.prom._features.shape[1]:
+            raise CalibrationError(
+                f"feature dimensionality mismatch: calibrated with "
+                f"{self.prom._features.shape[1]}, got {features.shape[1]}"
+            )
+        columns = dict(
+            features=features,
+            prediction=predictions,
+            target=targets,
+            **_as_columns(extra),
+        )
+        if self.prom.calibration_residuals != "true":
+            update = self.store.add(priority=priority, **columns)
+            self.refresh(refit_clusters=False, retune_tau=retune_tau)
+            return update
+
+        prom = self.prom
+        new_clusters = np.asarray(prom.clusterer_.assign(features), dtype=int)
+        new_scores = [
+            function.score(predictions, targets) for function in prom.score_functions
+        ]
+        update = self.store.add(priority=priority, **columns)
+        self._apply(update, new_scores, new_clusters, retune_tau)
+        return update
+
+    def evict(self, positions, retune_tau: bool = True) -> StoreUpdate:
+        """Remove calibration samples by store position."""
+        self.prom._require_calibrated()
+        _check_leaves_survivors(self.store, positions)
+        update = self.store.evict(positions)
+        if self.prom.calibration_residuals != "true":
+            self.refresh(refit_clusters=False, retune_tau=retune_tau)
+            return update
+        self._apply(
+            update,
+            [np.zeros(0)] * len(self.prom.score_functions),
+            np.zeros(0, dtype=int),
+            retune_tau,
+        )
+        return update
+
+    def _apply(self, update: StoreUpdate, new_scores, new_clusters, retune_tau: bool):
+        prom = self.prom
+        keep = update.keep_mask
+        prom._layouts = [
+            update_label_groups(layout, keep, scores, new_clusters)
+            for layout, scores in zip(prom._layouts, new_scores)
+        ]
+        prom._scores = [layout.scores for layout in prom._layouts]
+        prom._clusters = np.concatenate([prom._clusters, new_clusters])[keep]
+        prom._features = self.store.column("features")
+        prom._targets = self.store.column("target")
+        if retune_tau:
+            prom.weighting.resolve_tau(prom._features)
+
+    def refresh(
+        self, refit_clusters: bool = True, retune_tau: bool = True
+    ) -> "StreamingPromRegressor":
+        """Full recalibration from the current store contents.
+
+        ``refit_clusters=False`` keeps the fitted pseudo-labeller and
+        recomputes everything else (scores, assignments, tau, layouts)
+        from scratch — the batch-path reference that the incremental
+        ``update()`` is property-tested against.  ``retune_tau=False``
+        keeps the current tau (only honored with
+        ``refit_clusters=False``; a full ``calibrate()`` always
+        re-resolves it).
+        """
+        if refit_clusters:
+            self._full_calibrate()
+            return self
+        prom = self.prom
+        prom._require_calibrated()
+        features = self.store.column("features")
+        predictions = self.store.column("prediction")
+        targets = self.store.column("target")
+        if prom.calibration_residuals == "loo":
+            reference = prom._loo_targets(features, targets)
+        else:
+            reference = targets
+        prom._features = features
+        prom._targets = targets
+        if retune_tau:
+            prom.weighting.resolve_tau(features)
+        prom._scores = [
+            function.score(predictions, reference)
+            for function in prom.score_functions
+        ]
+        prom._clusters = np.asarray(prom.clusterer_.assign(features), dtype=int)
+        prom._layouts = [
+            group_scores_by_label(scores, prom._clusters, prom.clusterer_.k_)
+            for scores in prom._scores
+        ]
+        return self
+
+    def replace_outputs(self, features, predictions, targets) -> None:
+        """Swap derived columns after a model update, then recalibrate.
+
+        Keeps membership and the fitted clusterer is re-fit as part of
+        the full recalibration (the model's feature space moved, so the
+        old pseudo-labels are stale too).
+        """
+        features, predictions, targets = _check_calibration_inputs(
+            features, predictions, targets
+        )
+        self.store.replace_column("features", features)
+        self.store.replace_column("prediction", predictions.astype(float).ravel())
+        self.store.replace_column(
+            "target", np.asarray(targets, dtype=float).ravel()
+        )
+        self._full_calibrate()
+
+    # -- deployment (delegation) --------------------------------------------------
+    def evaluate(self, features, predictions, chunk_size=None):
+        return self.prom.evaluate(features, predictions, chunk_size)
+
+    def evaluate_one(self, feature, prediction):
+        return self.prom.evaluate_one(feature, prediction)
+
+    def __repr__(self) -> str:
+        return f"StreamingPromRegressor(store={self.store!r})"

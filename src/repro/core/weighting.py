@@ -9,6 +9,7 @@ weight ``w_i = exp(-||v_i - v_test||^2 / tau)``.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 import numpy as np
@@ -75,6 +76,35 @@ def squared_distance_matrix(A, B=None, chunk_size=None) -> np.ndarray:
     for start, stop, block in iter_squared_distance_chunks(A, B, chunk_size):
         out[start:stop] = block
     return out
+
+
+@functools.lru_cache(maxsize=8)
+def _upper_triangle_indices(n: int):
+    return np.triu_indices(n, k=1)
+
+
+def median_pairwise_tau(features, max_rows: int = 200, seed: int = 0) -> float:
+    """Median pairwise squared distance over (a subsample of) features.
+
+    The automatic tau of :meth:`AdaptiveWeighting.resolve_tau`, exposed
+    as a standalone kernel so streaming recalibration can re-resolve it
+    against a mutated calibration store with exactly the arithmetic a
+    fresh ``calibrate()`` would use.  Cost is bounded by ``max_rows``
+    (one ``max_rows x max_rows`` GEMM and a ~20k-element median, a few
+    hundred microseconds) regardless of the calibration-set size, so it
+    can rerun on every streaming micro-batch.
+    """
+    features = np.asarray(features, dtype=float)
+    n = len(features)
+    if n < 2:
+        return 1.0
+    if n > max_rows:
+        rng = np.random.default_rng(seed)
+        features = features[rng.choice(n, size=max_rows, replace=False)]
+    squared = squared_distance_matrix(features)
+    distances = squared[_upper_triangle_indices(len(features))]
+    median = float(np.median(distances))
+    return max(median, 1e-9)
 
 
 @dataclass(frozen=True)
@@ -172,28 +202,23 @@ class AdaptiveWeighting:
         """The tau actually in use (resolved value when tau was None)."""
         return self._resolved_tau
 
-    def resolve_tau(self, calibration_features, max_pairs: int = 500, seed: int = 0) -> float:
+    def resolve_tau(self, calibration_features, max_rows: int = 200, seed: int = 0) -> float:
         """Fix an automatic tau from the calibration feature scale.
 
         Uses the median pairwise squared Euclidean distance over (a
-        subsample of) the calibration features: in-distribution samples
+        sample of) calibration feature pairs: in-distribution samples
         then receive weights around ``exp(-1)`` while samples several
         distance scales away decay to nearly zero.  Called by the Prom
-        detectors during ``calibrate`` when ``tau`` was None.
+        detectors during ``calibrate`` when ``tau`` was None, and by
+        the streaming wrappers after every store mutation (the pair
+        sample keeps it micro-batch cheap).
         """
         if self.tau is not None:
             self._resolved_tau = self.tau
             return self._resolved_tau
-        features = np.asarray(calibration_features, dtype=float)
-        rng = np.random.default_rng(seed)
-        n = len(features)
-        if n > max_pairs:
-            rows = rng.choice(n, size=max_pairs, replace=False)
-            features = features[rows]
-        squared = squared_distance_matrix(features)
-        upper = squared[np.triu_indices(len(features), k=1)]
-        median = float(np.median(upper)) if len(upper) else 1.0
-        self._resolved_tau = max(median, 1e-9)
+        self._resolved_tau = median_pairwise_tau(
+            calibration_features, max_rows=max_rows, seed=seed
+        )
         return self._resolved_tau
 
     def select(self, calibration_features: np.ndarray, test_feature: np.ndarray) -> CalibrationSubset:

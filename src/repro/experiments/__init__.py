@@ -14,12 +14,15 @@ from .runner import (
     ClassificationResult,
     IncrementalResult,
     RegressionResult,
+    StreamResult,
+    StreamStep,
     reevaluate_with_prom,
     run_baseline_comparison,
     run_classification,
     run_incremental,
     run_nonconformity_ablation,
     run_regression,
+    stream_deployment,
 )
 from .tables import detection_table, format_table, table2_summary, table3_dnn_codegen
 
@@ -27,6 +30,8 @@ __all__ = [
     "ClassificationResult",
     "IncrementalResult",
     "RegressionResult",
+    "StreamResult",
+    "StreamStep",
     "detection_table",
     "distribution_summary",
     "figure10_comparison",
@@ -43,6 +48,7 @@ __all__ = [
     "run_incremental",
     "run_nonconformity_ablation",
     "run_regression",
+    "stream_deployment",
     "table2_summary",
     "table3_dnn_codegen",
 ]

@@ -13,6 +13,10 @@ Each function reproduces one experimental protocol from the paper:
   Feeds Figure 10.
 * :func:`run_nonconformity_ablation` — each nonconformity function
   alone vs the committee.  Feeds Figure 11.
+* :func:`stream_deployment` — the end-to-end serving loop (paper
+  Secs. 5.3-5.4): micro-batch evaluation, drift monitoring, relabel
+  budgeting, and incremental calibration/model updates over a long
+  sample stream against a bounded calibration store.
 """
 
 from __future__ import annotations
@@ -27,28 +31,18 @@ from ..baselines import BASELINE_FACTORIES
 from ..core import (
     Decision,
     DetectionMetrics,
+    DriftMonitor,
     PromClassifier,
     PromRegressor,
     detection_metrics,
     drifting_indices,
     select_relabel_budget,
+    split_calibration,
 )
 from ..core.nonconformity import default_classification_functions
 from ..models import tlp as tlp_factory
 from ..tasks import DnnCodeGenerationTask
 from ..tasks.base import CaseStudy, Split
-
-
-def _calibration_split(train_indices, calibration_ratio, max_calibration, seed):
-    """Carve a calibration part out of a training index set."""
-    rng = np.random.default_rng(seed)
-    order = rng.permutation(train_indices)
-    n_cal = min(
-        max(1, int(round(len(order) * calibration_ratio))),
-        max_calibration,
-        len(order) - 1,
-    )
-    return order[n_cal:], order[:n_cal]
 
 
 @dataclass
@@ -87,7 +81,7 @@ def _fit_and_detect(
     seed: int,
 ):
     """Train a model on a split, calibrate Prom, assess the test side."""
-    train_idx, cal_idx = _calibration_split(
+    train_idx, cal_idx = split_calibration(
         split.train, calibration_ratio, max_calibration, seed
     )
     model = model_factory(seed=seed)
@@ -371,6 +365,176 @@ def run_regression(
             decisions=decisions,
         )
     return {"base_ratio": base_ratio, "networks": results}
+
+
+@dataclass(frozen=True)
+class StreamStep:
+    """One micro-batch of a :func:`stream_deployment` run.
+
+    ``rejection_rate`` is the monitor's windowed rate as observed for
+    this batch — on alert steps, the rate that tripped the alarm
+    (captured before the post-update window reset).
+    ``n_dropped_unknown`` counts relabelled samples discarded because
+    their class is unknown to a fixed-head model (see
+    :func:`stream_deployment`).
+    """
+
+    start: int
+    stop: int
+    n_flagged: int
+    n_relabelled: int
+    alert: bool
+    model_updated: bool
+    rejection_rate: float
+    calibration_size: int
+    seconds: float
+    n_dropped_unknown: int = 0
+
+
+@dataclass
+class StreamResult:
+    """Aggregate outcome of a :func:`stream_deployment` run."""
+
+    steps: list = field(repr=False, default_factory=list)
+    n_samples: int = 0
+    n_flagged: int = 0
+    n_relabelled: int = 0
+    n_model_updates: int = 0
+    n_dropped_unknown: int = 0
+    decisions_per_second: float = 0.0
+    lifetime_rejection_rate: float = 0.0
+    final_calibration_size: int = 0
+    monitor: DriftMonitor = field(repr=False, default=None)
+
+
+def stream_deployment(
+    interface,
+    X_stream,
+    oracle_labels,
+    batch_size: int = 64,
+    budget_fraction: float = 0.05,
+    monitor: DriftMonitor | None = None,
+    update_on_alert: bool = True,
+    epochs: int = 20,
+) -> StreamResult:
+    """Serve a sample stream end to end: detect, relabel, recalibrate.
+
+    The deployment loop of paper Secs. 5.3-5.4 over a trained
+    :class:`~repro.core.interface.ModelInterface` (or regression
+    variant).  Per micro-batch:
+
+    1. ``interface.predict`` — batch-engine decisions for the window;
+    2. :class:`~repro.core.report.DriftMonitor` ingests the verdicts;
+    3. :func:`~repro.core.incremental.select_relabel_budget` picks the
+       lowest-credibility flagged samples, which the oracle relabels;
+    4. the relabelled samples flow back in: a **model update**
+       (``incremental_update``) when the monitor alerts — full model +
+       calibration rebuild, then the window resets — otherwise an
+       amortized **calibration-only** ``extend_calibration``;
+    5. the bounded calibration store evicts down to
+       ``max_calibration`` either way.
+
+    Args:
+        interface: trained model interface.
+        X_stream: deployment-time inputs, consumed in arrival order.
+        oracle_labels: ground truth used *only* for the relabelled
+            budget (the user/profiler answering flagged queries).
+        batch_size: micro-batch width (the serving quantum).
+        budget_fraction: share of flagged samples to relabel.
+        monitor: a preconfigured :class:`DriftMonitor`; a default one
+            (window 100, threshold 0.3) is created when omitted.
+        update_on_alert: when True (default) the model itself is only
+            retrained on monitor alerts; when False every relabelled
+            batch triggers a model update.
+        epochs: partial-fit epochs for model updates.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    X_stream = np.asarray(X_stream)
+    oracle_labels = np.asarray(oracle_labels)
+    if len(X_stream) != len(oracle_labels):
+        raise ValueError("X_stream and oracle_labels must align")
+    monitor = monitor or DriftMonitor()
+
+    def known_classes():
+        if not hasattr(interface.model, "classes_"):
+            return None
+        return set(np.asarray(interface.model.classes_).tolist())
+
+    steps = []
+    n_flagged_total = 0
+    n_relabelled_total = 0
+    n_dropped_total = 0
+    n_model_updates = 0
+    stream_started = time.perf_counter()
+    for start in range(0, len(X_stream), batch_size):
+        stop = min(len(X_stream), start + batch_size)
+        batch_started = time.perf_counter()
+        _, decisions = interface.predict(X_stream[start:stop])
+        alert = monitor.observe_batch(decisions)
+        # captured before any post-update reset clears the window
+        window_rate = monitor.rejection_rate
+        chosen = select_relabel_budget(decisions, budget_fraction)
+        updating_model = alert or not update_on_alert
+        # In-place model updates keep their class head, and
+        # calibration-only extensions score against the current head,
+        # so relabelled samples of never-observed classes cannot be
+        # folded in on those paths.  A model update that can grow its
+        # head (interface.learns_new_classes) keeps them.
+        learns_new_classes = updating_model and getattr(
+            interface, "learns_new_classes", False
+        )
+        classes = known_classes()
+        n_dropped = 0
+        if classes is not None and not learns_new_classes and len(chosen):
+            kept = np.asarray(
+                [i for i in chosen if oracle_labels[start + i].item() in classes],
+                dtype=int,
+            )
+            n_dropped = len(chosen) - len(kept)
+            chosen = kept
+        model_updated = False
+        if len(chosen):
+            X_chosen = X_stream[start + chosen]
+            y_chosen = oracle_labels[start + chosen]
+            if updating_model:
+                interface.incremental_update(X_chosen, y_chosen, epochs=epochs)
+                monitor.reset()
+                model_updated = True
+                n_model_updates += 1
+            else:
+                interface.extend_calibration(X_chosen, y_chosen)
+        n_flagged = len(drifting_indices(decisions))
+        n_flagged_total += n_flagged
+        n_relabelled_total += len(chosen)
+        n_dropped_total += n_dropped
+        steps.append(
+            StreamStep(
+                start=start,
+                stop=stop,
+                n_flagged=n_flagged,
+                n_relabelled=len(chosen),
+                alert=alert,
+                model_updated=model_updated,
+                rejection_rate=window_rate,
+                calibration_size=interface.calibration_size,
+                seconds=time.perf_counter() - batch_started,
+                n_dropped_unknown=n_dropped,
+            )
+        )
+    elapsed = time.perf_counter() - stream_started
+    return StreamResult(
+        steps=steps,
+        n_samples=len(X_stream),
+        n_flagged=n_flagged_total,
+        n_relabelled=n_relabelled_total,
+        n_model_updates=n_model_updates,
+        n_dropped_unknown=n_dropped_total,
+        decisions_per_second=len(X_stream) / elapsed if elapsed > 0 else 0.0,
+        lifetime_rejection_rate=monitor.lifetime_rejection_rate,
+        final_calibration_size=interface.calibration_size,
+        monitor=monitor,
+    )
 
 
 def run_baseline_comparison(

@@ -1,0 +1,187 @@
+"""Tests for the bounded calibration store and its eviction policies."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CalibrationError,
+    CalibrationStore,
+    EvictionPolicy,
+    FIFOEviction,
+    LowestWeightEviction,
+    ReservoirEviction,
+    resolve_eviction_policy,
+)
+
+
+def _add(store, n, seed=0, priority=None):
+    g = np.random.default_rng(seed)
+    return store.add(
+        priority=priority,
+        features=g.normal(size=(n, 4)),
+        label=g.integers(0, 3, n),
+    )
+
+
+class TestStoreBasics:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            CalibrationStore(0)
+
+    def test_add_below_capacity_keeps_everything(self):
+        store = CalibrationStore(10)
+        update = _add(store, 6)
+        assert len(store) == 6
+        assert update.n_after == 6
+        assert len(update.evicted) == 0
+        assert update.keep_mask.all()
+
+    def test_capacity_enforced_on_every_add(self):
+        store = CalibrationStore(10)
+        for round_ in range(5):
+            _add(store, 4, seed=round_)
+            assert len(store) <= 10
+        assert len(store) == 10
+        assert store.n_seen == 20
+
+    def test_misaligned_columns_rejected(self):
+        store = CalibrationStore(10)
+        with pytest.raises(CalibrationError):
+            store.add(features=np.zeros((3, 2)), label=np.zeros(4))
+
+    def test_schema_fixed_by_first_add(self):
+        store = CalibrationStore(10)
+        _add(store, 3)
+        with pytest.raises(CalibrationError):
+            store.add(features=np.zeros((2, 4)))  # missing 'label'
+
+    def test_unknown_column_raises_keyerror(self):
+        store = CalibrationStore(10)
+        _add(store, 3)
+        with pytest.raises(KeyError):
+            store.column("nope")
+
+    def test_explicit_evict_compacts_in_order(self):
+        store = CalibrationStore(10)
+        store.add(features=np.arange(8).reshape(-1, 1).astype(float), label=np.arange(8))
+        update = store.evict([1, 3])
+        assert update.n_after == 6
+        assert store.column("label").tolist() == [0, 2, 4, 5, 6, 7]
+
+    def test_replace_column_checks_length(self):
+        store = CalibrationStore(10)
+        _add(store, 4)
+        store.replace_column("features", np.zeros((4, 9)))
+        assert store.column("features").shape == (4, 9)
+        with pytest.raises(CalibrationError):
+            store.replace_column("features", np.zeros((3, 9)))
+
+    def test_clear_resets_schema_and_counters(self):
+        store = CalibrationStore(10)
+        _add(store, 5)
+        store.clear()
+        assert len(store) == 0
+        assert store.n_seen == 0
+        store.add(other=np.zeros(2))  # a new schema is accepted after clear
+        assert store.column_names == ("other",)
+
+    def test_append_promotes_dtype_instead_of_truncating(self):
+        store = CalibrationStore(10)
+        store.add(label=np.array(["a", "b"]), x=np.array([1, 2]))
+        store.add(label=np.array(["classA"]), x=np.array([2.7]))
+        # longer unicode and float values survive intact (a plain slice
+        # assignment would have stored 'c' and 2)
+        assert store.column("label").tolist() == ["a", "b", "classA"]
+        assert store.column("x").tolist() == [1.0, 2.0, 2.7]
+
+    def test_store_owns_its_buffers(self):
+        store = CalibrationStore(10)
+        owned = np.arange(4.0)
+        store.add(x=owned, label=np.zeros(4))
+        owned[0] = 99.0
+        assert store.column("x")[0] == 0.0
+        replacement = np.full(4, 7.0)
+        store.replace_column("x", replacement)
+        replacement[0] = -1.0
+        assert store.column("x")[0] == 7.0
+
+    def test_keep_mask_carries_aligned_arrays(self):
+        """The documented StoreUpdate contract for auxiliary arrays."""
+        store = CalibrationStore(6, policy="fifo")
+        _add(store, 6, seed=1)
+        aux = np.arange(6.0)
+        update = _add(store, 3, seed=2)
+        carried = np.concatenate([aux, np.array([10.0, 11.0, 12.0])])[update.keep_mask]
+        assert carried.tolist() == [3.0, 4.0, 5.0, 10.0, 11.0, 12.0]
+
+
+class TestEvictionPolicies:
+    def test_fifo_keeps_newest(self):
+        store = CalibrationStore(5, policy="fifo")
+        store.add(features=np.zeros((5, 1)), label=np.arange(5))
+        store.add(features=np.ones((2, 1)), label=np.array([100, 101]))
+        # the two oldest went; the two newest are present
+        assert store.column("label").tolist() == [2, 3, 4, 100, 101]
+
+    def test_lowest_weight_evicts_lowest_priority(self):
+        store = CalibrationStore(3, policy="lowest_weight")
+        store.add(
+            priority=np.array([0.9, 0.1, 0.5]),
+            features=np.zeros((3, 1)),
+            label=np.array([0, 1, 2]),
+        )
+        store.add(
+            priority=np.array([0.7]), features=np.ones((1, 1)), label=np.array([3])
+        )
+        assert store.column("label").tolist() == [0, 2, 3]
+
+    def test_lowest_weight_ties_break_oldest_first(self):
+        store = CalibrationStore(2, policy="lowest_weight")
+        store.add(features=np.zeros((2, 1)), label=np.array([0, 1]))
+        store.add(features=np.ones((1, 1)), label=np.array([2]))
+        # equal priorities everywhere: the oldest sample goes
+        assert store.column("label").tolist() == [1, 2]
+
+    def test_reservoir_capacity_and_determinism(self):
+        a = CalibrationStore(20, policy="reservoir", seed=7)
+        b = CalibrationStore(20, policy="reservoir", seed=7)
+        for round_ in range(10):
+            _add(a, 9, seed=round_)
+            _add(b, 9, seed=round_)
+            assert len(a) <= 20
+        assert np.array_equal(a.column("label"), b.column("label"))
+        assert np.array_equal(a.arrival, b.arrival)
+
+    def test_reservoir_survival_is_roughly_uniform(self):
+        """Algorithm R: early samples keep ~capacity/seen survival odds."""
+        survivors_early = 0
+        trials = 200
+        for trial in range(trials):
+            store = CalibrationStore(10, policy="reservoir", seed=trial)
+            for round_ in range(10):
+                _add(store, 5, seed=round_)
+            survivors_early += int((store.arrival < 10).sum())
+        # 10 early samples, each with 10/50 survival odds -> ~2 per trial.
+        mean_early = survivors_early / trials
+        assert 1.0 < mean_early < 3.5
+
+    def test_resolve_by_name_and_instance(self):
+        assert isinstance(resolve_eviction_policy("fifo"), FIFOEviction)
+        assert isinstance(resolve_eviction_policy("reservoir"), ReservoirEviction)
+        policy = LowestWeightEviction()
+        assert resolve_eviction_policy(policy) is policy
+        with pytest.raises(ValueError):
+            resolve_eviction_policy("lru")
+        with pytest.raises(TypeError):
+            resolve_eviction_policy(42)
+
+    def test_custom_policy_pluggable(self):
+        class EvictEven(EvictionPolicy):
+            name = "even"
+
+            def select_victims(self, n_over, arrival, priority, n_before, capacity, rng):
+                return np.flatnonzero(arrival % 2 == 0)[:n_over]
+
+        store = CalibrationStore(4, policy=EvictEven())
+        store.add(features=np.zeros((6, 1)), label=np.arange(6))
+        assert store.column("label").tolist() == [1, 3, 4, 5]

@@ -1,0 +1,152 @@
+"""Regression tests for the incremental-update bugs (ISSUE 2).
+
+Bug 1: ``incremental_update`` grew the calibration set without bound —
+``max_calibration=20`` reached 95 samples after five rounds.  The
+eviction-managed store now enforces the cap on every round.
+
+Bug 2: the no-``partial_fit`` refit path retrained on original-train +
+only the *latest* relabelled batch, silently dropping all earlier
+relabelled samples (train size stayed 280 after 5x15 new samples).  The
+accumulated training set is now persisted across rounds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CalibrationError, ModelInterface, RegressionModelInterface
+from repro.ml import GradientBoostingClassifier, MLPClassifier, MLPRegressor
+
+from ..conftest import make_blobs
+
+
+class BlobInterface(ModelInterface):
+    def feature_extraction(self, X):
+        return np.asarray(X)
+
+
+class BlobRegressionInterface(RegressionModelInterface):
+    def feature_extraction(self, X):
+        return np.asarray(X)
+
+
+def _rounds(seed0):
+    return [make_blobs(15, shift=2.0, seed=seed0 + r) for r in range(5)]
+
+
+class TestCalibrationCapBug:
+    def test_cap_respected_across_five_rounds(self):
+        X, y = make_blobs(300, seed=0)
+        interface = BlobInterface(
+            MLPClassifier(epochs=10, seed=0), max_calibration=20, seed=0
+        )
+        interface.train(X, y)
+        for X_new, y_new in _rounds(10):
+            interface.incremental_update(X_new, y_new, epochs=3)
+            assert interface.calibration_size <= 20
+            assert interface.prom.calibration_size <= 20
+        assert interface.calibration_size == 20
+
+    def test_fifo_keeps_the_newest_samples(self):
+        X, y = make_blobs(300, seed=0)
+        interface = BlobInterface(
+            MLPClassifier(epochs=10, seed=0), max_calibration=20, seed=0
+        )
+        interface.train(X, y)
+        latest = None
+        for X_new, y_new in _rounds(10):
+            interface.incremental_update(X_new, y_new, epochs=3)
+            latest = X_new
+        assert np.allclose(interface.X_calibration[-15:], latest)
+
+    def test_regression_cap_respected(self):
+        X, _ = make_blobs(200, seed=31)
+        y = X[:, 0]
+        interface = BlobRegressionInterface(
+            MLPRegressor(epochs=15, seed=0), max_calibration=15, seed=0
+        )
+        interface.prom.n_clusters = 3
+        interface.train(X, y)
+        for r in range(5):
+            X_new, _ = make_blobs(10, shift=3.0, seed=40 + r)
+            interface.incremental_update(X_new, X_new[:, 0], epochs=3)
+            assert interface.calibration_size <= 15
+
+
+class TestRefitForgettingBug:
+    def test_refit_path_accumulates_training_set(self):
+        X, y = make_blobs(300, seed=1)
+        interface = BlobInterface(
+            GradientBoostingClassifier(n_estimators=5), max_calibration=20, seed=0
+        )
+        interface.train(X, y)
+        base = len(interface._X_train)
+        for X_new, y_new in _rounds(20):
+            interface.incremental_update(X_new, y_new)
+        assert len(interface._X_train) == base + 5 * 15
+        assert len(interface._y_train) == base + 5 * 15
+
+    def test_regression_refit_path_accumulates(self):
+        class NoPartialFit:
+            """Minimal regressor without partial_fit."""
+
+            def fit(self, X, y):
+                self.mean_ = float(np.mean(y))
+                return self
+
+            def predict(self, X):
+                return np.full(len(np.asarray(X)), self.mean_)
+
+            def clone(self):
+                return NoPartialFit()
+
+        X, _ = make_blobs(200, seed=2)
+        y = X[:, 0]
+        interface = BlobRegressionInterface(
+            NoPartialFit(), max_calibration=25, seed=0
+        )
+        interface.prom.n_clusters = 3
+        interface.train(X, y)
+        base = len(interface._X_train)
+        for r in range(3):
+            X_new, _ = make_blobs(10, shift=1.0, seed=50 + r)
+            interface.incremental_update(X_new, X_new[:, 0])
+        assert len(interface._X_train) == base + 30
+
+
+class TestExtendCalibration:
+    def test_extend_without_model_update(self):
+        X, y = make_blobs(300, seed=0)
+        interface = BlobInterface(
+            MLPClassifier(epochs=10, seed=0), max_calibration=40, seed=0
+        )
+        interface.train(X, y)
+        probe = X[:5]
+        proba_before = interface.model.predict_proba(probe)
+        X_new, y_new = make_blobs(25, shift=1.0, seed=60)
+        update = interface.extend_calibration(X_new, y_new)
+        assert update.n_added == 25
+        assert interface.calibration_size <= 40
+        # the model itself was untouched
+        assert np.array_equal(interface.model.predict_proba(probe), proba_before)
+
+    def test_unknown_label_rejected_early(self):
+        X, y = make_blobs(300, seed=0)
+        interface = BlobInterface(
+            MLPClassifier(epochs=10, seed=0), max_calibration=40, seed=0
+        )
+        interface.train(X, y)
+        X_new, y_new = make_blobs(5, seed=61)
+        with pytest.raises(CalibrationError):
+            interface.extend_calibration(X_new, y_new + 100)
+
+
+class TestSplitConsolidation:
+    def test_single_sample_partition_raises_early(self):
+        interface = BlobInterface(MLPClassifier(epochs=2))
+        with pytest.raises(CalibrationError):
+            interface.data_partitioning(np.zeros((1, 4)), np.zeros(1))
+
+    def test_invalid_ratio_raises_calibration_error(self):
+        interface = BlobInterface(MLPClassifier(epochs=2), calibration_ratio=2.0)
+        with pytest.raises(CalibrationError):
+            interface.data_partitioning(np.zeros((10, 4)), np.zeros(10))

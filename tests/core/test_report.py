@@ -111,6 +111,31 @@ class TestDriftMonitor:
         assert monitor.rejection_rate == 0.0
         assert monitor.lifetime_rejection_rate == pytest.approx(1.0)
 
+    def test_reset_drops_alert_until_window_refills(self):
+        monitor = DriftMonitor(window=10, alert_threshold=0.3)
+        monitor.observe_batch([_decision(True)] * 10)
+        assert monitor.alert
+        monitor.reset()
+        assert not monitor.alert
+        # fewer than min(10, window) fresh samples cannot re-trip it
+        for _ in range(9):
+            assert not monitor.observe(_decision(True))
+        assert monitor.observe(_decision(True))
+
+    def test_lifetime_counters_accumulate_across_resets(self):
+        monitor = DriftMonitor(window=5)
+        monitor.observe_batch([_decision(True)] * 5)
+        monitor.reset()
+        monitor.observe_batch([_decision(False)] * 5)
+        assert monitor.lifetime_rejection_rate == pytest.approx(0.5)
+
+    def test_reset_lifetime_true_zeroes_everything(self):
+        monitor = DriftMonitor(window=5)
+        monitor.observe_batch([_decision(True)] * 5)
+        monitor.reset(lifetime=True)
+        assert monitor.lifetime_rejection_rate == 0.0
+        assert monitor.rejection_rate == 0.0
+
     def test_invalid_parameters(self):
         with pytest.raises(ValueError):
             DriftMonitor(window=0)

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core import CalibrationError, DriftMonitor, ModelInterface, split_calibration
 from repro.experiments import (
     detection_table,
     distribution_summary,
@@ -18,11 +19,14 @@ from repro.experiments import (
     run_classification,
     run_incremental,
     run_regression,
+    stream_deployment,
     table2_summary,
     table3_dnn_codegen,
 )
 from repro.models import magni
 from repro.tasks import DnnCodeGenerationTask, ThreadCoarseningTask
+
+from ..conftest import make_blobs as _make_blobs
 
 
 @pytest.fixture(scope="module")
@@ -148,3 +152,97 @@ class TestRendering:
     def test_table2_requires_results(self):
         with pytest.raises(ValueError):
             table2_summary([])
+
+
+class TestSplitCalibration:
+    """The consolidated splitter shared by the harness and ModelInterface."""
+
+    def test_split_sizes_and_disjointness(self):
+        train, cal = split_calibration(np.arange(100), 0.2, 1000, seed=0)
+        assert len(cal) == 20
+        assert len(train) == 80
+        assert len(np.intersect1d(train, cal)) == 0
+
+    def test_cap_applies(self):
+        train, cal = split_calibration(np.arange(100), 0.5, 10, seed=0)
+        assert len(cal) == 10
+
+    def test_never_consumes_whole_pool(self):
+        train, cal = split_calibration(np.arange(2), 0.9, 1000, seed=0)
+        assert len(train) == 1
+        assert len(cal) == 1
+
+    def test_single_sample_raises_early(self):
+        with pytest.raises(CalibrationError):
+            split_calibration(np.arange(1), 0.2, 1000, seed=0)
+
+    def test_invalid_ratio_raises(self):
+        with pytest.raises(CalibrationError):
+            split_calibration(np.arange(10), 1.5, 1000, seed=0)
+        with pytest.raises(CalibrationError):
+            split_calibration(np.arange(10), 0.0, 1000, seed=0)
+
+    def test_arbitrary_index_pools(self):
+        pool = np.array([5, 17, 3, 99, 42, 8])
+        train, cal = split_calibration(pool, 0.3, 1000, seed=1)
+        assert sorted(np.concatenate([train, cal]).tolist()) == sorted(pool.tolist())
+
+
+class _BlobInterface(ModelInterface):
+    def feature_extraction(self, X):
+        return np.asarray(X)
+
+
+class TestStreamDeployment:
+    @pytest.fixture(scope="class")
+    def trained_interface(self):
+        from repro.ml import MLPClassifier
+
+        X, y = _make_blobs(400, seed=0)
+        interface = _BlobInterface(
+            MLPClassifier(epochs=30, seed=0), max_calibration=60, seed=0
+        )
+        return interface.train(X, y)
+
+    def test_end_to_end_stream(self, trained_interface):
+        X_a, y_a = _make_blobs(200, seed=5)
+        X_b, y_b = _make_blobs(200, shift=3.0, seed=6)
+        X_stream = np.concatenate([X_a, X_b])
+        y_stream = np.concatenate([y_a, y_b])
+        result = stream_deployment(
+            trained_interface,
+            X_stream,
+            y_stream,
+            batch_size=50,
+            budget_fraction=0.2,
+            monitor=DriftMonitor(window=100, alert_threshold=0.3),
+            epochs=10,
+        )
+        assert result.n_samples == 400
+        assert len(result.steps) == 8
+        assert result.decisions_per_second > 0
+        # the drifted half must trip the detector into at least one update
+        assert result.n_flagged > 0
+        assert result.n_relabelled > 0
+        assert result.n_model_updates >= 1
+        # the capped store never overflows at any step
+        assert all(s.calibration_size <= 60 for s in result.steps)
+        assert result.final_calibration_size <= 60
+        # bookkeeping is internally consistent
+        assert result.n_flagged == sum(s.n_flagged for s in result.steps)
+        assert result.n_relabelled == sum(s.n_relabelled for s in result.steps)
+        assert result.n_dropped_unknown == sum(
+            s.n_dropped_unknown for s in result.steps
+        )
+        assert 0.0 <= result.lifetime_rejection_rate <= 1.0
+        # alert steps record the rate that tripped the alarm, not the
+        # post-reset zero
+        assert all(s.rejection_rate > 0.0 for s in result.steps if s.model_updated)
+
+    def test_validates_alignment(self, trained_interface):
+        with pytest.raises(ValueError):
+            stream_deployment(trained_interface, np.zeros((10, 6)), np.zeros(5))
+        with pytest.raises(ValueError):
+            stream_deployment(
+                trained_interface, np.zeros((10, 6)), np.zeros(10), batch_size=0
+            )
