@@ -18,13 +18,18 @@ delegating the *which samples go* decision to an
   credibility`` so the strangest samples survive longest).
 
 The store keeps an arbitrary set of *aligned columns* (features, model
-outputs, labels, raw inputs, ...) as flat NumPy arrays in one canonical
-order: survivors keep their relative order, new samples append at the
-end.  Every mutation returns a :class:`StoreUpdate` whose ``keep_mask``
-lets incremental consumers (the streaming detectors in
-:mod:`repro.core.streaming`) update any aligned auxiliary array with a
-single ``concatenate + mask`` instead of recomputing it — see
-DESIGN.md §3.
+outputs, labels, raw inputs, ...) as flat NumPy arrays in one exposed
+order.  FIFO mutations keep that order equal to arrival order; the
+other policies use a slot-stable layout where evicted rows free their
+slots in place and incoming survivors fill them (``O(batch)`` writes
+instead of one compacting copy per mutation), so the exposed order is
+then a deterministic permutation of arrival order —
+:meth:`CalibrationStore.arrival_order` normalizes it back when a test
+needs the canonical arrival-ordered view.  Every mutation returns a
+:class:`StoreUpdate` whose ``order`` gather lets incremental consumers
+(the streaming detectors in :mod:`repro.core.streaming`) update any
+aligned auxiliary array with a single ``concatenate + take`` instead of
+recomputing it — see DESIGN.md §3-§4.
 """
 
 from __future__ import annotations
@@ -46,24 +51,39 @@ class StoreUpdate:
     auxiliary array aligned with the store is carried across the
     mutation with::
 
-        aux = np.concatenate([aux_old, aux_new])[update.keep_mask]
+        aux = np.concatenate([aux_old, aux_new])[update.order]
+
+    ``order`` lists the surviving combined-layout positions *in the
+    store's new exposed order*.  For arrival-ordered mutations (FIFO
+    appends, explicit ``evict``) it is monotone and equals
+    ``np.flatnonzero(keep_mask)`` — the historical ``keep_mask`` gather
+    stays valid there — but slot-reuse evictions (reservoir,
+    lowest-weight) permute survivors, so order-sensitive consumers must
+    gather with ``order``.
 
     Attributes:
         n_before: store size before the mutation.
         n_added: rows the triggering ``add`` supplied (0 for ``evict``).
         keep_mask: ``(n_before + n_added,)`` boolean mask of survivors.
         evicted: combined-layout positions that were dropped, sorted.
+        order: surviving combined-layout positions in new exposed
+            order (defaults to ``flatnonzero(keep_mask)`` when omitted).
     """
 
     n_before: int
     n_added: int
     keep_mask: np.ndarray
     evicted: np.ndarray
+    order: np.ndarray = None
+
+    def __post_init__(self):
+        if self.order is None:
+            object.__setattr__(self, "order", np.flatnonzero(self.keep_mask))
 
     @property
     def n_after(self) -> int:
         """Store size after the mutation."""
-        return int(self.keep_mask.sum())
+        return len(self.order)
 
     @property
     def evicted_existing(self) -> np.ndarray:
@@ -74,6 +94,36 @@ class StoreUpdate:
     def evicted_added(self) -> np.ndarray:
         """Evicted positions belonging to the just-added batch."""
         return self.evicted[self.evicted >= self.n_before]
+
+
+def check_batch_columns(columns: dict, schema: dict | None = None):
+    """Validate one ``add()`` batch against an optional fixed schema.
+
+    The shared validation behind :class:`CalibrationStore` and the
+    sharded facade, so both accept exactly the same batches.
+    ``schema`` maps the fixed column names to their trailing row shapes
+    (``None`` = schema not yet established).  Returns the columns as
+    ndarrays plus the batch length.
+    """
+    if not columns:
+        raise ValueError("add() needs at least one column")
+    arrays = {name: np.asarray(values) for name, values in columns.items()}
+    lengths = {name: len(values) for name, values in arrays.items()}
+    if len(set(lengths.values())) != 1:
+        raise CalibrationError(f"store columns must align, got lengths {lengths}")
+    if schema is not None:
+        if set(arrays) != set(schema):
+            raise CalibrationError(
+                f"store columns are fixed to {sorted(schema)}, "
+                f"got {sorted(arrays)}"
+            )
+        for name, values in arrays.items():
+            if values.shape[1:] != schema[name]:
+                raise CalibrationError(
+                    f"column {name!r} rows have shape {values.shape[1:]}, "
+                    f"store holds {schema[name]}"
+                )
+    return arrays, next(iter(lengths.values()))
 
 
 class EvictionPolicy(abc.ABC):
@@ -215,10 +265,20 @@ class CalibrationStore:
     tail, and evicting the *oldest* samples — what the default FIFO
     policy always does — just advances the head: the steady-state
     streaming mutation costs ``O(batch)``, not an ``O(n)`` recopy of
-    every column.  (The store is always arrival-ordered: appends arrive
-    in order and compaction preserves relative order, so FIFO victims
-    are always a prefix.)  Non-prefix evictions fall back to one
-    compacting copy.
+    every column.  (A FIFO store stays arrival-ordered: appends arrive
+    in order, prefix eviction and explicit-``evict`` compaction
+    preserve relative order, so FIFO victims are always a prefix.)
+    Non-prefix evictions use the slot-reuse fast path: victims free
+    their slots in place and surviving incoming rows overwrite them, so
+    reservoir / lowest-weight mutations are also ``O(batch)`` writes —
+    at the cost of an exposed order that is a (deterministic,
+    ``StoreUpdate.order``-tracked) permutation of arrival order; use
+    :meth:`arrival_order` to normalize when comparing stores.
+
+    Because slot reuse rewrites rows in place, ``column()`` views are
+    only guaranteed valid until the next mutation; consumers that hold
+    state across mutations must either re-fetch (what the streaming
+    wrappers do) or copy.
     """
 
     def __init__(self, capacity: int, policy="fifo", seed: int = 0):
@@ -258,11 +318,11 @@ class CalibrationStore:
         return self._priority_buffer[self._head : self._tail]
 
     def column(self, name: str) -> np.ndarray:
-        """Return one stored column (canonical store order).
+        """Return one stored column (exposed store order).
 
         The returned array is a view of the store's buffer — treat it
-        as read-only.  It is a stable snapshot: later mutations replace
-        the live window rather than rewriting rows under it.
+        as read-only, and as valid only until the next mutation:
+        slot-reuse evictions overwrite freed rows in place.
         """
         try:
             return self._buffers[name][self._head : self._tail]
@@ -271,14 +331,37 @@ class CalibrationStore:
                 f"store has no column {name!r}; columns: {self.column_names}"
             ) from None
 
-    def clear(self) -> None:
-        """Drop all samples and the column schema; keep the RNG state."""
+    def arrival_order(self) -> np.ndarray:
+        """Exposed-order positions sorted by arrival (oldest first).
+
+        The order-normalization helper: ``column(name)[arrival_order()]``
+        is the canonical arrival-ordered view regardless of how slot
+        reuse permuted the exposed layout, so content comparisons across
+        stores with different mutation histories stay meaningful.
+        """
+        return np.argsort(self.arrival, kind="stable")
+
+    def clear(self, lifetime: bool = False) -> None:
+        """Drop all samples and the column schema; keep the RNG state.
+
+        The stream-position counter (:attr:`n_seen`) survives by
+        default, so arrival counters keep increasing and randomized
+        eviction statistics — reservoir admission probability
+        ``capacity / t`` — stay calibrated to the true stream position
+        across a clear.  Pass ``lifetime=True`` to zero it too (a
+        brand-new deployment), mirroring ``DriftMonitor.reset(lifetime=)``.
+        """
         self._buffers = {}
         self._arrival_buffer = np.zeros(0, dtype=np.int64)
         self._priority_buffer = np.zeros(0, dtype=float)
         self._head = 0
         self._tail = 0
-        self._seen = 0
+        if lifetime:
+            self._seen = 0
+
+    def clone_empty(self) -> "CalibrationStore":
+        """A fresh, empty store with the same capacity/policy/seed."""
+        return CalibrationStore(self.capacity, self.policy, seed=self.seed)
 
     # -- internal storage ---------------------------------------------------------
     def _set_from_arrays(self, columns: dict, arrival, priority) -> None:
@@ -289,16 +372,16 @@ class CalibrationStore:
         self._head = 0
         self._tail = len(arrival)
 
-    def _append(self, columns: dict, arrival, priority) -> None:
-        """Write a batch at the tail, growing-and-compacting if needed.
+    def _reserve(self, columns: dict, n_extra: int) -> None:
+        """Promote dtypes / grow buffers so ``n_extra`` tail rows fit.
 
         Buffer dtypes are promoted when an incoming batch needs it
         (e.g. int column receiving floats, or longer unicode class
         names) — a plain slice assignment would silently cast or
-        truncate instead.
+        truncate instead.  ``columns`` is the *whole* incoming batch so
+        hole-fill writes see promoted buffers too.
         """
         n = len(self)
-        n_new = len(arrival)
         promoted = {
             name: np.result_type(self._buffers[name], values)
             for name, values in columns.items()
@@ -306,8 +389,8 @@ class CalibrationStore:
         needs_promotion = any(
             promoted[name] != self._buffers[name].dtype for name in columns
         )
-        if needs_promotion or self._tail + n_new > len(self._arrival_buffer):
-            grown = max(2 * (n + n_new), 16)
+        if needs_promotion or self._tail + n_extra > len(self._arrival_buffer):
+            grown = max(2 * (n + n_extra), 16)
 
             def regrow(buffer, dtype=None):
                 fresh = np.empty(
@@ -323,35 +406,24 @@ class CalibrationStore:
             self._arrival_buffer = regrow(self._arrival_buffer)
             self._priority_buffer = regrow(self._priority_buffer)
             self._head, self._tail = 0, n
-        stop = self._tail + n_new
+
+    def _append(self, columns: dict, arrival, priority) -> None:
+        """Write a batch at the tail, growing-and-compacting if needed."""
+        self._reserve(columns, len(arrival))
+        stop = self._tail + len(arrival)
         for name, values in columns.items():
             self._buffers[name][self._tail : stop] = values
         self._arrival_buffer[self._tail : stop] = arrival
         self._priority_buffer[self._tail : stop] = priority
         self._tail = stop
 
-    def _check_batch(self, columns: dict) -> int:
-        if not columns:
-            raise ValueError("add() needs at least one column")
-        lengths = {name: len(np.asarray(values)) for name, values in columns.items()}
-        if len(set(lengths.values())) != 1:
-            raise CalibrationError(f"store columns must align, got lengths {lengths}")
-        if self._buffers:
-            expected = set(self._buffers)
-            if set(columns) != expected:
-                raise CalibrationError(
-                    f"store columns are fixed to {sorted(expected)}, "
-                    f"got {sorted(columns)}"
-                )
-            for name, values in columns.items():
-                trailing = np.asarray(values).shape[1:]
-                expected_trailing = self._buffers[name].shape[1:]
-                if trailing != expected_trailing:
-                    raise CalibrationError(
-                        f"column {name!r} rows have shape {trailing}, "
-                        f"store holds {expected_trailing}"
-                    )
-        return next(iter(lengths.values()))
+    def _check_batch(self, columns: dict):
+        schema = (
+            {name: b.shape[1:] for name, b in self._buffers.items()}
+            if self._buffers
+            else None
+        )
+        return check_batch_columns(columns, schema)
 
     def add(self, priority=None, **columns) -> StoreUpdate:
         """Append a batch of samples, evicting down to capacity.
@@ -364,9 +436,8 @@ class CalibrationStore:
         Returns:
             the :class:`StoreUpdate` describing survivors and victims.
         """
-        n_new = self._check_batch(columns)
+        arrays, n_new = self._check_batch(columns)
         n_before = len(self)
-        arrays = {name: np.asarray(values) for name, values in columns.items()}
         if priority is None:
             new_priority = np.ones(n_new, dtype=float)
         else:
@@ -401,9 +472,11 @@ class CalibrationStore:
                 )
             keep_mask[victims] = False
 
+        order = None
         if n_over <= 0 or not keep_mask[:n_over].any():
             # Prefix eviction (FIFO's only shape): advance the head and
-            # append — O(batch), no column recopy.
+            # append — O(batch), no column recopy.  Exposed order stays
+            # arrival order, so the default monotone `order` applies.
             dropped_new = max(0, n_over - n_before)
             if dropped_new:
                 arrays = {name: values[dropped_new:] for name, values in arrays.items()}
@@ -415,29 +488,57 @@ class CalibrationStore:
             else:
                 # Copy on adoption: the store must own its buffers so a
                 # caller mutating the input arrays afterwards cannot
-                # corrupt the stable snapshots column() hands out.
+                # corrupt the views column() hands out.
                 self._set_from_arrays(
                     {name: np.array(values) for name, values in arrays.items()},
                     new_arrival,
                     np.array(new_priority),
                 )
         else:
-            merged = {
-                name: (
-                    np.concatenate([self.column(name), values])[keep_mask]
-                    if self._buffers
-                    else values[keep_mask]
+            # Slot-reuse (free-list) eviction: existing victims free
+            # their slots in place and surviving new rows overwrite
+            # them, the remainder appending at the tail — O(batch)
+            # writes for reservoir / lowest-weight instead of one
+            # compacting copy per mutation.  Survivors never move, but
+            # the exposed order is no longer arrival order; the
+            # StoreUpdate.order permutation records where every
+            # survivor landed.
+            surviving_new = np.flatnonzero(keep_mask[n_before:])
+            freed = np.flatnonzero(~keep_mask[:n_before])
+            # Capacity arithmetic guarantees enough surviving new rows
+            # to fill every freed slot (n_after == capacity >= n_before).
+            fill = surviving_new[: len(freed)]
+            tail = surviving_new[len(freed) :]
+            if self._buffers:
+                self._reserve(arrays, len(tail))
+                slots = self._head + freed
+                for name, values in arrays.items():
+                    self._buffers[name][slots] = values[fill]
+                self._arrival_buffer[slots] = new_arrival[fill]
+                self._priority_buffer[slots] = new_priority[fill]
+                if len(tail):
+                    self._append(
+                        {name: values[tail] for name, values in arrays.items()},
+                        new_arrival[tail],
+                        new_priority[tail],
+                    )
+            else:
+                # First-ever add already overflowing: no existing slots
+                # to reuse, adopt the surviving new rows directly.
+                self._set_from_arrays(
+                    {name: np.array(values[tail]) for name, values in arrays.items()},
+                    new_arrival[tail],
+                    np.array(new_priority[tail]),
                 )
-                for name, values in arrays.items()
-            }
-            self._set_from_arrays(
-                merged, combined_arrival[keep_mask], combined_priority[keep_mask]
-            )
+            slot_map = np.arange(n_before, dtype=np.int64)
+            slot_map[freed] = n_before + fill
+            order = np.concatenate([slot_map, n_before + tail])
         return StoreUpdate(
             n_before=n_before,
             n_added=n_new,
             keep_mask=keep_mask,
             evicted=np.flatnonzero(~keep_mask),
+            order=order,
         )
 
     def evict(self, positions) -> StoreUpdate:

@@ -79,6 +79,15 @@ class ModelInterface(abc.ABC):
         eviction: eviction policy name or instance (``"fifo"`` keeps
             the newest, drift-informative samples; see
             :mod:`repro.core.calibration_store`).
+        n_shards: calibration shards (1 = one store).  With more, the
+            calibration runtime becomes the sharded subsystem of
+            :mod:`repro.core.sharding`: per-shard capacity and
+            eviction, updates folded only into touched shards.
+        router: shard router name or instance (``"hash"``, ``"label"``,
+            ``"cluster"``); only meaningful with ``n_shards > 1``.
+        parallel: thread-pool width for whole-shard rescoring
+            (:meth:`recalibrate_shards`); micro-batch folds stay
+            serial.
     """
 
     def __init__(
@@ -89,6 +98,9 @@ class ModelInterface(abc.ABC):
         prom: PromClassifier | None = None,
         seed: int = 0,
         eviction="fifo",
+        n_shards: int = 1,
+        router="hash",
+        parallel: int | None = None,
     ):
         self.model = model
         self.calibration_ratio = calibration_ratio
@@ -99,6 +111,9 @@ class ModelInterface(abc.ABC):
             capacity=max_calibration,
             eviction=eviction,
             seed=seed,
+            n_shards=n_shards,
+            router=router,
+            parallel=parallel,
         )
         self.prom = self.streaming.prom
 
@@ -164,17 +179,38 @@ class ModelInterface(abc.ABC):
     # -- calibration-set state ----------------------------------------------------
     @property
     def X_calibration(self) -> np.ndarray:
-        """Raw inputs currently in the calibration store."""
-        return self.streaming.store.column("X")
+        """Raw inputs currently in the calibration store (a snapshot).
+
+        Copied at the boundary: store buffers are reused in place by
+        slot-reuse eviction, so a live view would be rewritten under
+        the caller by the next mutation.
+        """
+        return np.array(self.streaming.store.column("X"))
 
     @property
     def y_calibration(self) -> np.ndarray:
-        """Ground-truth labels currently in the calibration store."""
-        return self.streaming.store.column("y")
+        """Ground-truth labels currently in the store (a snapshot)."""
+        return np.array(self.streaming.store.column("y"))
 
     @property
     def calibration_size(self) -> int:
         return len(self.streaming.store)
+
+    @property
+    def shard_sizes(self) -> tuple:
+        """Per-shard calibration sizes (one entry in single-store mode)."""
+        return self.streaming.shard_sizes
+
+    def recalibrate_shards(self, shard_ids=None) -> "ModelInterface":
+        """Fully rescore the given calibration shards (all by default).
+
+        Shard-local rebuild after operator interventions (manual shard
+        eviction, policy swaps): cost proportional to the touched
+        shards' rows, run on a thread pool when the interface was
+        configured with ``parallel`` workers.  Sharded mode only.
+        """
+        self.streaming.recalibrate_shards(shard_ids)
+        return self
 
     @property
     def learns_new_classes(self) -> bool:
@@ -251,19 +287,31 @@ class ModelInterface(abc.ABC):
             self.model.fit(X_all, y_all)
             self._X_train = X_all
             self._y_train = y_all
-        # Fold the new batch into the capped store first (zero
-        # placeholders for the derived columns, sized to the stored
-        # schema), then rebuild the whole calibration state once: the
-        # model moved, so every stored feature vector and probability
-        # row is stale anyway.  replace_outputs handles a grown class
-        # head (trailing shapes may change on replacement).
+        # Fold the new batch into the capped store first, then rebuild
+        # the whole calibration state once: the model moved, so every
+        # stored feature vector and probability row is stale anyway.
+        # In sharded mode the feature and label columns carry real
+        # values (the shard router keys on them); probabilities stay a
+        # zero placeholder sized to the stored schema because a refit
+        # may have grown the class head — replace_outputs handles the
+        # trailing-shape change when it recomputes every surviving row.
         store = self.streaming.store
+        new_features = None
+        if self.streaming.is_sharded:
+            # worth a model forward pass only when a router consumes it
+            new_features = np.asarray(self.feature_extraction(X_new), dtype=float)
+            if new_features.shape[1:] != store.column("features").shape[1:]:
+                new_features = None
+        if new_features is None:
+            new_features = np.zeros(
+                (len(X_new),) + store.column("features").shape[1:]
+            )
         store.add(
-            features=np.zeros((len(X_new),) + store.column("features").shape[1:]),
+            features=new_features,
             probabilities=np.zeros(
                 (len(X_new),) + store.column("probabilities").shape[1:]
             ),
-            label=np.zeros(len(X_new), dtype=int),
+            label=self._label_indices(y_new),
             X=X_new,
             y=y_new,
         )
@@ -298,6 +346,9 @@ class RegressionModelInterface(abc.ABC):
         prom: PromRegressor | None = None,
         seed: int = 0,
         eviction="fifo",
+        n_shards: int = 1,
+        router="hash",
+        parallel: int | None = None,
     ):
         self.model = model
         self.calibration_ratio = calibration_ratio
@@ -308,6 +359,9 @@ class RegressionModelInterface(abc.ABC):
             capacity=max_calibration,
             eviction=eviction,
             seed=seed,
+            n_shards=n_shards,
+            router=router,
+            parallel=parallel,
         )
         self.prom = self.streaming.prom
 
@@ -348,17 +402,35 @@ class RegressionModelInterface(abc.ABC):
 
     @property
     def X_calibration(self) -> np.ndarray:
-        """Raw inputs currently in the calibration store."""
-        return self.streaming.store.column("X")
+        """Raw inputs currently in the calibration store (a snapshot).
+
+        Copied at the boundary — see
+        :attr:`ModelInterface.X_calibration`.
+        """
+        return np.array(self.streaming.store.column("X"))
 
     @property
     def y_calibration(self) -> np.ndarray:
-        """Ground-truth targets currently in the calibration store."""
-        return self.streaming.store.column("target")
+        """Ground-truth targets currently in the store (a snapshot)."""
+        return np.array(self.streaming.store.column("target"))
 
     @property
     def calibration_size(self) -> int:
         return len(self.streaming.store)
+
+    @property
+    def shard_sizes(self) -> tuple:
+        """Per-shard calibration sizes (one entry in single-store mode)."""
+        return self.streaming.shard_sizes
+
+    def recalibrate_shards(self, shard_ids=None) -> "RegressionModelInterface":
+        """Fully rescore the given calibration shards (all by default).
+
+        See :meth:`ModelInterface.recalibrate_shards`; a ``"loo"``
+        detector falls back to a global refresh.
+        """
+        self.streaming.recalibrate_shards(shard_ids)
+        return self
 
     def predict(self, X):
         """Return ``(predictions, decisions)`` for a batch of inputs."""
@@ -402,14 +474,22 @@ class RegressionModelInterface(abc.ABC):
         # the whole calibration state once against the updated model.
         # (Unlike the classifier there is no output-width hazard, and a
         # single rebuild avoids paying the "loo" mode's clustering and
-        # leave-one-out costs twice per round.)  The derived columns of
-        # the new rows are zero placeholders: replace_outputs recomputes
-        # them for every surviving row anyway.
+        # leave-one-out costs twice per round.)  In sharded mode the
+        # feature column carries real values so the router can key on
+        # them; the prediction column stays a zero placeholder because
+        # replace_outputs recomputes it for every surviving row anyway.
         store = self.streaming.store
-        store.add(
-            features=np.zeros(
+        new_features = None
+        if self.streaming.is_sharded:
+            new_features = np.asarray(self.feature_extraction(X_new), dtype=float)
+            if new_features.shape[1:] != store.column("features").shape[1:]:
+                new_features = None
+        if new_features is None:
+            new_features = np.zeros(
                 (len(X_new),) + store.column("features").shape[1:]
-            ),
+            )
+        store.add(
+            features=new_features,
             prediction=np.zeros(len(X_new)),
             target=y_new,
             X=X_new,

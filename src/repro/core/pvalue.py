@@ -180,18 +180,22 @@ def update_label_groups(
     keep_mask: np.ndarray,
     new_scores: np.ndarray,
     new_labels: np.ndarray,
+    order: np.ndarray | None = None,
 ) -> LabelGroupedScores:
     """Incremental counterpart of :func:`group_scores_by_label`.
 
     Carries one expert's layout across a calibration-store mutation:
     the combined layout is the existing calibration rows followed by
     the ``new`` batch, and ``keep_mask`` marks the survivors (see
-    :class:`~repro.core.calibration_store.StoreUpdate`).  Group counts
-    are adjusted arithmetically from the added and evicted labels —
-    ``O(batch + n_labels)`` bookkeeping on top of the ``O(n)`` survivor
-    copy — and the result is exactly what
-    :func:`group_scores_by_label` would build from the surviving
-    scores and labels.
+    :class:`~repro.core.calibration_store.StoreUpdate`).  ``order``
+    (``StoreUpdate.order``) gathers the survivors into the store's new
+    exposed order — required for slot-reuse evictions, which permute
+    survivors; when omitted the historical arrival-ordered
+    ``keep_mask`` gather applies.  Group counts are adjusted
+    arithmetically from the added and evicted labels — ``O(batch +
+    n_labels)`` bookkeeping on top of the ``O(n)`` survivor copy — and
+    the result is exactly what :func:`group_scores_by_label` would
+    build from the surviving scores and labels in store order.
     """
     new_scores = np.asarray(new_scores, dtype=float).ravel()
     new_labels = np.asarray(new_labels, dtype=int).ravel()
@@ -207,6 +211,7 @@ def update_label_groups(
             f"keep_mask covers {len(keep_mask)} rows, combined layout has "
             f"{len(layout.labels) + len(new_labels)}"
         )
+    gather = np.flatnonzero(keep_mask) if order is None else np.asarray(order)
     combined_labels = np.concatenate([layout.labels, new_labels])
     group_counts = (
         layout.group_counts
@@ -214,8 +219,8 @@ def update_label_groups(
         - np.bincount(combined_labels[~keep_mask], minlength=layout.n_labels)
     )
     return LabelGroupedScores(
-        scores=np.concatenate([layout.scores, new_scores])[keep_mask],
-        labels=combined_labels[keep_mask],
+        scores=np.concatenate([layout.scores, new_scores])[gather],
+        labels=combined_labels[gather],
         group_counts=group_counts,
         n_labels=layout.n_labels,
     )

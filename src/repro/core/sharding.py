@@ -1,0 +1,595 @@
+"""Sharded calibration architecture: routers + a sharded store.
+
+One monolithic :class:`~repro.core.calibration_store.CalibrationStore`
+serializes capacity, eviction and recalibration behind a single buffer
+— the scaling wall for calibration sets meant to keep up with heavy
+drift traffic.  This module partitions the calibration stream across N
+independent stores:
+
+* a :class:`ShardRouter` assigns every sample a shard (pluggable
+  keying: by true label, by feature-space K-means cluster via
+  :mod:`repro.ml.cluster`, or a stateless feature-hash fallback);
+* a :class:`ShardedCalibrationStore` owns one
+  :class:`~repro.core.calibration_store.CalibrationStore` per shard —
+  each with its own capacity and eviction policy — while exposing the
+  union as a single store: concatenated ``column()`` views (shard 0
+  rows, then shard 1, ...) and a :class:`ShardedStoreUpdate` that is a
+  drop-in :class:`~repro.core.calibration_store.StoreUpdate` over the
+  global combined layout, so every existing incremental consumer (the
+  streaming detectors, auxiliary-array carries, the equivalence tests)
+  keeps meaning unchanged.
+
+Per-shard eviction and recalibration then run independently — and, in
+the streaming wrappers, in parallel — with update work proportional to
+the *touched* shards, not the whole calibration set.  See DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+import abc
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ml.cluster import KMeans
+from .calibration_store import CalibrationStore, StoreUpdate, check_batch_columns
+from .exceptions import CalibrationError
+
+
+class ShardRouter(abc.ABC):
+    """Assigns calibration samples to shards.
+
+    Routers are deterministic functions of the sample (plus any fitted
+    state), so replaying a stream reproduces the same shard layout.
+    Stateful routers (:class:`ClusterShardRouter`) must be ``fit``
+    before they can ``route``; stateless ones are born fitted.
+    """
+
+    #: registry name accepted by :func:`resolve_shard_router`
+    name: str = "base"
+
+    def __init__(self, n_shards: int):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = int(n_shards)
+
+    @property
+    def is_fitted(self) -> bool:
+        return True
+
+    def fit(self, features, labels=None) -> "ShardRouter":
+        """Learn routing state from a calibration batch (no-op default)."""
+        return self
+
+    def clone_unfitted(self) -> "ShardRouter":
+        """A fresh router of the same configuration, fitted state dropped."""
+        return self
+
+    @abc.abstractmethod
+    def route(self, features, labels=None) -> np.ndarray:
+        """Return the shard id of every sample, shape ``(n,)``."""
+
+    def _check_routes(self, shard_ids: np.ndarray) -> np.ndarray:
+        shard_ids = np.asarray(shard_ids, dtype=int)
+        if len(shard_ids) and (
+            shard_ids.min() < 0 or shard_ids.max() >= self.n_shards
+        ):
+            raise CalibrationError(
+                f"{self!r} produced shard ids outside [0, {self.n_shards})"
+            )
+        return shard_ids
+
+    def __repr__(self) -> str:
+        return f"{self.__class__.__name__}(n_shards={self.n_shards})"
+
+
+class HashShardRouter(ShardRouter):
+    """Stateless fallback: deterministic per-row hash of the features.
+
+    Hashes the canonical float64 byte representation of each feature
+    vector (CRC-32), so identical vectors always land on the same shard
+    and the distribution is near-uniform without any fitted state.
+    """
+
+    name = "hash"
+
+    def route(self, features, labels=None) -> np.ndarray:
+        features = np.ascontiguousarray(np.asarray(features, dtype=np.float64))
+        if features.ndim == 1:
+            features = features.reshape(1, -1)
+        return self._check_routes(
+            [zlib.crc32(row.tobytes()) % self.n_shards for row in features]
+        )
+
+
+class LabelShardRouter(ShardRouter):
+    """Route by true label: ``shard = label % n_shards``.
+
+    Keeps each label's calibration samples together, so per-shard
+    eviction cannot starve a label group and label-local recalibration
+    touches exactly one shard.  Classification only — the regression
+    store has no integer label column.
+    """
+
+    name = "label"
+
+    def route(self, features, labels=None) -> np.ndarray:
+        if labels is None:
+            raise CalibrationError(
+                "label routing needs the store's label column; use the "
+                "'hash' or 'cluster' router for label-free (regression) stores"
+            )
+        return self._check_routes(np.asarray(labels, dtype=int) % self.n_shards)
+
+
+class ClusterShardRouter(ShardRouter):
+    """Route by feature-space K-means cluster (:mod:`repro.ml.cluster`).
+
+    Fit once on the first calibration batch; afterwards every sample is
+    assigned its nearest fitted center.  Drifting samples that share a
+    feature region then churn the same shard, leaving the others'
+    calibration state untouched.
+    """
+
+    name = "cluster"
+
+    def __init__(self, n_shards: int, seed: int = 0, max_iter: int = 50):
+        super().__init__(n_shards)
+        self.seed = seed
+        self.max_iter = max_iter
+        self._kmeans = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._kmeans is not None
+
+    def fit(self, features, labels=None) -> "ClusterShardRouter":
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2 or len(features) == 0:
+            raise CalibrationError(
+                "cluster routing needs a non-empty 2-D feature batch to fit"
+            )
+        # Cannot place more centers than samples; spare shards stay empty
+        # until a larger refit.
+        k = min(self.n_shards, len(features))
+        self._kmeans = KMeans(
+            n_clusters=k, max_iter=self.max_iter, seed=self.seed
+        ).fit(features)
+        return self
+
+    def clone_unfitted(self) -> "ClusterShardRouter":
+        return ClusterShardRouter(
+            self.n_shards, seed=self.seed, max_iter=self.max_iter
+        )
+
+    def route(self, features, labels=None) -> np.ndarray:
+        if not self.is_fitted:
+            raise CalibrationError(
+                "ClusterShardRouter must be fit before routing"
+            )
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features.reshape(1, -1)
+        return self._check_routes(self._kmeans.predict(features))
+
+
+_ROUTERS = {
+    router.name: router
+    for router in (HashShardRouter, LabelShardRouter, ClusterShardRouter)
+}
+
+
+def resolve_shard_router(router, n_shards: int, seed: int = 0) -> ShardRouter:
+    """Return a :class:`ShardRouter` from an instance or registry name."""
+    if isinstance(router, ShardRouter):
+        if router.n_shards != n_shards:
+            raise ValueError(
+                f"router covers {router.n_shards} shards, store has {n_shards}"
+            )
+        return router
+    if isinstance(router, str):
+        try:
+            cls = _ROUTERS[router]
+        except KeyError:
+            raise ValueError(
+                f"unknown shard router {router!r}; choose from {sorted(_ROUTERS)}"
+            ) from None
+        if cls is ClusterShardRouter:
+            return cls(n_shards, seed=seed)
+        return cls(n_shards)
+    raise TypeError(
+        f"router must be a ShardRouter or one of {sorted(_ROUTERS)}, "
+        f"got {type(router).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class ShardedStoreUpdate(StoreUpdate):
+    """A global :class:`StoreUpdate` plus its per-shard decomposition.
+
+    ``keep_mask``/``order``/``evicted`` are expressed over the *global*
+    combined layout (old global exposed rows, then the added batch), so
+    any single-store consumer works unchanged.  The extra fields let
+    shard-aware consumers (the streaming wrappers) fold only the
+    touched shards:
+
+    Attributes:
+        shard_updates: shard id -> that shard's own :class:`StoreUpdate`
+            (in the shard's local combined layout).
+        shard_batches: shard id -> positions of the added batch routed
+            to that shard (empty arrays for pure evictions).
+        touched: sorted shard ids that mutated.
+    """
+
+    shard_updates: dict = field(default_factory=dict)
+    shard_batches: dict = field(default_factory=dict)
+
+    @property
+    def touched(self) -> tuple:
+        return tuple(sorted(self.shard_updates))
+
+
+class ShardedCalibrationStore:
+    """N independent :class:`CalibrationStore` shards behind one facade.
+
+    Args:
+        capacity: total capacity, split evenly across shards (first
+            shards absorb the remainder) unless ``shard_capacities``
+            gives an explicit per-shard split.
+        n_shards: number of shards (>= 1).
+        router: :class:`ShardRouter` instance or registry name
+            (``"hash"``, ``"label"``, ``"cluster"``).  Stateful routers
+            are fit automatically on the first added batch.
+        policy: one eviction policy spec for every shard, or a sequence
+            of ``n_shards`` per-shard specs.
+        seed: base seed; shard ``i`` seeds its store with ``seed + i``
+            so randomized policies stay independent and reproducible.
+        feature_column / label_column: the column names the router keys
+            on (``label_column=None`` for label-free schemas).
+        shard_capacities: optional explicit per-shard capacities.
+
+    The exposed (global) order is shard 0's rows, then shard 1's, and
+    so on, each shard in its own exposed order.  ``column()`` returns a
+    cached concatenated snapshot, invalidated on every mutation.
+    Arrival counters are *per shard* — each shard numbers its own
+    stream, which is what keeps per-shard reservoir statistics honest.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        n_shards: int,
+        router="hash",
+        policy="fifo",
+        seed: int = 0,
+        feature_column: str = "features",
+        label_column: str | None = "label",
+        shard_capacities=None,
+    ):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if shard_capacities is None:
+            if capacity < n_shards:
+                raise ValueError(
+                    f"capacity {capacity} cannot give each of {n_shards} "
+                    f"shards at least one slot"
+                )
+            base, remainder = divmod(int(capacity), n_shards)
+            shard_capacities = [
+                base + (1 if i < remainder else 0) for i in range(n_shards)
+            ]
+        else:
+            shard_capacities = [int(c) for c in shard_capacities]
+            if len(shard_capacities) != n_shards:
+                raise ValueError(
+                    f"need one capacity per shard, got {len(shard_capacities)} "
+                    f"for {n_shards} shards"
+                )
+        if isinstance(policy, (list, tuple)):
+            policies = list(policy)
+            if len(policies) != n_shards:
+                raise ValueError(
+                    f"need one eviction policy per shard, got {len(policies)} "
+                    f"for {n_shards} shards"
+                )
+        else:
+            policies = [policy] * n_shards
+        self.capacity = sum(shard_capacities)
+        self.n_shards = int(n_shards)
+        self.seed = seed
+        self.feature_column = feature_column
+        self.label_column = label_column
+        self.router = resolve_shard_router(router, n_shards, seed=seed)
+        self.shards = [
+            CalibrationStore(cap, pol, seed=seed + i)
+            for i, (cap, pol) in enumerate(zip(shard_capacities, policies))
+        ]
+        self._column_cache: dict[str, np.ndarray] = {}
+
+    # -- facade state -------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    @property
+    def n_seen(self) -> int:
+        """Total samples ever streamed through any shard."""
+        return sum(shard.n_seen for shard in self.shards)
+
+    @property
+    def shard_sizes(self) -> tuple:
+        return tuple(len(shard) for shard in self.shards)
+
+    @property
+    def shard_capacities(self) -> tuple:
+        return tuple(shard.capacity for shard in self.shards)
+
+    @property
+    def policies(self) -> tuple:
+        return tuple(shard.policy for shard in self.shards)
+
+    @property
+    def column_names(self) -> tuple:
+        for shard in self.shards:
+            if shard.column_names:
+                return shard.column_names
+        return ()
+
+    def _offsets(self) -> np.ndarray:
+        """Global exposed start position of each shard's block."""
+        sizes = np.fromiter(
+            (len(shard) for shard in self.shards), dtype=np.int64,
+            count=self.n_shards,
+        )
+        return np.concatenate([[0], np.cumsum(sizes)[:-1]])
+
+    def _concat(self, parts, key):
+        if key not in self._column_cache:
+            self._column_cache[key] = (
+                np.concatenate(parts) if parts else np.zeros(0)
+            )
+        return self._column_cache[key]
+
+    def _schema_shard(self) -> CalibrationStore | None:
+        """The first shard that has adopted the column schema."""
+        return next(
+            (shard for shard in self.shards if shard.column_names), None
+        )
+
+    def column(self, name: str) -> np.ndarray:
+        """Concatenated shard columns (global exposed order).
+
+        The result is a cached copy: safe to hold across mutations,
+        refreshed on the next call after one.
+        """
+        reference = self._schema_shard()
+        if reference is None or name not in reference.column_names:
+            raise KeyError(
+                f"store has no column {name!r}; columns: {self.column_names}"
+            )
+        parts = [shard.column(name) for shard in self.shards if len(shard)]
+        if not parts:
+            # fully-emptied store: an empty array of the schema's dtype
+            # and trailing shape, exactly like CalibrationStore
+            parts = [reference.column(name)]
+        return self._concat(parts, name)
+
+    @property
+    def arrival(self) -> np.ndarray:
+        """Per-shard arrival counters in global exposed order."""
+        return self._concat(
+            [shard.arrival for shard in self.shards if len(shard)], "__arrival__"
+        )
+
+    @property
+    def priority(self) -> np.ndarray:
+        return self._concat(
+            [shard.priority for shard in self.shards if len(shard)], "__priority__"
+        )
+
+    def shard_of(self, positions) -> np.ndarray:
+        """Map global exposed positions to their owning shard ids."""
+        positions = np.asarray(positions, dtype=int)
+        bounds = np.cumsum([len(shard) for shard in self.shards])
+        return np.searchsorted(bounds, positions, side="right")
+
+    def clone_empty(self) -> "ShardedCalibrationStore":
+        """A fresh, empty sharded store with the same configuration."""
+        return ShardedCalibrationStore(
+            self.capacity,
+            self.n_shards,
+            router=self.router.clone_unfitted(),
+            policy=list(self.policies),
+            seed=self.seed,
+            feature_column=self.feature_column,
+            label_column=self.label_column,
+            shard_capacities=list(self.shard_capacities),
+        )
+
+    def _schema(self) -> dict | None:
+        """Column name -> trailing row shape, or ``None`` pre-schema."""
+        reference = self._schema_shard()
+        if reference is None:
+            return None
+        return {
+            name: reference.column(name).shape[1:]
+            for name in reference.column_names
+        }
+
+    # -- mutations ----------------------------------------------------------------
+    def route(self, **columns) -> np.ndarray:
+        """Shard ids the router would assign to a batch of columns."""
+        features = columns.get(self.feature_column)
+        if features is None:
+            raise CalibrationError(
+                f"routing needs the {self.feature_column!r} column"
+            )
+        labels = (
+            columns.get(self.label_column)
+            if self.label_column is not None
+            else None
+        )
+        if not self.router.is_fitted:
+            self.router.fit(features, labels)
+        return self.router.route(features, labels)
+
+    def add(self, priority=None, shard_ids=None, **columns) -> ShardedStoreUpdate:
+        """Route a batch across the shards; evict each down to capacity.
+
+        ``shard_ids`` overrides the router (one id per added row).
+        Returns the composed global :class:`ShardedStoreUpdate`.
+        """
+        # Validate the batch against the store-wide schema before any
+        # shard mutates: per-shard validation alone is not atomic — an
+        # empty shard would adopt a divergent schema and earlier shards
+        # would keep rows the failing add should have rejected.  The
+        # shared helper keeps sharded and single stores accepting
+        # exactly the same batches.
+        arrays, n_new = check_batch_columns(columns, self._schema())
+        if priority is None:
+            priorities = np.ones(n_new, dtype=float)
+        else:
+            priorities = np.asarray(priority, dtype=float).ravel()
+            if len(priorities) != n_new:
+                raise CalibrationError("priority must align with the added batch")
+        if shard_ids is None:
+            shard_ids = self.route(**arrays)
+        shard_ids = np.asarray(shard_ids, dtype=int)
+        if len(shard_ids) != n_new:
+            raise CalibrationError("shard_ids must align with the added batch")
+        if len(shard_ids) and (
+            shard_ids.min() < 0 or shard_ids.max() >= self.n_shards
+        ):
+            raise CalibrationError(
+                f"shard id out of range for {self.n_shards} shards"
+            )
+
+        n_before = len(self)
+        offsets = self._offsets()
+        # Invalidate the cache up front: from here every failure mode
+        # is exotic (e.g. a custom policy raising mid-loop), and stale
+        # cached snapshots must never outlive a partial mutation.
+        self._column_cache = {}
+        order_segments = []
+        shard_updates = {}
+        shard_batches = {}
+        for s, shard in enumerate(self.shards):
+            existing = np.arange(
+                offsets[s], offsets[s] + len(shard), dtype=np.int64
+            )
+            routed = np.flatnonzero(shard_ids == s)
+            if len(routed) == 0:
+                order_segments.append(existing)
+                continue
+            sub = shard.add(
+                priority=priorities[routed],
+                **{name: values[routed] for name, values in arrays.items()},
+            )
+            # Map the shard's local combined layout (its rows, then its
+            # routed slice of the batch) back to global combined
+            # positions, then gather through the shard's own order.
+            local_to_global = np.concatenate([existing, n_before + routed])
+            order_segments.append(local_to_global[sub.order])
+            shard_updates[s] = sub
+            shard_batches[s] = routed
+        return self._compose(n_before, n_new, order_segments, shard_updates, shard_batches)
+
+    def _compose(self, n_before, n_added, order_segments, shard_updates, shard_batches):
+        order = (
+            np.concatenate(order_segments)
+            if order_segments
+            else np.zeros(0, dtype=np.int64)
+        )
+        keep_mask = np.zeros(n_before + n_added, dtype=bool)
+        keep_mask[order] = True
+        return ShardedStoreUpdate(
+            n_before=n_before,
+            n_added=n_added,
+            keep_mask=keep_mask,
+            evicted=np.flatnonzero(~keep_mask),
+            order=order,
+            shard_updates=shard_updates,
+            shard_batches=shard_batches,
+        )
+
+    def evict(self, positions) -> ShardedStoreUpdate:
+        """Remove samples at global exposed ``positions``."""
+        n = len(self)
+        positions = np.unique(np.asarray(positions, dtype=int))
+        if len(positions) and (positions.min() < -n or positions.max() >= n):
+            raise IndexError(f"eviction position out of range for store of {n}")
+        positions = positions % n if len(positions) else positions
+        offsets = self._offsets()
+        owners = self.shard_of(positions)
+        order_segments = []
+        shard_updates = {}
+        shard_batches = {}
+        for s, shard in enumerate(self.shards):
+            existing = np.arange(
+                offsets[s], offsets[s] + len(shard), dtype=np.int64
+            )
+            local = positions[owners == s] - offsets[s]
+            if len(local) == 0:
+                order_segments.append(existing)
+                continue
+            sub = shard.evict(local)
+            order_segments.append(existing[sub.order])
+            shard_updates[s] = sub
+            shard_batches[s] = np.zeros(0, dtype=np.int64)
+        self._column_cache = {}
+        return self._compose(n, 0, order_segments, shard_updates, shard_batches)
+
+    def clear(self, lifetime: bool = False) -> None:
+        """Clear every shard and drop fitted routing state.
+
+        ``lifetime`` forwards to each shard's
+        :meth:`CalibrationStore.clear` (reset stream counters too).
+        """
+        for shard in self.shards:
+            shard.clear(lifetime=lifetime)
+        self.router = self.router.clone_unfitted()
+        self._column_cache = {}
+
+    def replace_column(self, name: str, values) -> None:
+        """Overwrite one column in place (same length, global order)."""
+        values = np.asarray(values)
+        if len(values) != len(self):
+            raise CalibrationError(
+                f"replacement column {name!r} has {len(values)} rows, "
+                f"store holds {len(self)}"
+            )
+        start = 0
+        for shard in self.shards:
+            stop = start + len(shard)
+            if len(shard):
+                shard.replace_column(name, values[start:stop])
+            start = stop
+        self._column_cache = {}
+
+    def rebalance(self, refit_router: bool = True) -> ShardedStoreUpdate | None:
+        """Re-route every stored sample through the (re)fit router.
+
+        The escape hatch after the feature space moved (e.g. a model
+        update rewrote the feature column): membership-preserving where
+        capacity allows, but a shard receiving more rows than its
+        capacity evicts down as usual, and per-shard stream counters
+        restart (the rebuilt shards see the rows as a fresh stream).
+        Returns the composing update, or ``None`` on an empty store.
+        """
+        if len(self) == 0:
+            return None
+        columns = {name: self.column(name) for name in self.column_names}
+        priorities = np.array(self.priority)
+        if refit_router:
+            self.router = self.router.clone_unfitted()
+        self.shards = [
+            shard.clone_empty() for shard in self.shards
+        ]
+        self._column_cache = {}
+        return self.add(priority=priorities, **columns)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedCalibrationStore(n={len(self)}/{self.capacity}, "
+            f"shards={self.shard_sizes}, router={self.router.name!r})"
+        )

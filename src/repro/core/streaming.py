@@ -8,39 +8,61 @@ micro-batches and stale samples are evicted — so full recalibration per
 round costs ``O(rounds * n_calibration)`` where ``O(rounds * batch)``
 suffices.
 
-The wrappers here own a bounded
-:class:`~repro.core.calibration_store.CalibrationStore` and maintain
-the detector's calibration state *incrementally*:
+The wrappers here own a bounded calibration store and maintain the
+detector's calibration state *incrementally*:
 
 * per-expert nonconformity scores are computed only for the new batch
   (every score function is row-wise pure, so per-batch scores are
   bit-identical to batch recomputation);
 * per-label score groupings (:class:`~repro.core.pvalue.LabelGroupedScores`)
-  are carried across the store mutation with one survivor copy and
-  ``O(batch + n_labels)`` count arithmetic;
+  are carried across the store mutation with one survivor gather
+  (``StoreUpdate.order``) and ``O(batch + n_labels)`` count arithmetic;
 * the automatic tau is re-resolved against the surviving features via
   the same bounded kernel (``median_pairwise_tau``) a fresh
   ``calibrate()`` would use.
 
-The invariant, property-tested in ``tests/core/test_streaming.py``:
-after ANY sequence of ``update()``/``evict()`` calls, the wrapped
-detector is **decision-identical** (bit-for-bit, including credibility
-and confidence) to a fresh detector calibrated on the store's surviving
-samples.  For the regressor the cluster pseudo-labeller is fixed at
-``calibrate()`` time (new samples are assigned, never re-clustered), so
-the equivalence reference is :meth:`StreamingPromRegressor.refresh`
-with ``refit_clusters=False``; call ``refresh()`` to re-fit clusters
-after heavy drift.
+With ``n_shards > 1`` the store becomes a
+:class:`~repro.core.sharding.ShardedCalibrationStore` and the wrapper
+additionally keeps **per-shard** scores, label groupings and tau.  An
+update then folds only into the shards its batch touched — untouched
+shards' state is not even copied — and the global detector state is
+re-composed by concatenation (cheap memcpy) plus integer-exact
+group-count sums, so the equivalence guarantee is unchanged.  Full
+shard recalibrations (:meth:`recalibrate_shards`) run in a
+``ThreadPoolExecutor`` when ``parallel`` workers are configured (the
+NumPy kernels release the GIL); micro-batch folds stay serial — their
+per-shard work is far below the pool-spawn cost.  See DESIGN.md §4.
+
+The invariant, property-tested in ``tests/core/test_streaming.py`` and
+``tests/core/test_sharding.py``: after ANY sequence of
+``update()``/``evict()`` calls — under every eviction policy and every
+shard router — the wrapped detector is **decision-identical**
+(bit-for-bit, including credibility and confidence) to a fresh detector
+calibrated on the store's surviving samples (in store order).  For the
+regressor the cluster pseudo-labeller is fixed at ``calibrate()`` time
+(new samples are assigned, never re-clustered), so the equivalence
+reference is :meth:`StreamingPromRegressor.refresh` with
+``refit_clusters=False``; call ``refresh()`` to re-fit clusters after
+heavy drift.
 """
 
 from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from .calibration_store import CalibrationStore, StoreUpdate
 from .exceptions import CalibrationError
 from .prom import PromClassifier, PromRegressor, _check_calibration_inputs
-from .pvalue import group_scores_by_label, update_label_groups
+from .pvalue import (
+    LabelGroupedScores,
+    group_scores_by_label,
+    update_label_groups,
+)
+from .sharding import ShardedCalibrationStore
+from .weighting import median_pairwise_tau
 
 
 def _as_columns(extra) -> dict:
@@ -49,14 +71,119 @@ def _as_columns(extra) -> dict:
     return dict(extra)
 
 
-def _check_leaves_survivors(store: CalibrationStore, positions) -> None:
+def _check_leaves_survivors(store, positions) -> None:
     """Reject evictions that would empty the calibration store."""
     positions = np.asarray(positions, dtype=int)
     if len(store) - len(np.unique(positions % max(1, len(store)))) < 1:
         raise CalibrationError("eviction would empty the calibration store")
 
 
-class StreamingPromClassifier:
+def _shard_tau(weighting, features) -> float:
+    """One shard's tau: the fixed tau when set, else the bounded kernel."""
+    if weighting.tau is not None:
+        return float(weighting.tau)
+    if features is None or len(features) == 0:
+        return 1.0
+    return median_pairwise_tau(features)
+
+
+def _make_store(capacity, eviction, seed, n_shards, router, label_column):
+    if n_shards == 1:
+        return CalibrationStore(capacity, eviction, seed=seed)
+    return ShardedCalibrationStore(
+        capacity,
+        n_shards,
+        router=router,
+        policy=eviction,
+        seed=seed,
+        label_column=label_column,
+    )
+
+
+@dataclass
+class _ShardState:
+    """One shard's slice of the streaming calibration state.
+
+    ``scores``/``layouts`` hold one entry per expert, aligned with the
+    shard store's exposed row order; ``tau`` is the shard-local feature
+    scale (diagnostic — the detector's global tau is always re-resolved
+    on the union), kept lazily: folds mark it stale (``None``) and
+    :attr:`_ShardMixin.shard_taus` recomputes on read, so the bounded
+    tau kernel never rides the per-update hot path once per shard;
+    ``clusters`` carries the regressor's pseudo-labels.
+    """
+
+    scores: list
+    layouts: list
+    tau: float | None = field(default=None)
+    clusters: np.ndarray | None = field(default=None)
+
+
+class _ShardMixin:
+    """Shard bookkeeping shared by both streaming wrappers."""
+
+    @property
+    def is_sharded(self) -> bool:
+        return isinstance(self.store, ShardedCalibrationStore)
+
+    @property
+    def n_shards(self) -> int:
+        return getattr(self.store, "n_shards", 1)
+
+    @property
+    def shard_sizes(self) -> tuple:
+        return getattr(self.store, "shard_sizes", (len(self.store),))
+
+    @property
+    def shard_taus(self) -> tuple:
+        """Per-shard feature-scale taus (empty for single-store mode).
+
+        Computed lazily: a fold marks its shard's tau stale, and this
+        accessor re-resolves stale entries with the same bounded kernel
+        a shard-local recalibration would use.
+        """
+        if self._shard_states is None:
+            return ()
+        taus = []
+        for shard_id, state in enumerate(self._shard_states):
+            if state.tau is None:
+                shard = self.store.shards[shard_id]
+                features = shard.column("features") if len(shard) else None
+                state.tau = _shard_tau(self.prom.weighting, features)
+            taus.append(state.tau)
+        return tuple(taus)
+
+    def _map_shards(self, shard_ids, fn, parallel: bool = True) -> None:
+        """Run ``fn(shard_id)`` serially or on the thread pool.
+
+        Shard work mutates disjoint per-shard states, and the NumPy
+        scoring kernels release the GIL, so a ThreadPoolExecutor gives
+        real parallel eviction/recalibration across shards.  Callers
+        pass ``parallel=False`` for micro-batch folds, whose per-shard
+        work (an ``O(batch + shard)`` gather) is far below the
+        pool-spawn cost; whole-shard rescoring is where threads pay.
+        """
+        shard_ids = list(shard_ids)
+        workers = (self.parallel or 0) if parallel else 0
+        if workers > 1 and len(shard_ids) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(shard_ids))
+            ) as pool:
+                # list() propagates the first worker exception
+                list(pool.map(fn, shard_ids))
+        else:
+            for shard_id in shard_ids:
+                fn(shard_id)
+
+    def _shard_blocks(self):
+        """Yield ``(shard_id, start, stop)`` global row blocks."""
+        start = 0
+        for shard_id, size in enumerate(self.store.shard_sizes):
+            yield shard_id, start, start + size
+            start += size
+
+
+class StreamingPromClassifier(_ShardMixin):
     """Online wrapper around a :class:`~repro.core.prom.PromClassifier`.
 
     Args:
@@ -64,10 +191,19 @@ class StreamingPromClassifier:
             omitted.  Evaluation methods (``evaluate``,
             ``evaluate_one``, ``prediction_region_batch``) delegate to
             it unchanged.
-        capacity: calibration-store cap (paper: 1000).
+        capacity: calibration-store cap (paper: 1000) — total across
+            shards when sharded.
         eviction: eviction policy instance or name (``"fifo"``,
-            ``"reservoir"``, ``"lowest_weight"``).
+            ``"reservoir"``, ``"lowest_weight"``); with ``n_shards > 1``
+            a sequence gives each shard its own policy.
         seed: RNG seed of the store (randomized policies).
+        n_shards: number of calibration shards (1 = the classic single
+            store).
+        router: shard router name or instance (``"hash"``, ``"label"``,
+            ``"cluster"``) — only meaningful with ``n_shards > 1``.
+        parallel: thread-pool width for whole-shard rescoring in
+            :meth:`recalibrate_shards` (``None``/``1`` = serial);
+            micro-batch folds stay serial either way.
 
     ``calibrate()`` resets the store and performs one full calibration;
     ``update()`` folds a micro-batch in incrementally.  Extra aligned
@@ -75,9 +211,22 @@ class StreamingPromClassifier:
     ``extra=`` — the schema is fixed by the first call.
     """
 
-    def __init__(self, prom=None, capacity: int = 1000, eviction="fifo", seed: int = 0):
+    def __init__(
+        self,
+        prom=None,
+        capacity: int = 1000,
+        eviction="fifo",
+        seed: int = 0,
+        n_shards: int = 1,
+        router="hash",
+        parallel: int | None = None,
+    ):
         self.prom = prom or PromClassifier()
-        self.store = CalibrationStore(capacity, eviction, seed=seed)
+        self.store = _make_store(
+            capacity, eviction, seed, n_shards, router, label_column="label"
+        )
+        self.parallel = parallel
+        self._shard_states = None
 
     # -- state --------------------------------------------------------------------
     @property
@@ -118,9 +267,7 @@ class StreamingPromClassifier:
         # Build the new store aside and swap it in only once the
         # detector accepted the batch — a validation failure inside
         # prom.calibrate must not leave store and detector desynced.
-        staged = CalibrationStore(
-            self.store.capacity, self.store.policy, seed=self.store.seed
-        )
+        staged = self.store.clone_empty()
         staged.add(
             priority=priority,
             features=features,
@@ -134,7 +281,27 @@ class StreamingPromClassifier:
             staged.column("label"),
         )
         self.store = staged
+        if self.is_sharded:
+            self._rebuild_shard_states()
         return self
+
+    def _rebuild_shard_states(self) -> None:
+        """Slice the detector's global state into per-shard states."""
+        prom = self.prom
+        states = []
+        for _, start, stop in self._shard_blocks():
+            labels = prom._labels[start:stop]
+            scores = [expert[start:stop] for expert in prom._scores]
+            states.append(
+                _ShardState(
+                    scores=scores,
+                    layouts=[
+                        group_scores_by_label(s, labels, prom._n_classes)
+                        for s in scores
+                    ],
+                )
+            )
+        self._shard_states = states
 
     def update(
         self,
@@ -148,12 +315,12 @@ class StreamingPromClassifier:
         """Fold a micro-batch into the calibration state incrementally.
 
         Scores are computed for the new batch only; groupings and
-        counts are carried across the store mutation; tau is
-        re-resolved against the surviving features (pass
-        ``retune_tau=False`` to freeze it — faster, but the detector
-        then diverges from a fresh ``calibrate()`` until the next
-        ``refresh``).  Returns the :class:`StoreUpdate` describing who
-        survived.
+        counts are carried across the store mutation (touched shards
+        only, when sharded); tau is re-resolved against the surviving
+        features (pass ``retune_tau=False`` to freeze it — faster, but
+        the detector then diverges from a fresh ``calibrate()`` until
+        the next ``refresh``).  Returns the :class:`StoreUpdate`
+        describing who survived.
         """
         self.prom._require_calibrated()
         features, probabilities, labels = self._check_update_inputs(
@@ -170,27 +337,31 @@ class StreamingPromClassifier:
             label=labels,
             **_as_columns(extra),
         )
-        self._apply(update, new_scores, labels, retune_tau)
+        if self._shard_states is None:
+            self._apply(update, new_scores, labels, retune_tau)
+        else:
+            self._apply_sharded(update, new_scores, labels, retune_tau)
         return update
 
     def evict(self, positions, retune_tau: bool = True) -> StoreUpdate:
-        """Remove calibration samples by store position."""
+        """Remove calibration samples by (global) store position."""
         self.prom._require_calibrated()
         _check_leaves_survivors(self.store, positions)
         update = self.store.evict(positions)
-        self._apply(
-            update,
-            [np.zeros(0)] * len(self.prom.functions),
-            np.zeros(0, dtype=int),
-            retune_tau,
-        )
+        empty = [np.zeros(0)] * len(self.prom.functions)
+        no_labels = np.zeros(0, dtype=int)
+        if self._shard_states is None:
+            self._apply(update, empty, no_labels, retune_tau)
+        else:
+            self._apply_sharded(update, empty, no_labels, retune_tau)
         return update
 
     def _apply(self, update: StoreUpdate, new_scores, new_labels, retune_tau: bool):
         prom = self.prom
-        keep = update.keep_mask
         prom._layouts = [
-            update_label_groups(layout, keep, scores, new_labels)
+            update_label_groups(
+                layout, update.keep_mask, scores, new_labels, order=update.order
+            )
             for layout, scores in zip(prom._layouts, new_scores)
         ]
         prom._scores = [layout.scores for layout in prom._layouts]
@@ -198,6 +369,106 @@ class StreamingPromClassifier:
         prom._labels = self.store.column("label")
         if retune_tau:
             prom.weighting.resolve_tau(prom._features)
+
+    def _apply_sharded(self, update, new_scores, new_labels, retune_tau: bool):
+        """Fold the batch into the touched shards, then recompose."""
+
+        def fold(shard_id):
+            state = self._shard_states[shard_id]
+            sub = update.shard_updates[shard_id]
+            routed = update.shard_batches[shard_id]
+            state.layouts = [
+                update_label_groups(
+                    layout,
+                    sub.keep_mask,
+                    scores[routed],
+                    new_labels[routed],
+                    order=sub.order,
+                )
+                for layout, scores in zip(state.layouts, new_scores)
+            ]
+            state.scores = [layout.scores for layout in state.layouts]
+            state.tau = None  # stale; shard_taus recomputes on read
+
+        self._map_shards(update.touched, fold, parallel=False)
+        self._compose_global(retune_tau)
+
+    def _compose_global(self, retune_tau: bool):
+        """Reassemble the detector's flat state from the shard states.
+
+        Concatenation order is the store's global exposed order, and
+        group counts add integer-exactly, so the composed state is
+        bit-identical to what a fresh ``calibrate()`` on the store's
+        columns would build.
+        """
+        prom = self.prom
+        states = self._shard_states
+        prom._features = self.store.column("features")
+        prom._labels = self.store.column("label")
+        prom._scores = [
+            np.concatenate([state.scores[e] for state in states])
+            for e in range(len(prom.functions))
+        ]
+        prom._layouts = [
+            LabelGroupedScores(
+                scores=prom._scores[e],
+                labels=prom._labels,
+                group_counts=sum(state.layouts[e].group_counts for state in states),
+                n_labels=prom._n_classes,
+            )
+            for e in range(len(prom.functions))
+        ]
+        if retune_tau:
+            prom.weighting.resolve_tau(prom._features)
+
+    def recalibrate_shards(
+        self, shard_ids=None, retune_tau: bool = True
+    ) -> "StreamingPromClassifier":
+        """Fully rescore the given shards from their store contents.
+
+        The shard-local counterpart of :meth:`refresh`: scoring cost is
+        proportional to the touched shards' rows, not the whole
+        calibration set, and shards rescore in parallel when
+        ``parallel`` workers are configured.  ``shard_ids=None``
+        rescores every shard.
+        """
+        if self._shard_states is None:
+            raise CalibrationError(
+                "recalibrate_shards needs a sharded store (n_shards > 1)"
+            )
+        self.prom._require_calibrated()
+        prom = self.prom
+        if shard_ids is None:
+            shard_ids = range(self.store.n_shards)
+
+        def rescore(shard_id):
+            shard = self.store.shards[shard_id]
+            state = self._shard_states[shard_id]
+            if len(shard) == 0:
+                state.scores = [np.zeros(0) for _ in prom.functions]
+                state.layouts = [
+                    group_scores_by_label(
+                        np.zeros(0), np.zeros(0, dtype=int), prom._n_classes
+                    )
+                    for _ in prom.functions
+                ]
+                state.tau = None
+                return
+            probabilities = shard.column("probabilities")
+            labels = shard.column("label")
+            state.scores = [
+                function.score(probabilities, labels)
+                for function in prom.functions
+            ]
+            state.layouts = [
+                group_scores_by_label(s, labels, prom._n_classes)
+                for s in state.scores
+            ]
+            state.tau = None
+
+        self._map_shards(shard_ids, rescore)
+        self._compose_global(retune_tau)
+        return self
 
     def refresh(self) -> "StreamingPromClassifier":
         """Full recalibration from the current store contents.
@@ -210,16 +481,21 @@ class StreamingPromClassifier:
             self.store.column("probabilities"),
             self.store.column("label"),
         )
+        if self.is_sharded:
+            self._rebuild_shard_states()
         return self
 
     def replace_outputs(self, features, probabilities, labels) -> None:
         """Swap the derived columns after a model update, then recalibrate.
 
-        Membership is unchanged — same samples, same arrival order —
-        but the deployed model changed, so every stored feature vector
-        and probability row is stale.  Incremental maintenance cannot
-        help here (all scores change); this is the designed full-rebuild
-        path.
+        Membership is unchanged — same samples, same store order — but
+        the deployed model changed, so every stored feature vector and
+        probability row is stale.  Incremental maintenance cannot help
+        here (all scores change); this is the designed full-rebuild
+        path.  A sharded store additionally re-fits its router and
+        re-routes every sample (the feature space the router keyed on
+        moved too), which may trigger per-shard evictions when the new
+        routing overloads a shard.
         """
         features, probabilities, labels = _check_calibration_inputs(
             features, probabilities, labels
@@ -227,6 +503,8 @@ class StreamingPromClassifier:
         self.store.replace_column("features", features)
         self.store.replace_column("probabilities", probabilities)
         self.store.replace_column("label", np.asarray(labels))
+        if self.is_sharded:
+            self.store.rebalance(refit_router=True)
         self.refresh()
 
     # -- deployment (delegation) --------------------------------------------------
@@ -243,7 +521,7 @@ class StreamingPromClassifier:
         return f"StreamingPromClassifier(store={self.store!r})"
 
 
-class StreamingPromRegressor:
+class StreamingPromRegressor(_ShardMixin):
     """Online wrapper around a :class:`~repro.core.prom.PromRegressor`.
 
     The regression detector has two batch-coupled stages the classifier
@@ -255,17 +533,33 @@ class StreamingPromRegressor:
       never re-clustered.  Call :meth:`refresh` with
       ``refit_clusters=True`` after heavy drift.
     * ``calibration_residuals="true"`` (the default prom built here)
-      keeps scores per-sample pure, enabling the incremental fast path.
-      A ``"loo"`` detector couples every score to its neighbours, so
-      ``update()`` transparently falls back to a full recompute of the
-      LOO residuals — with the *fitted* clusterer, like every other
-      update path — correct and still capacity-capped, just not
-      amortized.
+      keeps scores per-sample pure, enabling the incremental fast path
+      (per touched shard, when sharded).  A ``"loo"`` detector couples
+      every score to its neighbours, so ``update()`` transparently
+      falls back to a full recompute of the LOO residuals — with the
+      *fitted* clusterer, like every other update path — correct and
+      still capacity-capped, just not amortized.
+
+    Sharding routes on features (``"hash"`` or ``"cluster"``; there is
+    no integer label column to key ``"label"`` routing on).
     """
 
-    def __init__(self, prom=None, capacity: int = 1000, eviction="fifo", seed: int = 0):
+    def __init__(
+        self,
+        prom=None,
+        capacity: int = 1000,
+        eviction="fifo",
+        seed: int = 0,
+        n_shards: int = 1,
+        router="hash",
+        parallel: int | None = None,
+    ):
         self.prom = prom or PromRegressor(calibration_residuals="true")
-        self.store = CalibrationStore(capacity, eviction, seed=seed)
+        self.store = _make_store(
+            capacity, eviction, seed, n_shards, router, label_column=None
+        )
+        self.parallel = parallel
+        self._shard_states = None
 
     @property
     def is_calibrated(self) -> bool:
@@ -285,9 +579,7 @@ class StreamingPromRegressor:
         )
         # Staged swap, as in the classifier: a calibration failure must
         # not leave store and detector desynced.
-        staged = CalibrationStore(
-            self.store.capacity, self.store.policy, seed=self.store.seed
-        )
+        staged = self.store.clone_empty()
         staged.add(
             priority=priority,
             features=features,
@@ -301,6 +593,8 @@ class StreamingPromRegressor:
             staged.column("target"),
         )
         self.store = staged
+        if self.is_sharded:
+            self._rebuild_shard_states()
         return self
 
     def _full_calibrate(self):
@@ -309,6 +603,27 @@ class StreamingPromRegressor:
             self.store.column("prediction"),
             self.store.column("target"),
         )
+        if self.is_sharded:
+            self._rebuild_shard_states()
+
+    def _rebuild_shard_states(self) -> None:
+        """Slice the detector's global state into per-shard states."""
+        prom = self.prom
+        states = []
+        for _, start, stop in self._shard_blocks():
+            clusters = prom._clusters[start:stop]
+            scores = [expert[start:stop] for expert in prom._scores]
+            states.append(
+                _ShardState(
+                    scores=scores,
+                    layouts=[
+                        group_scores_by_label(s, clusters, prom.clusterer_.k_)
+                        for s in scores
+                    ],
+                    clusters=clusters,
+                )
+            )
+        self._shard_states = states
 
     def update(
         self,
@@ -322,7 +637,8 @@ class StreamingPromRegressor:
         """Fold a micro-batch into the calibration state.
 
         Incremental when the detector uses per-sample (``"true"``)
-        residuals; ``"loo"`` falls back to recomputing all residuals
+        residuals — touching only the shards the batch routed to when
+        sharded; ``"loo"`` falls back to recomputing all residuals
         (fitted clusterer kept — only :meth:`refresh` re-clusters).
         """
         self.prom._require_calibrated()
@@ -353,38 +669,144 @@ class StreamingPromRegressor:
             function.score(predictions, targets) for function in prom.score_functions
         ]
         update = self.store.add(priority=priority, **columns)
-        self._apply(update, new_scores, new_clusters, retune_tau)
+        if self._shard_states is None:
+            self._apply(update, new_scores, new_clusters, retune_tau)
+        else:
+            self._apply_sharded(update, new_scores, new_clusters, retune_tau)
         return update
 
     def evict(self, positions, retune_tau: bool = True) -> StoreUpdate:
-        """Remove calibration samples by store position."""
+        """Remove calibration samples by (global) store position."""
         self.prom._require_calibrated()
         _check_leaves_survivors(self.store, positions)
         update = self.store.evict(positions)
         if self.prom.calibration_residuals != "true":
             self.refresh(refit_clusters=False, retune_tau=retune_tau)
             return update
-        self._apply(
-            update,
-            [np.zeros(0)] * len(self.prom.score_functions),
-            np.zeros(0, dtype=int),
-            retune_tau,
-        )
+        empty = [np.zeros(0)] * len(self.prom.score_functions)
+        no_clusters = np.zeros(0, dtype=int)
+        if self._shard_states is None:
+            self._apply(update, empty, no_clusters, retune_tau)
+        else:
+            self._apply_sharded(update, empty, no_clusters, retune_tau)
         return update
 
     def _apply(self, update: StoreUpdate, new_scores, new_clusters, retune_tau: bool):
         prom = self.prom
-        keep = update.keep_mask
         prom._layouts = [
-            update_label_groups(layout, keep, scores, new_clusters)
+            update_label_groups(
+                layout, update.keep_mask, scores, new_clusters, order=update.order
+            )
             for layout, scores in zip(prom._layouts, new_scores)
         ]
         prom._scores = [layout.scores for layout in prom._layouts]
-        prom._clusters = np.concatenate([prom._clusters, new_clusters])[keep]
+        prom._clusters = np.concatenate([prom._clusters, new_clusters])[update.order]
         prom._features = self.store.column("features")
         prom._targets = self.store.column("target")
         if retune_tau:
             prom.weighting.resolve_tau(prom._features)
+
+    def _apply_sharded(self, update, new_scores, new_clusters, retune_tau: bool):
+        """Fold the batch into the touched shards, then recompose."""
+
+        def fold(shard_id):
+            state = self._shard_states[shard_id]
+            sub = update.shard_updates[shard_id]
+            routed = update.shard_batches[shard_id]
+            state.layouts = [
+                update_label_groups(
+                    layout,
+                    sub.keep_mask,
+                    scores[routed],
+                    new_clusters[routed],
+                    order=sub.order,
+                )
+                for layout, scores in zip(state.layouts, new_scores)
+            ]
+            state.scores = [layout.scores for layout in state.layouts]
+            state.clusters = np.concatenate(
+                [state.clusters, new_clusters[routed]]
+            )[sub.order]
+            state.tau = None  # stale; shard_taus recomputes on read
+
+        self._map_shards(update.touched, fold, parallel=False)
+        self._compose_global(retune_tau)
+
+    def _compose_global(self, retune_tau: bool):
+        prom = self.prom
+        states = self._shard_states
+        prom._features = self.store.column("features")
+        prom._targets = self.store.column("target")
+        prom._clusters = np.concatenate([state.clusters for state in states])
+        prom._scores = [
+            np.concatenate([state.scores[e] for state in states])
+            for e in range(len(prom.score_functions))
+        ]
+        prom._layouts = [
+            LabelGroupedScores(
+                scores=prom._scores[e],
+                labels=prom._clusters,
+                group_counts=sum(state.layouts[e].group_counts for state in states),
+                n_labels=prom.clusterer_.k_,
+            )
+            for e in range(len(prom.score_functions))
+        ]
+        if retune_tau:
+            prom.weighting.resolve_tau(prom._features)
+
+    def recalibrate_shards(
+        self, shard_ids=None, retune_tau: bool = True
+    ) -> "StreamingPromRegressor":
+        """Fully rescore the given shards from their store contents.
+
+        Shard-local scoring needs per-sample residuals; a ``"loo"``
+        detector couples scores across shards, so it falls back to the
+        global ``refresh(refit_clusters=False)``.
+        """
+        if self._shard_states is None:
+            raise CalibrationError(
+                "recalibrate_shards needs a sharded store (n_shards > 1)"
+            )
+        self.prom._require_calibrated()
+        if self.prom.calibration_residuals != "true":
+            return self.refresh(refit_clusters=False, retune_tau=retune_tau)
+        prom = self.prom
+        if shard_ids is None:
+            shard_ids = range(self.store.n_shards)
+
+        def rescore(shard_id):
+            shard = self.store.shards[shard_id]
+            state = self._shard_states[shard_id]
+            if len(shard) == 0:
+                state.scores = [np.zeros(0) for _ in prom.score_functions]
+                state.layouts = [
+                    group_scores_by_label(
+                        np.zeros(0), np.zeros(0, dtype=int), prom.clusterer_.k_
+                    )
+                    for _ in prom.score_functions
+                ]
+                state.clusters = np.zeros(0, dtype=int)
+                state.tau = None
+                return
+            features = shard.column("features")
+            predictions = shard.column("prediction")
+            targets = shard.column("target")
+            state.clusters = np.asarray(
+                prom.clusterer_.assign(features), dtype=int
+            )
+            state.scores = [
+                function.score(predictions, targets)
+                for function in prom.score_functions
+            ]
+            state.layouts = [
+                group_scores_by_label(s, state.clusters, prom.clusterer_.k_)
+                for s in state.scores
+            ]
+            state.tau = None
+
+        self._map_shards(shard_ids, rescore)
+        self._compose_global(retune_tau)
+        return self
 
     def refresh(
         self, refit_clusters: bool = True, retune_tau: bool = True
@@ -424,6 +846,8 @@ class StreamingPromRegressor:
             group_scores_by_label(scores, prom._clusters, prom.clusterer_.k_)
             for scores in prom._scores
         ]
+        if self.is_sharded:
+            self._rebuild_shard_states()
         return self
 
     def replace_outputs(self, features, predictions, targets) -> None:
@@ -431,7 +855,9 @@ class StreamingPromRegressor:
 
         Keeps membership and the fitted clusterer is re-fit as part of
         the full recalibration (the model's feature space moved, so the
-        old pseudo-labels are stale too).
+        old pseudo-labels are stale too).  A sharded store re-routes on
+        the new features first (see the classifier's
+        :meth:`~StreamingPromClassifier.replace_outputs`).
         """
         features, predictions, targets = _check_calibration_inputs(
             features, predictions, targets
@@ -441,6 +867,8 @@ class StreamingPromRegressor:
         self.store.replace_column(
             "target", np.asarray(targets, dtype=float).ravel()
         )
+        if self.is_sharded:
+            self.store.rebalance(refit_router=True)
         self._full_calibrate()
 
     # -- deployment (delegation) --------------------------------------------------

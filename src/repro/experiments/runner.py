@@ -376,7 +376,10 @@ class StreamStep:
     (captured before the post-update window reset).
     ``n_dropped_unknown`` counts relabelled samples discarded because
     their class is unknown to a fixed-head model (see
-    :func:`stream_deployment`).
+    :func:`stream_deployment`).  ``n_shards_touched`` counts the
+    calibration shards this step's recalibration folded into (0 when
+    nothing recalibrated; the full shard count on model updates, which
+    rebuild every shard).
     """
 
     start: int
@@ -389,6 +392,7 @@ class StreamStep:
     calibration_size: int
     seconds: float
     n_dropped_unknown: int = 0
+    n_shards_touched: int = 0
 
 
 @dataclass
@@ -404,6 +408,8 @@ class StreamResult:
     decisions_per_second: float = 0.0
     lifetime_rejection_rate: float = 0.0
     final_calibration_size: int = 0
+    n_shards: int = 1
+    final_shard_sizes: tuple = ()
     monitor: DriftMonitor = field(repr=False, default=None)
 
 
@@ -433,6 +439,16 @@ def stream_deployment(
        amortized **calibration-only** ``extend_calibration``;
     5. the bounded calibration store evicts down to
        ``max_calibration`` either way.
+
+    With an interface built over a sharded calibration runtime
+    (``n_shards > 1``), step 4's calibration work routes through the
+    shard layer: an ``extend_calibration`` batch folds only into the
+    shards it touches, and every :class:`StreamStep` records
+    ``n_shards_touched`` so shard churn is observable per batch.
+    (Whole-shard rescoring — ``interface.recalibrate_shards`` — is the
+    thread-pooled path when the interface was configured with
+    ``parallel`` workers; the per-batch folds here are far below
+    pool-spawn cost and stay serial.)
 
     Args:
         interface: trained model interface.
@@ -466,6 +482,7 @@ def stream_deployment(
     n_relabelled_total = 0
     n_dropped_total = 0
     n_model_updates = 0
+    total_shards = getattr(getattr(interface, "streaming", None), "n_shards", 1)
     stream_started = time.perf_counter()
     for start in range(0, len(X_stream), batch_size):
         stop = min(len(X_stream), start + batch_size)
@@ -494,6 +511,7 @@ def stream_deployment(
             n_dropped = len(chosen) - len(kept)
             chosen = kept
         model_updated = False
+        n_shards_touched = 0
         if len(chosen):
             X_chosen = X_stream[start + chosen]
             y_chosen = oracle_labels[start + chosen]
@@ -502,8 +520,13 @@ def stream_deployment(
                 monitor.reset()
                 model_updated = True
                 n_model_updates += 1
+                # a model update rebuilds the calibration state of
+                # every shard
+                n_shards_touched = total_shards
             else:
-                interface.extend_calibration(X_chosen, y_chosen)
+                cal_update = interface.extend_calibration(X_chosen, y_chosen)
+                touched = getattr(cal_update, "touched", None)
+                n_shards_touched = len(touched) if touched is not None else 1
         n_flagged = len(drifting_indices(decisions))
         n_flagged_total += n_flagged
         n_relabelled_total += len(chosen)
@@ -520,6 +543,7 @@ def stream_deployment(
                 calibration_size=interface.calibration_size,
                 seconds=time.perf_counter() - batch_started,
                 n_dropped_unknown=n_dropped,
+                n_shards_touched=n_shards_touched,
             )
         )
     elapsed = time.perf_counter() - stream_started
@@ -533,6 +557,8 @@ def stream_deployment(
         decisions_per_second=len(X_stream) / elapsed if elapsed > 0 else 0.0,
         lifetime_rejection_rate=monitor.lifetime_rejection_rate,
         final_calibration_size=interface.calibration_size,
+        n_shards=getattr(getattr(interface, "streaming", None), "n_shards", 1),
+        final_shard_sizes=tuple(getattr(interface, "shard_sizes", ())),
         monitor=monitor,
     )
 

@@ -76,14 +76,24 @@ class TestStoreBasics:
         with pytest.raises(CalibrationError):
             store.replace_column("features", np.zeros((3, 9)))
 
-    def test_clear_resets_schema_and_counters(self):
+    def test_clear_resets_schema_keeps_stream_position(self):
         store = CalibrationStore(10)
         _add(store, 5)
         store.clear()
         assert len(store) == 0
-        assert store.n_seen == 0
+        # the stream-position counter survives a plain clear (the
+        # stream continues; reservoir admission odds stay calibrated)
+        assert store.n_seen == 5
         store.add(other=np.zeros(2))  # a new schema is accepted after clear
         assert store.column_names == ("other",)
+        assert store.n_seen == 7
+
+    def test_clear_lifetime_resets_stream_position(self):
+        store = CalibrationStore(10)
+        _add(store, 5)
+        store.clear(lifetime=True)
+        assert store.n_seen == 0
+        assert len(store) == 0
 
     def test_append_promotes_dtype_instead_of_truncating(self):
         store = CalibrationStore(10)
@@ -130,10 +140,30 @@ class TestEvictionPolicies:
             features=np.zeros((3, 1)),
             label=np.array([0, 1, 2]),
         )
-        store.add(
+        update = store.add(
             priority=np.array([0.7]), features=np.ones((1, 1)), label=np.array([3])
         )
-        assert store.column("label").tolist() == [0, 2, 3]
+        # slot reuse puts the new sample in the victim's slot; the
+        # arrival_order() normalization recovers the canonical view
+        assert store.column("label").tolist() == [0, 3, 2]
+        assert store.column("label")[store.arrival_order()].tolist() == [0, 2, 3]
+        assert update.order.tolist() == [0, 3, 2]
+
+    def test_order_carries_aligned_arrays_under_slot_reuse(self):
+        """The StoreUpdate.order contract for non-prefix evictions."""
+        store = CalibrationStore(3, policy="lowest_weight")
+        store.add(
+            priority=np.array([0.9, 0.1, 0.5]),
+            features=np.zeros((3, 1)),
+            label=np.array([0, 1, 2]),
+        )
+        aux = np.array([10.0, 11.0, 12.0])
+        update = store.add(
+            priority=np.array([0.7]), features=np.ones((1, 1)), label=np.array([3])
+        )
+        carried = np.concatenate([aux, np.array([13.0])])[update.order]
+        # aligned with the exposed label order [0, 3, 2]
+        assert carried.tolist() == [10.0, 13.0, 12.0]
 
     def test_lowest_weight_ties_break_oldest_first(self):
         store = CalibrationStore(2, policy="lowest_weight")
@@ -165,6 +195,38 @@ class TestEvictionPolicies:
         mean_early = survivors_early / trials
         assert 1.0 < mean_early < 3.5
 
+    @staticmethod
+    def _probe_batch_survivors(lifetime, trial):
+        """Survivors of a 20-sample probe streamed after clear + refill."""
+        store = CalibrationStore(10, policy="reservoir", seed=trial)
+        for round_ in range(10):
+            _add(store, 10, seed=round_)  # 100 samples streamed
+        store.clear(lifetime=lifetime)
+        _add(store, 10, seed=100 + trial)  # refill to capacity
+        _add(store, 20, seed=200 + trial)  # the probe batch
+        return int((store.arrival >= store.n_seen - 20).sum())
+
+    def test_reservoir_admission_survives_clear(self):
+        """Regression: clear() must not reset reservoir admission odds.
+
+        After 100 streamed samples, a plain clear() keeps the stream
+        position: probe samples enter with probability ~ capacity/t for
+        t around 110-130 (rarely), while clear(lifetime=True) restarts
+        the stream and admits them at ~ capacity/t for t around 10-30
+        (often).  The old behavior reset the counter on every clear,
+        over-representing post-clear samples in a continuing stream.
+        """
+        trials = 100
+        continued = np.mean(
+            [self._probe_batch_survivors(False, t) for t in range(trials)]
+        )
+        restarted = np.mean(
+            [self._probe_batch_survivors(True, t) for t in range(trials)]
+        )
+        assert continued < 3.5  # ~20 * 10/130 expected
+        assert restarted > 4.5  # ~20 * 10/30 expected
+        assert continued < restarted
+
     def test_resolve_by_name_and_instance(self):
         assert isinstance(resolve_eviction_policy("fifo"), FIFOEviction)
         assert isinstance(resolve_eviction_policy("reservoir"), ReservoirEviction)
@@ -174,6 +236,68 @@ class TestEvictionPolicies:
             resolve_eviction_policy("lru")
         with pytest.raises(TypeError):
             resolve_eviction_policy(42)
+
+    def test_lowest_weight_tied_priorities_evict_oldest_block(self):
+        """Among equal priorities, victims leave strictly oldest-first."""
+        store = CalibrationStore(4, policy="lowest_weight")
+        store.add(
+            priority=np.array([0.5, 0.5, 0.5, 0.5]),
+            features=np.zeros((4, 1)),
+            label=np.array([0, 1, 2, 3]),
+        )
+        # three equal-priority newcomers: the three oldest ties go
+        store.add(
+            priority=np.array([0.5, 0.5, 0.5]),
+            features=np.ones((3, 1)),
+            label=np.array([4, 5, 6]),
+        )
+        survivors = store.column("label")[store.arrival_order()].tolist()
+        assert survivors == [3, 4, 5, 6]
+
+    def test_batch_larger_than_capacity_under_all_policies(self):
+        for policy in ("fifo", "reservoir", "lowest_weight"):
+            store = CalibrationStore(5, policy=policy, seed=3)
+            _add(store, 3, seed=0)
+            g = np.random.default_rng(1)
+            update = store.add(
+                priority=g.random(12),
+                features=g.normal(size=(12, 4)),
+                label=g.integers(0, 3, 12),
+            )
+            assert len(store) == 5, policy
+            assert update.n_after == 5
+            assert len(update.evicted) == 10
+            # arrival counters of the survivors are distinct and valid
+            assert len(np.unique(store.arrival)) == 5
+            assert store.arrival.max() < store.n_seen
+
+    @pytest.mark.parametrize("policy", ["fifo", "reservoir", "lowest_weight"])
+    def test_eviction_across_regrow_boundary(self, policy):
+        """Slot writes stay consistent when a mutation regrows buffers.
+
+        Dtype promotion mid-stream forces a regrow in the same add()
+        that evicts, so hole-fill writes land in the regrown buffers.
+        A shadow copy of the label column is carried through every
+        StoreUpdate.order and must match the store exactly.
+        """
+        store = CalibrationStore(7, policy=policy, seed=9)
+        g = np.random.default_rng(5)
+        shadow = np.zeros(0)
+        for round_ in range(12):
+            n = int(g.integers(1, 6))
+            # switch to floats mid-stream to force dtype promotion
+            labels = g.integers(0, 4, n).astype(float if round_ >= 6 else int)
+            update = store.add(
+                priority=g.random(n),
+                features=g.normal(size=(n, 2)),
+                label=labels,
+            )
+            shadow = np.concatenate([shadow, np.asarray(labels, dtype=float)])[
+                update.order
+            ]
+            assert len(store) <= 7
+            assert np.array_equal(shadow, store.column("label").astype(float))
+            assert len(np.unique(store.arrival)) == len(store)
 
     def test_custom_policy_pluggable(self):
         class EvictEven(EvictionPolicy):

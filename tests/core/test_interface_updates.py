@@ -113,6 +113,26 @@ class TestRefitForgettingBug:
         assert len(interface._X_train) == base + 30
 
 
+class TestCalibrationSnapshots:
+    def test_x_calibration_is_immune_to_slot_reuse(self):
+        """Held snapshots must survive in-place slot-reuse eviction."""
+        X, y = make_blobs(300, seed=0)
+        interface = BlobInterface(
+            MLPClassifier(epochs=10, seed=0),
+            max_calibration=20,
+            seed=0,
+            eviction="lowest_weight",
+        )
+        interface.train(X, y)
+        held = interface.X_calibration
+        before = held.copy()
+        X_new, y_new = make_blobs(15, shift=2.0, seed=7)
+        interface.extend_calibration(X_new, y_new)
+        # the store mutated in place, but the public property handed
+        # out a copy
+        assert np.array_equal(held, before)
+
+
 class TestExtendCalibration:
     def test_extend_without_model_update(self):
         X, y = make_blobs(300, seed=0)

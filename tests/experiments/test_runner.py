@@ -246,3 +246,49 @@ class TestStreamDeployment:
             stream_deployment(
                 trained_interface, np.zeros((10, 6)), np.zeros(10), batch_size=0
             )
+
+    def test_sharded_interface_routes_through_shard_layer(self):
+        from repro.ml import MLPClassifier
+
+        X, y = _make_blobs(400, seed=0)
+        interface = _BlobInterface(
+            MLPClassifier(epochs=30, seed=0),
+            max_calibration=60,
+            seed=0,
+            n_shards=3,
+            router="hash",
+            parallel=2,
+        )
+        interface.train(X, y)
+        assert interface.shard_sizes == interface.streaming.store.shard_sizes
+        assert sum(interface.shard_sizes) == interface.calibration_size
+
+        X_a, y_a = _make_blobs(200, seed=5)
+        X_b, y_b = _make_blobs(200, shift=3.0, seed=6)
+        result = stream_deployment(
+            interface,
+            np.concatenate([X_a, X_b]),
+            np.concatenate([y_a, y_b]),
+            batch_size=50,
+            budget_fraction=0.2,
+            monitor=DriftMonitor(window=100, alert_threshold=0.3),
+            epochs=10,
+        )
+        assert result.n_shards == 3
+        assert sum(result.final_shard_sizes) == result.final_calibration_size
+        assert result.final_calibration_size <= 60
+        # calibration extensions report which shards they folded into
+        touched = [s.n_shards_touched for s in result.steps if s.n_relabelled]
+        assert touched and all(1 <= t <= 3 for t in touched)
+        # model-update steps rebuild every shard
+        assert all(
+            s.n_shards_touched == 3 for s in result.steps if s.model_updated
+        )
+        # the operator escape hatch: whole-shard rescoring through the
+        # interface keeps decisions identical to a fresh calibration
+        probe = np.concatenate([X_a[:40], X_b[:40]])
+        _, before = interface.predict(probe)
+        interface.recalibrate_shards()
+        _, after = interface.predict(probe)
+        assert np.array_equal(before.accepted, after.accepted)
+        assert np.array_equal(before.credibility, after.credibility)
