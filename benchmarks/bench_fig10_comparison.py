@@ -3,7 +3,6 @@
 import numpy as np
 
 from repro.experiments import figure10_comparison, run_baseline_comparison
-from repro.models import MODEL_CATALOG
 
 from conftest import write_artifact
 

@@ -1,7 +1,5 @@
 """Figure 11: single nonconformity functions vs the Prom committee."""
 
-import numpy as np
-
 from repro.experiments import figure11_nonconformity, run_nonconformity_ablation
 
 from conftest import write_artifact

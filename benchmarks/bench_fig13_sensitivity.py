@@ -18,9 +18,8 @@ from repro.core import (
 from repro.experiments import (
     figure13_sensitivity,
     reevaluate_with_prom,
-    run_classification,
 )
-from repro.models import MODEL_CATALOG, tlp
+from repro.models import tlp
 from repro.tasks import DnnCodeGenerationTask
 
 from conftest import write_artifact

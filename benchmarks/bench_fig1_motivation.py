@@ -6,8 +6,6 @@ for windows far from the training data, reproducing the paper's
 motivation plot.
 """
 
-import numpy as np
-
 from repro.core import f1_score
 from repro.experiments import figure13_sensitivity
 from repro.models import vulde

@@ -22,6 +22,8 @@ Results are appended to ``out/BENCH_streaming.json`` alongside
 ``BENCH_batch_eval.json`` so later PRs can track both trajectories.
 """
 
+import argparse
+import json
 import time
 
 import numpy as np
@@ -170,3 +172,52 @@ def test_stream_deployment_throughput():
         f"serving loop sustained only {result.decisions_per_second:.0f} "
         f"decisions/sec (floor {THROUGHPUT_FLOOR:.0f})"
     )
+
+
+def _smoke() -> dict:
+    """Seconds-long, assertion-free pass for CI (nothing written to out/)."""
+    n_calibration, n_classes, n_features, batch = 1_500, 8, 16, 32
+    streaming = StreamingPromClassifier(capacity=n_calibration, seed=0)
+    streaming.calibrate(
+        *_classification_batch(n_calibration, n_classes, n_features, seed=0)
+    )
+    new = _classification_batch(batch, n_classes, n_features, seed=1)
+    streaming.update(*new)
+    update_seconds = _time_best(lambda: streaming.update(*new), repeats=3)
+
+    X_train, y_train = _make_blobs(300, seed=0)
+    interface = _BlobInterface(
+        MLPClassifier(epochs=10, seed=0), max_calibration=100, seed=0
+    )
+    interface.train(X_train, y_train)
+    X_stream, y_stream = _make_blobs(300, shift=2.0, seed=1)
+    result = stream_deployment(
+        interface, X_stream, y_stream, batch_size=50, budget_fraction=0.1,
+        epochs=5,
+    )
+    return {
+        "smoke": True,
+        "incremental_update_seconds": round(update_seconds, 6),
+        "stream_decisions_per_second": round(result.decisions_per_second, 1),
+        "stream_final_calibration_size": result.final_calibration_size,
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes, no perf assertions, nothing written to out/",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        print(json.dumps(_smoke(), indent=2, sort_keys=True))
+        return
+    test_incremental_update_speedup()
+    test_stream_deployment_throughput()
+    print("BENCH_streaming.json updated")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,8 +8,6 @@ performance by relabelling a handful of flagged kernels.
 Run:  python examples/thread_coarsening.py
 """
 
-import numpy as np
-
 from repro.experiments import run_classification, run_incremental
 from repro.models import magni
 from repro.tasks import ThreadCoarseningTask

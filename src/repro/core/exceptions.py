@@ -16,3 +16,8 @@ class CalibrationError(PromError):
 class InitializationWarningError(PromError):
     """Raised by strict initialization assessment when coverage deviates
     from the configured significance level by more than the tolerance."""
+
+
+class ServingError(PromError):
+    """The async serving plane rejected an operation (closed loop,
+    structural mutation under live shard locks, drain timeout, ...)."""

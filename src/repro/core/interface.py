@@ -15,6 +15,7 @@ incrementally instead of recomputed from scratch.
 from __future__ import annotations
 
 import abc
+import copy
 
 import numpy as np
 
@@ -197,6 +198,11 @@ class ModelInterface(abc.ABC):
         return len(self.streaming.store)
 
     @property
+    def epoch(self) -> int:
+        """Monotone calibration-state mutation counter (see streaming)."""
+        return self.streaming.epoch
+
+    @property
     def shard_sizes(self) -> tuple:
         """Per-shard calibration sizes (one entry in single-store mode)."""
         return self.streaming.shard_sizes
@@ -263,7 +269,13 @@ class ModelInterface(abc.ABC):
             extra={"X": X_new, "y": y_new},
         )
 
-    def incremental_update(self, X_new, y_new, epochs: int = 20) -> "ModelInterface":
+    def incremental_update(
+        self,
+        X_new,
+        y_new,
+        epochs: int = 20,
+        isolate_model: bool = False,
+    ) -> "ModelInterface":
         """Fold relabelled drifting samples back into the deployed model.
 
         Uses ``partial_fit`` when the underlying model supports it,
@@ -275,16 +287,27 @@ class ModelInterface(abc.ABC):
         stored sample) and extended with the new batch, with
         ``max_calibration`` enforced by the eviction policy on every
         round.
+
+        ``isolate_model=True`` makes the update *async-aware*: the
+        ``partial_fit`` path trains a deep copy and swaps the ``model``
+        attribute only once the copy is ready, so concurrent readers
+        holding the old reference (the serving loop's published
+        snapshots) keep a stable, never-mutated model.  The refit path
+        always builds aside and swaps.  Numerically identical either
+        way (a deep copy carries the optimizer state bit-for-bit).
         """
         X_new = np.asarray(X_new)
         y_new = np.asarray(y_new)
         if hasattr(self.model, "partial_fit"):
-            self.model.partial_fit(X_new, y_new, epochs=epochs)
+            model = copy.deepcopy(self.model) if isolate_model else self.model
+            model.partial_fit(X_new, y_new, epochs=epochs)
+            self.model = model
         else:
             X_all = np.concatenate([self._X_train, X_new])
             y_all = np.concatenate([self._y_train, y_new])
-            self.model = self.model.clone()
-            self.model.fit(X_all, y_all)
+            fresh = self.model.clone()
+            fresh.fit(X_all, y_all)
+            self.model = fresh
             self._X_train = X_all
             self._y_train = y_all
         # Fold the new batch into the capped store first, then rebuild
@@ -419,6 +442,11 @@ class RegressionModelInterface(abc.ABC):
         return len(self.streaming.store)
 
     @property
+    def epoch(self) -> int:
+        """Monotone calibration-state mutation counter (see streaming)."""
+        return self.streaming.epoch
+
+    @property
     def shard_sizes(self) -> tuple:
         """Per-shard calibration sizes (one entry in single-store mode)."""
         return self.streaming.shard_sizes
@@ -451,23 +479,34 @@ class RegressionModelInterface(abc.ABC):
             extra={"X": X_new},
         )
 
-    def incremental_update(self, X_new, y_new, epochs: int = 20):
+    def incremental_update(
+        self,
+        X_new,
+        y_new,
+        epochs: int = 20,
+        isolate_model: bool = False,
+    ):
         """Fold relabelled drifting samples back into the deployed model.
 
         Mirrors :meth:`ModelInterface.incremental_update`: the refit
         path persists the accumulated training set, and the calibration
         store is rebuilt against the updated model then extended with
         the new batch under the ``max_calibration`` cap.
+        ``isolate_model=True`` trains a deep copy and swaps it in, so
+        serving snapshots holding the old model reference stay stable.
         """
         X_new = np.asarray(X_new)
         y_new = np.asarray(y_new, dtype=float)
         if hasattr(self.model, "partial_fit"):
-            self.model.partial_fit(X_new, y_new, epochs=epochs)
+            model = copy.deepcopy(self.model) if isolate_model else self.model
+            model.partial_fit(X_new, y_new, epochs=epochs)
+            self.model = model
         else:
             X_all = np.concatenate([self._X_train, X_new])
             y_all = np.concatenate([self._y_train, y_new])
-            self.model = self.model.clone()
-            self.model.fit(X_all, y_all)
+            fresh = self.model.clone()
+            fresh.fit(X_all, y_all)
+            self.model = fresh
             self._X_train = X_all
             self._y_train = y_all
         # Fold the new batch into the capped store first, then rebuild

@@ -1,0 +1,552 @@
+"""Async serving loop: a lock-free evaluate path over the shard layer.
+
+The synchronous deployment loop (:func:`repro.experiments.stream_deployment`)
+stalls every decision while calibration folds and shard rescoring run
+inline: a micro-batch that triggers a model update pays the whole
+rebuild before the *next* batch can be evaluated.  This module splits
+serving into two planes (DESIGN.md §5):
+
+* an **always-hot evaluate path** — decisions are served against a
+  :class:`ComposeSnapshot`, an immutable frozen clone of the detector
+  (and the model reference) published behind a single attribute.
+  Readers load the pointer, evaluate, and never take a lock; snapshot
+  publication is an atomic pointer swap (double buffering: the next
+  snapshot is built aside while the current one keeps serving);
+* an **asynchronous maintenance plane** — calibration folds, shard
+  recalibrations and model updates are :class:`MaintenanceJob` items in
+  a bounded work queue, drained by background workers.  A worker takes
+  the maintenance mutex plus the touched shards' write locks
+  (:meth:`~repro.core.sharding.ShardedCalibrationStore.acquire_shards`),
+  applies the job through the streaming runtime, and publishes a fresh
+  snapshot on completion.
+
+Backpressure is explicit: when the queue is full, ``"coalesce"``
+(default) merges the new job into the newest queued job of the same
+kind where the merge is semantically exact (fold batches concatenate,
+recalibration shard sets union; model updates never merge — see
+:meth:`AsyncServingLoop._coalesce`), ``"drop"`` rejects the newest
+submission, and ``"block"`` waits for space.  Worker failures never kill the loop — they are recorded as
+:class:`JobError` entries (surfaced as ``StreamResult.errors`` by the
+stream driver) and the last good snapshot keeps serving.
+
+The equivalence contract, property-tested in
+``tests/core/test_serving.py``: with the queue drained, decisions
+served from the snapshot are bit-identical to the synchronous loop's
+for every shard router × eviction policy combination, because a
+drained loop has applied exactly the same mutations in exactly the
+same order and the snapshot is a bit-exact copy of the resulting
+state.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+import threading
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .exceptions import ServingError
+
+#: queue backpressure policies accepted by :class:`AsyncServingLoop`
+BACKPRESSURE_POLICIES = ("coalesce", "drop", "block")
+
+
+@dataclass
+class MaintenanceJob:
+    """One queued unit of calibration/model maintenance.
+
+    ``kind`` is ``"fold"`` (calibration-only extension),
+    ``"recalibrate"`` (whole-shard rescoring; ``shard_ids=None`` means
+    every shard) or ``"model_update"`` (incremental model update plus
+    full calibration rebuild).  ``coalesced`` counts how many
+    submissions were merged into this job by queue backpressure.
+    """
+
+    kind: str
+    X: np.ndarray | None = None
+    y: np.ndarray | None = None
+    shard_ids: tuple | None = None
+    epochs: int = 20
+    submitted_at: float = 0.0
+    coalesced: int = 0
+
+
+@dataclass(frozen=True)
+class JobError:
+    """A maintenance-plane failure, preserved instead of propagated."""
+
+    kind: str
+    error: str
+    traceback: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.error}"
+
+
+@dataclass
+class ServingStats:
+    """Counters of one :class:`AsyncServingLoop`'s lifetime."""
+
+    jobs_submitted: int = 0
+    jobs_executed: int = 0
+    jobs_coalesced: int = 0
+    jobs_dropped: int = 0
+    jobs_failed: int = 0
+    snapshots_published: int = 0
+    max_queue_depth: int = 0
+    max_staleness: int = 0
+    decisions_served: int = 0
+    decisions_during_maintenance: int = 0
+    last_publish_seconds: float = 0.0
+    total_publish_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class ComposeSnapshot:
+    """An immutable, point-in-time view of the serving state.
+
+    ``interface`` is a shallow clone of the model interface whose
+    detector has been replaced by a frozen copy
+    (:meth:`~repro.core.streaming._ShardMixin.detector_snapshot`): its
+    arrays are private, so evaluating the snapshot is safe from any
+    thread while maintenance keeps mutating the live wrapper.  Only the
+    evaluate surface (:meth:`predict` / :meth:`evaluate`) is supported
+    on a snapshot; mutation methods still reach the *live* runtime and
+    must not be called through it.
+
+    ``epoch`` is the streaming wrapper's epoch the snapshot was built
+    at — ``live_epoch - snapshot.epoch`` mutations have happened since.
+    """
+
+    epoch: int
+    interface: object = field(repr=False)
+    calibration_size: int
+    shard_sizes: tuple
+    published_at: float
+
+    def predict(self, X):
+        """``(predictions, decisions)`` for raw inputs, snapshot state."""
+        return self.interface.predict(X)
+
+    def evaluate(self, *args, **kwargs):
+        """Delegate to the frozen detector's batch ``evaluate``."""
+        return self.interface.prom.evaluate(*args, **kwargs)
+
+
+def freeze_interface(interface):
+    """A shallow interface clone wired to a frozen detector copy.
+
+    The clone shares the (stateless) feature-extraction hook and the
+    current model reference; the detector is the deep-enough copy from
+    :meth:`detector_snapshot`.  Model updates applied through
+    :meth:`AsyncServingLoop.submit_model_update` swap the live
+    interface's ``model`` attribute for a fresh object instead of
+    mutating it (``isolate_model``), so the reference captured here
+    stays stable for the snapshot's lifetime.
+    """
+    frozen = copy.copy(interface)
+    frozen.prom = interface.streaming.detector_snapshot()
+    return frozen
+
+
+class AsyncServingLoop:
+    """Serve decisions from snapshots; maintain state on workers.
+
+    Args:
+        interface: a trained, calibrated
+            :class:`~repro.core.interface.ModelInterface` or
+            :class:`~repro.core.interface.RegressionModelInterface`.
+        n_workers: background maintenance workers.  Jobs are applied
+            under one maintenance mutex (the global compose is shared
+            state), so extra workers buy queue-drain overlap, not
+            parallel folds; per-shard parallelism inside a
+            recalibration job comes from the interface's ``parallel``
+            thread pool.
+        queue_capacity: bound on pending maintenance jobs.
+        backpressure: full-queue policy — ``"coalesce"`` (default),
+            ``"drop"`` or ``"block"``.
+        publish_every: under a sustained backlog, force a snapshot
+            publish after this many applied-but-unpublished jobs even
+            though more work is queued — bounding how long readers can
+            be served from an old snapshot while the queue never
+            drains.  (An idle queue always publishes immediately.)
+
+    The evaluate path (:meth:`predict` / :meth:`evaluate`) never takes
+    a lock: it reads the current :class:`ComposeSnapshot` and runs
+    entirely on the snapshot's private arrays.  ``staleness`` — queued
+    plus in-flight jobs not yet reflected in the published snapshot —
+    is bounded by ``queue_capacity + n_workers``.
+    """
+
+    def __init__(
+        self,
+        interface,
+        n_workers: int = 1,
+        queue_capacity: int = 32,
+        backpressure: str = "coalesce",
+        publish_every: int = 8,
+    ):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {queue_capacity}"
+            )
+        if publish_every < 1:
+            raise ValueError(
+                f"publish_every must be >= 1, got {publish_every}"
+            )
+        if backpressure not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"backpressure must be one of {BACKPRESSURE_POLICIES}, "
+                f"got {backpressure!r}"
+            )
+        self.interface = interface
+        self.n_workers = int(n_workers)
+        self.queue_capacity = int(queue_capacity)
+        self.backpressure = backpressure
+        self.publish_every = int(publish_every)
+        self._jobs_since_publish = 0
+        self.stats = ServingStats()
+        self.errors: list[JobError] = []
+        self._queue: deque[MaintenanceJob] = deque()
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._state_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._in_flight = 0
+        self._closed = False
+        self._publish_pending = False
+        self._snapshot = self._build_snapshot()
+        self._accepts_isolate_model = "isolate_model" in inspect.signature(
+            interface.incremental_update
+        ).parameters
+        self._workers = [
+            threading.Thread(
+                target=self._worker, name=f"prom-serving-{i}", daemon=True
+            )
+            for i in range(self.n_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- read side (lock-free) ----------------------------------------------------
+    @property
+    def snapshot(self) -> ComposeSnapshot:
+        """The currently published snapshot (atomic pointer read)."""
+        return self._snapshot
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def staleness(self) -> int:
+        """Accepted jobs not yet reflected in the published snapshot."""
+        return len(self._queue) + self._in_flight
+
+    @property
+    def maintenance_active(self) -> bool:
+        """True while a worker is mid-job (folds/rescoring in flight)."""
+        return self._in_flight > 0
+
+    def predict(self, X):
+        """``(predictions, decisions)`` against the current snapshot.
+
+        The serving hot path: one atomic snapshot-pointer read, then
+        pure array work on the snapshot's private state — never blocked
+        by in-flight folds, recalibrations or model updates.
+        """
+        snapshot = self._snapshot
+        during_maintenance = self.maintenance_active
+        predictions, decisions = snapshot.predict(X)
+        self._count_served(len(np.asarray(predictions)), during_maintenance)
+        return predictions, decisions
+
+    def evaluate(self, *args, **kwargs):
+        """Batch-evaluate precomputed features/outputs on the snapshot."""
+        snapshot = self._snapshot
+        during_maintenance = self.maintenance_active
+        decisions = snapshot.evaluate(*args, **kwargs)
+        self._count_served(len(decisions), during_maintenance)
+        return decisions
+
+    def _count_served(self, n: int, during_maintenance: bool) -> None:
+        # `+=` on the shared dataclass is a read-modify-write, and two
+        # concurrent readers would lose increments permanently — a
+        # dedicated lock keeps the stats exact for microseconds per
+        # batch (readers of the stats may still observe a value one
+        # batch stale, which is fine).
+        with self._stats_lock:
+            self.stats.decisions_served += n
+            if during_maintenance:
+                self.stats.decisions_during_maintenance += n
+
+    # -- write side (queued) ------------------------------------------------------
+    def submit_fold(self, X, y) -> bool:
+        """Queue a calibration-only extension (``extend_calibration``)."""
+        return self._submit(
+            MaintenanceJob(kind="fold", X=np.asarray(X), y=np.asarray(y))
+        )
+
+    def submit_recalibration(self, shard_ids=None) -> bool:
+        """Queue whole-shard rescoring (``recalibrate_shards``)."""
+        ids = None if shard_ids is None else tuple(int(s) for s in shard_ids)
+        return self._submit(MaintenanceJob(kind="recalibrate", shard_ids=ids))
+
+    def submit_model_update(self, X, y, epochs: int = 20) -> bool:
+        """Queue an incremental model update + calibration rebuild."""
+        return self._submit(
+            MaintenanceJob(
+                kind="model_update",
+                X=np.asarray(X),
+                y=np.asarray(y),
+                epochs=epochs,
+            )
+        )
+
+    def _submit(self, job: MaintenanceJob) -> bool:
+        """Enqueue under the backpressure policy.
+
+        Returns True when the job (or a coalesced form of it) will be
+        applied, False when it was dropped.
+        """
+        job.submitted_at = time.perf_counter()
+        with self._lock:
+            if self._closed:
+                raise ServingError("serving loop is closed")
+            self.stats.jobs_submitted += 1
+            while len(self._queue) >= self.queue_capacity:
+                if self.backpressure == "block":
+                    self._idle.wait()
+                    if self._closed:
+                        raise ServingError("serving loop closed while blocked")
+                    continue
+                if self.backpressure == "coalesce" and self._coalesce(job):
+                    self.stats.jobs_coalesced += 1
+                    self._track_depth()
+                    return True
+                self.stats.jobs_dropped += 1
+                return False
+            self._queue.append(job)
+            self._track_depth()
+            self._work_ready.notify()
+        return True
+
+    def _coalesce(self, job: MaintenanceJob) -> bool:
+        """Merge ``job`` into the newest queued job of the same kind.
+
+        Only the tail job is a merge candidate: merging deeper would
+        reorder the job's effects relative to jobs queued after its
+        target, breaking the drained-queue equivalence contract.
+        Merging is restricted to the kinds whose merge is semantically
+        exact — fold batches concatenate (the store folds them the same
+        either way) and recalibration shard sets union.  Model updates
+        never merge: one ``partial_fit`` over a concatenated batch is
+        *not* two sequential ``partial_fit`` passes, so a full queue
+        rejects the newer update instead (the submitter sees ``False``
+        and keeps its alert state to retry).
+        """
+        if not self._queue or self._queue[-1].kind != job.kind:
+            return False
+        if job.kind == "model_update":
+            return False
+        tail = self._queue[-1]
+        if job.kind == "recalibrate":
+            if tail.shard_ids is None or job.shard_ids is None:
+                tail.shard_ids = None
+            else:
+                tail.shard_ids = tuple(
+                    sorted(set(tail.shard_ids) | set(job.shard_ids))
+                )
+        else:
+            tail.X = np.concatenate([tail.X, job.X])
+            tail.y = np.concatenate([tail.y, job.y])
+        tail.coalesced += 1
+        return True
+
+    def _track_depth(self) -> None:
+        self.stats.max_queue_depth = max(
+            self.stats.max_queue_depth, len(self._queue)
+        )
+        self.stats.max_staleness = max(
+            self.stats.max_staleness, len(self._queue) + self._in_flight
+        )
+
+    # -- maintenance plane --------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._closed:
+                    self._work_ready.wait()
+                if self._closed and not self._queue:
+                    return
+                job = self._queue.popleft()
+                self._in_flight += 1
+                self._idle.notify_all()
+            try:
+                self._execute(job)
+                with self._stats_lock:
+                    self.stats.jobs_executed += 1
+            except Exception as err:  # noqa: BLE001 — the loop must survive
+                with self._stats_lock:
+                    self.stats.jobs_failed += 1
+                    self.errors.append(
+                        JobError(
+                            kind=job.kind,
+                            error=f"{type(err).__name__}: {err}",
+                            traceback=traceback.format_exc(),
+                        )
+                    )
+                # A failed job publishes nothing itself, but it may
+                # have been the backlog's designated publisher: flush
+                # any deferred publish so earlier applied jobs become
+                # visible (and drain() leaves a current snapshot).
+                if self._publish_pending:
+                    with self._state_lock:
+                        if self._publish_pending and not self._queue:
+                            self._publish()
+                            self._publish_pending = False
+            finally:
+                with self._lock:
+                    self._in_flight -= 1
+                    self._idle.notify_all()
+
+    def _execute(self, job: MaintenanceJob) -> None:
+        """Apply one job under the maintenance mutex + shard write locks.
+
+        Lock order is fixed — maintenance mutex first, then shard locks
+        ascending — so concurrent workers cannot deadlock.  Holding the
+        shard locks across the apply is what arms the structural-
+        mutation guard: a foreign ``clear()``/``rebalance()`` racing
+        this job is rejected instead of corrupting it.
+        """
+        interface = self.interface
+        streaming = interface.streaming
+        with self._state_lock:
+            store = streaming.store
+            if streaming.is_sharded:
+                shard_ids = job.shard_ids if job.kind == "recalibrate" else None
+                with store.acquire_shards(shard_ids):
+                    self._apply(interface, job)
+            else:
+                self._apply(interface, job)
+            # Publish once per burst, not once per job: with more work
+            # already queued, this snapshot could never be the one a
+            # drained reader observes, so the O(store) copy is deferred
+            # to the backlog's last job (readers meanwhile keep the
+            # previous consistent snapshot; `staleness` already counts
+            # the queued jobs).  A sustained backlog must not starve
+            # readers on an ancient snapshot, though — publish_every
+            # bounds the deferral.
+            self._jobs_since_publish += 1
+            if self._queue and self._jobs_since_publish < self.publish_every:
+                self._publish_pending = True
+            else:
+                self._publish()
+                self._publish_pending = False
+
+    def _apply(self, interface, job: MaintenanceJob) -> None:
+        if job.kind == "fold":
+            interface.extend_calibration(job.X, job.y)
+        elif job.kind == "recalibrate":
+            interface.recalibrate_shards(job.shard_ids)
+        elif job.kind == "model_update":
+            if self._accepts_isolate_model:
+                interface.incremental_update(
+                    job.X, job.y, epochs=job.epochs, isolate_model=True
+                )
+            else:
+                # Defensive isolation for interface overrides that lack
+                # the kwarg (including **kwargs catch-alls, which would
+                # silently ignore it): swap in a deep copy first, so an
+                # override mutating `self.model` in place can never
+                # touch the object captured by published snapshots.
+                interface.model = copy.deepcopy(interface.model)
+                interface.incremental_update(job.X, job.y, epochs=job.epochs)
+        else:
+            raise ServingError(f"unknown maintenance job kind {job.kind!r}")
+
+    def _build_snapshot(self) -> ComposeSnapshot:
+        started = time.perf_counter()
+        frozen = freeze_interface(self.interface)
+        snapshot = ComposeSnapshot(
+            epoch=self.interface.streaming.epoch,
+            interface=frozen,
+            calibration_size=self.interface.calibration_size,
+            shard_sizes=tuple(self.interface.shard_sizes),
+            published_at=time.perf_counter(),
+        )
+        elapsed = time.perf_counter() - started
+        self.stats.last_publish_seconds = elapsed
+        self.stats.total_publish_seconds += elapsed
+        return snapshot
+
+    def _publish(self) -> None:
+        """Build the next snapshot aside, then swap the pointer."""
+        snapshot = self._build_snapshot()
+        self._snapshot = snapshot  # atomic pointer swap
+        self.stats.snapshots_published += 1
+        self._jobs_since_publish = 0
+
+    # -- lifecycle ----------------------------------------------------------------
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until every accepted job has been applied and published.
+
+        After ``drain()`` returns, ``staleness`` is 0 and the published
+        snapshot reflects all accepted maintenance — the precondition
+        of the sync-vs-async equivalence contract.
+
+        Raises:
+            ServingError: when ``timeout`` (seconds) elapses first.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while self._queue or self._in_flight:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise ServingError(
+                            f"drain timed out with {len(self._queue)} queued "
+                            f"and {self._in_flight} in-flight jobs"
+                        )
+                self._idle.wait(remaining)
+
+    def close(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the workers (idempotent).
+
+        ``drain=True`` (default) applies the queued jobs first;
+        ``drain=False`` abandons them.  The last published snapshot
+        keeps serving reads after close; submissions raise.
+        """
+        if drain and not self._closed:
+            self.drain(timeout=timeout)
+        with self._lock:
+            self._closed = True
+            if not drain:
+                self._queue.clear()
+            self._work_ready.notify_all()
+            self._idle.notify_all()
+        for worker in self._workers:
+            worker.join(timeout=timeout)
+
+    def __enter__(self) -> "AsyncServingLoop":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    def __repr__(self) -> str:
+        return (
+            f"AsyncServingLoop(workers={self.n_workers}, "
+            f"queue={len(self._queue)}/{self.queue_capacity}, "
+            f"backpressure={self.backpressure!r}, "
+            f"epoch={self._snapshot.epoch})"
+        )

@@ -27,14 +27,16 @@ the *touched* shards, not the whole calibration set.  See DESIGN.md §4.
 from __future__ import annotations
 
 import abc
+import threading
 import zlib
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..ml.cluster import KMeans
 from .calibration_store import CalibrationStore, StoreUpdate, check_batch_columns
-from .exceptions import CalibrationError
+from .exceptions import CalibrationError, ServingError
 
 
 class ShardRouter(abc.ABC):
@@ -306,6 +308,130 @@ class ShardedCalibrationStore:
             for i, (cap, pol) in enumerate(zip(shard_capacities, policies))
         ]
         self._column_cache: dict[str, np.ndarray] = {}
+        # Concurrency plane (see core/serving.py and DESIGN.md §5):
+        # per-shard write locks taken by background maintenance workers,
+        # and monotone epoch counters tagging every mutation so snapshot
+        # staleness is observable.  The locks do NOT make add()/evict()
+        # thread-safe on their own — they are the *structural-mutation
+        # guard*: clear() and rebalance() refuse to run while a foreign
+        # thread holds any shard, because both rewrite shard membership
+        # wholesale under a worker's feet.
+        self._shard_locks = [threading.Lock() for _ in range(self.n_shards)]
+        self._lock_holders: dict[int, int] = {}
+        self._holder_guard = threading.Lock()
+        self._shard_epochs = [0] * self.n_shards
+        self._epoch = 0
+
+    # -- concurrency plane --------------------------------------------------------
+    def __getstate__(self):
+        """Pickle/deepcopy support: locks are process-local, not state.
+
+        A copied store starts with fresh, unheld locks (a deep copy
+        taken while a worker holds a shard would otherwise clone a
+        permanently-locked mutex).
+        """
+        state = self.__dict__.copy()
+        state["_shard_locks"] = None
+        state["_holder_guard"] = None
+        state["_lock_holders"] = {}
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._shard_locks = [threading.Lock() for _ in range(self.n_shards)]
+        self._holder_guard = threading.Lock()
+        self._lock_holders = {}
+
+    @property
+    def epoch(self) -> int:
+        """Monotone count of store mutations (adds, evictions, rebuilds)."""
+        return self._epoch
+
+    @property
+    def shard_epochs(self) -> tuple:
+        """Per-shard mutation counters (epoch tagging for staleness)."""
+        return tuple(self._shard_epochs)
+
+    def _tag_mutation(self, shard_ids=None) -> None:
+        self._epoch += 1
+        for shard_id in range(self.n_shards) if shard_ids is None else shard_ids:
+            self._shard_epochs[shard_id] += 1
+
+    @contextmanager
+    def acquire_shards(self, shard_ids=None):
+        """Hold the write locks of ``shard_ids`` (all shards by default).
+
+        Locks are acquired in ascending shard order, so concurrent
+        workers locking overlapping shard sets cannot deadlock.  While
+        held, structural mutations (:meth:`clear`, :meth:`rebalance`)
+        from *other* threads are rejected; the holding thread itself may
+        still run them (a worker rebuilding state inside its own
+        critical section is the designed path).
+        """
+        if shard_ids is None:
+            shard_ids = range(self.n_shards)
+        ordered = sorted(set(int(s) for s in shard_ids))
+        if ordered and (ordered[0] < 0 or ordered[-1] >= self.n_shards):
+            raise ValueError(f"shard id out of range for {self.n_shards} shards")
+        me = threading.get_ident()
+        for shard_id in ordered:
+            self._shard_locks[shard_id].acquire()
+            with self._holder_guard:
+                self._lock_holders[shard_id] = me
+        try:
+            yield self
+        finally:
+            for shard_id in reversed(ordered):
+                with self._holder_guard:
+                    self._lock_holders.pop(shard_id, None)
+                self._shard_locks[shard_id].release()
+
+    def locked_shard_ids(self) -> tuple:
+        """Shard ids whose write lock is currently held (any thread)."""
+        with self._holder_guard:
+            return tuple(sorted(self._lock_holders))
+
+    @contextmanager
+    def _structural_mutation(self, operation: str):
+        """Hold every shard write lock for a structural mutation.
+
+        Locks the caller does not already hold are taken with
+        non-blocking acquires: a shard held by a *foreign* thread (an
+        in-flight maintenance worker) makes the mutation raise instead
+        of waiting — and because the locks are actually held for the
+        duration, a worker cannot slip in between the check and the
+        mutation either (no check-then-act window).  Shards already
+        held by the calling thread are left alone, so a worker running
+        ``rebalance`` inside its own critical section proceeds, and
+        the non-reentrant locks cannot self-deadlock.
+        """
+        me = threading.get_ident()
+        with self._holder_guard:
+            mine = {
+                shard_id
+                for shard_id, holder in self._lock_holders.items()
+                if holder == me
+            }
+        acquired = []
+        try:
+            for shard_id in range(self.n_shards):
+                if shard_id in mine:
+                    continue
+                if not self._shard_locks[shard_id].acquire(blocking=False):
+                    raise ServingError(
+                        f"cannot {operation} while shard lock {shard_id} is "
+                        f"held by an in-flight maintenance worker; drain "
+                        f"the serving queue first"
+                    )
+                acquired.append(shard_id)
+                with self._holder_guard:
+                    self._lock_holders[shard_id] = me
+            yield self
+        finally:
+            for shard_id in reversed(acquired):
+                with self._holder_guard:
+                    self._lock_holders.pop(shard_id, None)
+                self._shard_locks[shard_id].release()
 
     # -- facade state -------------------------------------------------------------
     def __len__(self) -> int:
@@ -502,6 +628,7 @@ class ShardedCalibrationStore:
         )
         keep_mask = np.zeros(n_before + n_added, dtype=bool)
         keep_mask[order] = True
+        self._tag_mutation(shard_updates.keys())
         return ShardedStoreUpdate(
             n_before=n_before,
             n_added=n_added,
@@ -544,27 +671,43 @@ class ShardedCalibrationStore:
 
         ``lifetime`` forwards to each shard's
         :meth:`CalibrationStore.clear` (reset stream counters too).
+
+        Raises:
+            ServingError: when another thread holds any shard write
+                lock — clearing under an in-flight fold or shard
+                recalibration would rip the rows out from under it.
         """
-        for shard in self.shards:
-            shard.clear(lifetime=lifetime)
-        self.router = self.router.clone_unfitted()
-        self._column_cache = {}
+        with self._structural_mutation("clear() the sharded store"):
+            self._tag_mutation()
+            for shard in self.shards:
+                shard.clear(lifetime=lifetime)
+            self.router = self.router.clone_unfitted()
+            self._column_cache = {}
 
     def replace_column(self, name: str, values) -> None:
-        """Overwrite one column in place (same length, global order)."""
+        """Overwrite one column in place (same length, global order).
+
+        Raises:
+            ServingError: when another thread holds any shard write
+                lock — rewriting rows under an in-flight worker would
+                tear per-shard state (same guard as :meth:`clear` /
+                :meth:`rebalance`; the holding thread itself proceeds).
+        """
         values = np.asarray(values)
         if len(values) != len(self):
             raise CalibrationError(
                 f"replacement column {name!r} has {len(values)} rows, "
                 f"store holds {len(self)}"
             )
-        start = 0
-        for shard in self.shards:
-            stop = start + len(shard)
-            if len(shard):
-                shard.replace_column(name, values[start:stop])
-            start = stop
-        self._column_cache = {}
+        with self._structural_mutation(f"replace column {name!r}"):
+            start = 0
+            for shard in self.shards:
+                stop = start + len(shard)
+                if len(shard):
+                    shard.replace_column(name, values[start:stop])
+                start = stop
+            self._tag_mutation()
+            self._column_cache = {}
 
     def rebalance(self, refit_router: bool = True) -> ShardedStoreUpdate | None:
         """Re-route every stored sample through the (re)fit router.
@@ -575,18 +718,25 @@ class ShardedCalibrationStore:
         capacity evicts down as usual, and per-shard stream counters
         restart (the rebuilt shards see the rows as a fresh stream).
         Returns the composing update, or ``None`` on an empty store.
+
+        Raises:
+            ServingError: when another thread holds any shard write
+                lock — re-routing every row while a worker folds into a
+                shard would corrupt both (see :meth:`acquire_shards`).
         """
-        if len(self) == 0:
-            return None
-        columns = {name: self.column(name) for name in self.column_names}
-        priorities = np.array(self.priority)
-        if refit_router:
-            self.router = self.router.clone_unfitted()
-        self.shards = [
-            shard.clone_empty() for shard in self.shards
-        ]
-        self._column_cache = {}
-        return self.add(priority=priorities, **columns)
+        with self._structural_mutation("rebalance() the sharded store"):
+            if len(self) == 0:
+                return None
+            self._tag_mutation()
+            columns = {name: self.column(name) for name in self.column_names}
+            priorities = np.array(self.priority)
+            if refit_router:
+                self.router = self.router.clone_unfitted()
+            self.shards = [
+                shard.clone_empty() for shard in self.shards
+            ]
+            self._column_cache = {}
+            return self.add(priority=priorities, **columns)
 
     def __repr__(self) -> str:
         return (

@@ -48,6 +48,7 @@ heavy drift.
 
 from __future__ import annotations
 
+import copy
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -120,11 +121,59 @@ class _ShardState:
 
 
 class _ShardMixin:
-    """Shard bookkeeping shared by both streaming wrappers."""
+    """Shard and snapshot bookkeeping shared by both streaming wrappers."""
+
+    #: detector attributes that may alias store buffers (rewritten in
+    #: place by slot-reuse eviction) and must be materialized when a
+    #: frozen snapshot is published; set per wrapper class.
+    _snapshot_array_fields: tuple = ()
 
     @property
     def is_sharded(self) -> bool:
         return isinstance(self.store, ShardedCalibrationStore)
+
+    @property
+    def epoch(self) -> int:
+        """Monotone counter bumped on every calibration-state mutation.
+
+        The serving plane (:mod:`repro.core.serving`) tags published
+        snapshots with the epoch they were built at, so snapshot
+        staleness is ``wrapper.epoch - snapshot.epoch`` mutations.
+        """
+        return self._epoch
+
+    def _bump_epoch(self) -> None:
+        self._epoch += 1
+
+    def detector_snapshot(self):
+        """A frozen, immutable clone of the wrapped detector.
+
+        The clone shares the detector's configuration (functions,
+        committee, thresholds) but owns private copies of every array
+        that the streaming runtime may rewrite in place across the next
+        mutation — features, labels/targets/clusters, per-expert scores
+        and layouts — plus a frozen weighting (tau state).  Evaluating
+        the clone is therefore safe from any thread while the live
+        wrapper keeps folding updates: this is the double-buffered read
+        side of the async serving loop (DESIGN.md §5).
+        """
+        self.prom._require_calibrated()
+        prom = copy.copy(self.prom)
+        prom.weighting = copy.copy(self.prom.weighting)
+        for name in self._snapshot_array_fields:
+            setattr(prom, name, np.array(getattr(self.prom, name)))
+        layouts = [
+            LabelGroupedScores(
+                scores=np.array(layout.scores),
+                labels=np.array(layout.labels),
+                group_counts=np.array(layout.group_counts),
+                n_labels=layout.n_labels,
+            )
+            for layout in self.prom._layouts
+        ]
+        prom._layouts = layouts
+        prom._scores = [layout.scores for layout in layouts]
+        return prom
 
     @property
     def n_shards(self) -> int:
@@ -211,6 +260,8 @@ class StreamingPromClassifier(_ShardMixin):
     ``extra=`` — the schema is fixed by the first call.
     """
 
+    _snapshot_array_fields = ("_features", "_labels")
+
     def __init__(
         self,
         prom=None,
@@ -227,6 +278,7 @@ class StreamingPromClassifier(_ShardMixin):
         )
         self.parallel = parallel
         self._shard_states = None
+        self._epoch = 0
 
     # -- state --------------------------------------------------------------------
     @property
@@ -283,6 +335,7 @@ class StreamingPromClassifier(_ShardMixin):
         self.store = staged
         if self.is_sharded:
             self._rebuild_shard_states()
+        self._bump_epoch()
         return self
 
     def _rebuild_shard_states(self) -> None:
@@ -341,6 +394,7 @@ class StreamingPromClassifier(_ShardMixin):
             self._apply(update, new_scores, labels, retune_tau)
         else:
             self._apply_sharded(update, new_scores, labels, retune_tau)
+        self._bump_epoch()
         return update
 
     def evict(self, positions, retune_tau: bool = True) -> StoreUpdate:
@@ -354,6 +408,7 @@ class StreamingPromClassifier(_ShardMixin):
             self._apply(update, empty, no_labels, retune_tau)
         else:
             self._apply_sharded(update, empty, no_labels, retune_tau)
+        self._bump_epoch()
         return update
 
     def _apply(self, update: StoreUpdate, new_scores, new_labels, retune_tau: bool):
@@ -468,6 +523,7 @@ class StreamingPromClassifier(_ShardMixin):
 
         self._map_shards(shard_ids, rescore)
         self._compose_global(retune_tau)
+        self._bump_epoch()
         return self
 
     def refresh(self) -> "StreamingPromClassifier":
@@ -483,6 +539,7 @@ class StreamingPromClassifier(_ShardMixin):
         )
         if self.is_sharded:
             self._rebuild_shard_states()
+        self._bump_epoch()
         return self
 
     def replace_outputs(self, features, probabilities, labels) -> None:
@@ -544,6 +601,8 @@ class StreamingPromRegressor(_ShardMixin):
     no integer label column to key ``"label"`` routing on).
     """
 
+    _snapshot_array_fields = ("_features", "_targets", "_clusters")
+
     def __init__(
         self,
         prom=None,
@@ -560,6 +619,7 @@ class StreamingPromRegressor(_ShardMixin):
         )
         self.parallel = parallel
         self._shard_states = None
+        self._epoch = 0
 
     @property
     def is_calibrated(self) -> bool:
@@ -595,6 +655,7 @@ class StreamingPromRegressor(_ShardMixin):
         self.store = staged
         if self.is_sharded:
             self._rebuild_shard_states()
+        self._bump_epoch()
         return self
 
     def _full_calibrate(self):
@@ -605,6 +666,7 @@ class StreamingPromRegressor(_ShardMixin):
         )
         if self.is_sharded:
             self._rebuild_shard_states()
+        self._bump_epoch()
 
     def _rebuild_shard_states(self) -> None:
         """Slice the detector's global state into per-shard states."""
@@ -673,6 +735,7 @@ class StreamingPromRegressor(_ShardMixin):
             self._apply(update, new_scores, new_clusters, retune_tau)
         else:
             self._apply_sharded(update, new_scores, new_clusters, retune_tau)
+        self._bump_epoch()
         return update
 
     def evict(self, positions, retune_tau: bool = True) -> StoreUpdate:
@@ -689,6 +752,7 @@ class StreamingPromRegressor(_ShardMixin):
             self._apply(update, empty, no_clusters, retune_tau)
         else:
             self._apply_sharded(update, empty, no_clusters, retune_tau)
+        self._bump_epoch()
         return update
 
     def _apply(self, update: StoreUpdate, new_scores, new_clusters, retune_tau: bool):
@@ -806,6 +870,7 @@ class StreamingPromRegressor(_ShardMixin):
 
         self._map_shards(shard_ids, rescore)
         self._compose_global(retune_tau)
+        self._bump_epoch()
         return self
 
     def refresh(
@@ -848,6 +913,7 @@ class StreamingPromRegressor(_ShardMixin):
         ]
         if self.is_sharded:
             self._rebuild_shard_states()
+        self._bump_epoch()
         return self
 
     def replace_outputs(self, features, predictions, targets) -> None:

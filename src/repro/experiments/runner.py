@@ -29,7 +29,6 @@ import numpy as np
 
 from ..baselines import BASELINE_FACTORIES
 from ..core import (
-    Decision,
     DetectionMetrics,
     DriftMonitor,
     PromClassifier,
@@ -40,6 +39,7 @@ from ..core import (
     split_calibration,
 )
 from ..core.nonconformity import default_classification_functions
+from ..core.serving import AsyncServingLoop
 from ..models import tlp as tlp_factory
 from ..tasks import DnnCodeGenerationTask
 from ..tasks.base import CaseStudy, Split
@@ -379,7 +379,29 @@ class StreamStep:
     :func:`stream_deployment`).  ``n_shards_touched`` counts the
     calibration shards this step's recalibration folded into (0 when
     nothing recalibrated; the full shard count on model updates, which
-    rebuild every shard).
+    rebuild every shard; always 0 with ``async_serving`` — the fold is
+    deferred to a background worker, whose routing is not known yet).
+
+    With ``async_serving=True`` the serving-plane fields are live:
+    ``queue_depth`` is the maintenance backlog when the batch was
+    served, ``snapshot_staleness`` the number of accepted maintenance
+    jobs not yet reflected in the published snapshot,
+    ``served_during_maintenance`` marks decisions that were served
+    while a fold/recalibration/model update was mid-flight — the
+    batches a synchronous loop would have stalled — and
+    ``n_lost_to_backpressure`` counts relabelled samples whose
+    maintenance job a full queue rejected (their oracle labels never
+    reached the calibration state; 0 whenever the submission was
+    accepted, coalesced or applied).
+
+    Async accounting caveat: ``model_updated`` (and the monitor reset
+    behind it) records an **accepted submission** — required for the
+    drained-queue equivalence contract, where the decision had to be
+    taken before the batch ended.  A job that later crashes on a
+    worker surfaces only in ``StreamResult.errors`` /
+    ``serving.jobs_failed``; cross-check those before trusting the
+    update counters of a run with a non-empty error list (the cleared
+    alert re-arms by itself as the un-updated model keeps rejecting).
     """
 
     start: int
@@ -393,11 +415,25 @@ class StreamStep:
     seconds: float
     n_dropped_unknown: int = 0
     n_shards_touched: int = 0
+    queue_depth: int = 0
+    snapshot_staleness: int = 0
+    served_during_maintenance: bool = False
+    n_lost_to_backpressure: int = 0
+    decisions: object = field(repr=False, compare=False, default=None)
 
 
 @dataclass
 class StreamResult:
-    """Aggregate outcome of a :func:`stream_deployment` run."""
+    """Aggregate outcome of a :func:`stream_deployment` run.
+
+    ``errors`` holds the maintenance-plane
+    :class:`~repro.core.serving.JobError` records of an async run
+    (worker crashes never interrupt serving — they surface here);
+    ``serving`` its :class:`~repro.core.serving.ServingStats`;
+    ``n_lost_to_backpressure`` totals the relabelled samples whose
+    fold/update jobs a full queue rejected.  All stay empty/zero/None
+    for synchronous runs.
+    """
 
     steps: list = field(repr=False, default_factory=list)
     n_samples: int = 0
@@ -411,6 +447,9 @@ class StreamResult:
     n_shards: int = 1
     final_shard_sizes: tuple = ()
     monitor: DriftMonitor = field(repr=False, default=None)
+    errors: tuple = ()
+    serving: object = field(repr=False, default=None)
+    n_lost_to_backpressure: int = 0
 
 
 def stream_deployment(
@@ -422,6 +461,12 @@ def stream_deployment(
     monitor: DriftMonitor | None = None,
     update_on_alert: bool = True,
     epochs: int = 20,
+    async_serving: bool = False,
+    serving_workers: int = 1,
+    queue_capacity: int = 32,
+    backpressure: str = "coalesce",
+    drain_each_step: bool = False,
+    record_decisions: bool = False,
 ) -> StreamResult:
     """Serve a sample stream end to end: detect, relabel, recalibrate.
 
@@ -450,6 +495,19 @@ def stream_deployment(
     ``parallel`` workers; the per-batch folds here are far below
     pool-spawn cost and stay serial.)
 
+    With ``async_serving=True`` the loop runs over an
+    :class:`~repro.core.serving.AsyncServingLoop`: decisions are served
+    lock-free against the published compose snapshot, and step 4's
+    maintenance (folds and model updates) is *submitted* to the bounded
+    work queue instead of applied inline — a recalibrating shard never
+    stalls decision traffic.  Each :class:`StreamStep` then records the
+    queue depth, snapshot staleness and whether the batch was served
+    during in-flight maintenance; worker failures surface in
+    ``StreamResult.errors``.  The equivalence contract: with
+    ``drain_each_step=True`` (apply + publish all maintenance before
+    the next batch) the decision stream is bit-identical to the
+    synchronous loop — see DESIGN.md §5.
+
     Args:
         interface: trained model interface.
         X_stream: deployment-time inputs, consumed in arrival order.
@@ -463,6 +521,16 @@ def stream_deployment(
             retrained on monitor alerts; when False every relabelled
             batch triggers a model update.
         epochs: partial-fit epochs for model updates.
+        async_serving: serve from an
+            :class:`~repro.core.serving.AsyncServingLoop` and queue all
+            maintenance on its background workers.
+        serving_workers / queue_capacity / backpressure: forwarded to
+            the serving loop (async mode only).
+        drain_each_step: apply and publish every queued job before the
+            next batch — the sync-equivalence mode (async only).
+        record_decisions: keep each batch's
+            :class:`~repro.core.committee.DecisionBatch` on its
+            :class:`StreamStep` (memory-heavy; meant for tests).
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -471,6 +539,14 @@ def stream_deployment(
     if len(X_stream) != len(oracle_labels):
         raise ValueError("X_stream and oracle_labels must align")
     monitor = monitor or DriftMonitor()
+    loop = None
+    if async_serving:
+        loop = AsyncServingLoop(
+            interface,
+            n_workers=serving_workers,
+            queue_capacity=queue_capacity,
+            backpressure=backpressure,
+        )
 
     def known_classes():
         if not hasattr(interface.model, "classes_"):
@@ -481,71 +557,120 @@ def stream_deployment(
     n_flagged_total = 0
     n_relabelled_total = 0
     n_dropped_total = 0
+    n_lost_total = 0
     n_model_updates = 0
     total_shards = getattr(getattr(interface, "streaming", None), "n_shards", 1)
     stream_started = time.perf_counter()
-    for start in range(0, len(X_stream), batch_size):
-        stop = min(len(X_stream), start + batch_size)
-        batch_started = time.perf_counter()
-        _, decisions = interface.predict(X_stream[start:stop])
-        alert = monitor.observe_batch(decisions)
-        # captured before any post-update reset clears the window
-        window_rate = monitor.rejection_rate
-        chosen = select_relabel_budget(decisions, budget_fraction)
-        updating_model = alert or not update_on_alert
-        # In-place model updates keep their class head, and
-        # calibration-only extensions score against the current head,
-        # so relabelled samples of never-observed classes cannot be
-        # folded in on those paths.  A model update that can grow its
-        # head (interface.learns_new_classes) keeps them.
-        learns_new_classes = updating_model and getattr(
-            interface, "learns_new_classes", False
-        )
-        classes = known_classes()
-        n_dropped = 0
-        if classes is not None and not learns_new_classes and len(chosen):
-            kept = np.asarray(
-                [i for i in chosen if oracle_labels[start + i].item() in classes],
-                dtype=int,
-            )
-            n_dropped = len(chosen) - len(kept)
-            chosen = kept
-        model_updated = False
-        n_shards_touched = 0
-        if len(chosen):
-            X_chosen = X_stream[start + chosen]
-            y_chosen = oracle_labels[start + chosen]
-            if updating_model:
-                interface.incremental_update(X_chosen, y_chosen, epochs=epochs)
-                monitor.reset()
-                model_updated = True
-                n_model_updates += 1
-                # a model update rebuilds the calibration state of
-                # every shard
-                n_shards_touched = total_shards
+    try:
+        for start in range(0, len(X_stream), batch_size):
+            stop = min(len(X_stream), start + batch_size)
+            batch_started = time.perf_counter()
+            if loop is not None:
+                queue_depth = loop.queue_depth
+                staleness = loop.staleness
+                during_maintenance = loop.maintenance_active
+                _, decisions = loop.predict(X_stream[start:stop])
             else:
-                cal_update = interface.extend_calibration(X_chosen, y_chosen)
-                touched = getattr(cal_update, "touched", None)
-                n_shards_touched = len(touched) if touched is not None else 1
-        n_flagged = len(drifting_indices(decisions))
-        n_flagged_total += n_flagged
-        n_relabelled_total += len(chosen)
-        n_dropped_total += n_dropped
-        steps.append(
-            StreamStep(
-                start=start,
-                stop=stop,
-                n_flagged=n_flagged,
-                n_relabelled=len(chosen),
-                alert=alert,
-                model_updated=model_updated,
-                rejection_rate=window_rate,
-                calibration_size=interface.calibration_size,
-                seconds=time.perf_counter() - batch_started,
-                n_dropped_unknown=n_dropped,
-                n_shards_touched=n_shards_touched,
+                queue_depth = staleness = 0
+                during_maintenance = False
+                _, decisions = interface.predict(X_stream[start:stop])
+            alert = monitor.observe_batch(decisions)
+            # captured before any post-update reset clears the window
+            window_rate = monitor.rejection_rate
+            chosen = select_relabel_budget(decisions, budget_fraction)
+            updating_model = alert or not update_on_alert
+            # In-place model updates keep their class head, and
+            # calibration-only extensions score against the current head,
+            # so relabelled samples of never-observed classes cannot be
+            # folded in on those paths.  A model update that can grow its
+            # head (interface.learns_new_classes) keeps them.
+            learns_new_classes = updating_model and getattr(
+                interface, "learns_new_classes", False
             )
-        )
+            classes = known_classes()
+            n_dropped = 0
+            if classes is not None and not learns_new_classes and len(chosen):
+                kept = np.asarray(
+                    [i for i in chosen if oracle_labels[start + i].item() in classes],
+                    dtype=int,
+                )
+                n_dropped = len(chosen) - len(kept)
+                chosen = kept
+            model_updated = False
+            n_shards_touched = 0
+            n_lost = 0
+            if len(chosen):
+                X_chosen = X_stream[start + chosen]
+                y_chosen = oracle_labels[start + chosen]
+                if updating_model:
+                    if loop is not None:
+                        accepted = loop.submit_model_update(
+                            X_chosen, y_chosen, epochs=epochs
+                        )
+                    else:
+                        interface.incremental_update(
+                            X_chosen, y_chosen, epochs=epochs
+                        )
+                        accepted = True
+                        # a model update rebuilds the calibration state
+                        # of every shard
+                        n_shards_touched = total_shards
+                    if accepted:
+                        monitor.reset()
+                        model_updated = True
+                        n_model_updates += 1
+                    else:
+                        # full queue rejected the update: the batch is
+                        # lost and the un-reset monitor will re-alert
+                        n_lost = len(chosen)
+                else:
+                    if loop is not None:
+                        if not loop.submit_fold(X_chosen, y_chosen):
+                            n_lost = len(chosen)
+                    else:
+                        cal_update = interface.extend_calibration(
+                            X_chosen, y_chosen
+                        )
+                        touched = getattr(cal_update, "touched", None)
+                        n_shards_touched = (
+                            len(touched) if touched is not None else 1
+                        )
+            if loop is not None and drain_each_step:
+                loop.drain()
+            n_flagged = len(drifting_indices(decisions))
+            n_flagged_total += n_flagged
+            n_relabelled_total += len(chosen)
+            n_dropped_total += n_dropped
+            n_lost_total += n_lost
+            steps.append(
+                StreamStep(
+                    start=start,
+                    stop=stop,
+                    n_flagged=n_flagged,
+                    n_relabelled=len(chosen),
+                    alert=alert,
+                    model_updated=model_updated,
+                    rejection_rate=window_rate,
+                    calibration_size=(
+                        interface.calibration_size
+                        if loop is None or drain_each_step
+                        else loop.snapshot.calibration_size
+                    ),
+                    seconds=time.perf_counter() - batch_started,
+                    n_dropped_unknown=n_dropped,
+                    n_shards_touched=n_shards_touched,
+                    queue_depth=queue_depth,
+                    snapshot_staleness=staleness,
+                    served_during_maintenance=during_maintenance,
+                    n_lost_to_backpressure=n_lost,
+                    decisions=decisions if record_decisions else None,
+                )
+            )
+        if loop is not None:
+            loop.drain()
+    finally:
+        if loop is not None:
+            loop.close(drain=False)
     elapsed = time.perf_counter() - stream_started
     return StreamResult(
         steps=steps,
@@ -560,6 +685,9 @@ def stream_deployment(
         n_shards=getattr(getattr(interface, "streaming", None), "n_shards", 1),
         final_shard_sizes=tuple(getattr(interface, "shard_sizes", ())),
         monitor=monitor,
+        errors=tuple(loop.errors) if loop is not None else (),
+        serving=loop.stats if loop is not None else None,
+        n_lost_to_backpressure=n_lost_total,
     )
 
 

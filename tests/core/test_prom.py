@@ -12,7 +12,7 @@ from repro.core import (
     detection_metrics,
     drifting_indices,
 )
-from repro.ml import MLPClassifier, MLPRegressor
+from repro.ml import MLPRegressor
 
 from ..conftest import make_blobs
 

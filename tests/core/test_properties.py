@@ -1,13 +1,11 @@
 """Hypothesis property tests on Prom's core statistical invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.core import (
     AdaptiveWeighting,
-    LAC,
     PromClassifier,
     default_classification_functions,
 )

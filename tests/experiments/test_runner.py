@@ -11,7 +11,6 @@ from repro.experiments import (
     figure8_detection,
     figure9_incremental,
     figure10_comparison,
-    figure11_nonconformity,
     figure12_overhead,
     figure13_sensitivity,
     format_table,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.lang import KernelDataset, LoopDataset, MAPPING_SUITES
+from repro.lang import KernelDataset, MAPPING_SUITES
 from repro.lang.kernels import generate_kernel
 from repro.lang.loops import CONFIGURATIONS, generate_loop
 from repro.lang import tensor_programs
