@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""README presence + verify-command drift gate.
+
+Fails when ``README.md`` is missing, or when the tier-1 verify command
+it quotes has drifted from the one ROADMAP.md declares (the line
+``**Tier-1 verify:** `...```).  A README that tells users to run a
+command CI does not run is worse than no README — this keeps the two
+files honest against each other.
+
+Usage::
+
+    python scripts/check_readme.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def roadmap_verify_command(roadmap: Path) -> str:
+    """Extract the tier-1 verify command ROADMAP.md declares."""
+    match = re.search(
+        r"\*\*Tier-1 verify:\*\*\s*`([^`]+)`", roadmap.read_text()
+    )
+    if match is None:
+        raise SystemExit(
+            f"FAIL: {roadmap} no longer declares a '**Tier-1 verify:**' "
+            f"command — update this gate alongside it"
+        )
+    return match.group(1).strip()
+
+
+def main() -> int:
+    readme = REPO_ROOT / "README.md"
+    roadmap = REPO_ROOT / "ROADMAP.md"
+    if not readme.exists():
+        print("FAIL: README.md is missing")
+        return 1
+    command = roadmap_verify_command(roadmap)
+    if command not in readme.read_text():
+        print(
+            f"FAIL: README.md does not contain the tier-1 verify command "
+            f"ROADMAP.md declares:\n  {command}"
+        )
+        return 1
+    print("ok   README.md present and quotes the tier-1 verify command")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -207,6 +207,16 @@ class ModelInterface(abc.ABC):
         """Per-shard calibration sizes (one entry in single-store mode)."""
         return self.streaming.shard_sizes
 
+    @property
+    def shard_epochs(self) -> tuple:
+        """Per-shard mutation counters (empty in single-store mode).
+
+        The serving plane tags published snapshots with these, so
+        block-level staleness — which shards a snapshot predates — is
+        observable (DESIGN.md §6).
+        """
+        return tuple(getattr(self.streaming.store, "shard_epochs", ()))
+
     def recalibrate_shards(self, shard_ids=None) -> "ModelInterface":
         """Fully rescore the given calibration shards (all by default).
 
@@ -450,6 +460,14 @@ class RegressionModelInterface(abc.ABC):
     def shard_sizes(self) -> tuple:
         """Per-shard calibration sizes (one entry in single-store mode)."""
         return self.streaming.shard_sizes
+
+    @property
+    def shard_epochs(self) -> tuple:
+        """Per-shard mutation counters (empty in single-store mode).
+
+        See :attr:`ModelInterface.shard_epochs`.
+        """
+        return tuple(getattr(self.streaming.store, "shard_epochs", ()))
 
     def recalibrate_shards(self, shard_ids=None) -> "RegressionModelInterface":
         """Fully rescore the given calibration shards (all by default).

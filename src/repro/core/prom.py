@@ -43,6 +43,7 @@ from .pvalue import (
     pvalues_from_binning,
 )
 from .scores import assess, assess_batch
+from .segments import ComposedStateAttr, state_is_set
 from .weighting import AdaptiveWeighting, iter_squared_distance_chunks, squared_distance_matrix
 
 #: soft bound on the number of float64 cells one evaluation chunk's
@@ -98,6 +99,16 @@ class PromClassifier:
         vote_threshold: committee acceptance fraction (0.5 = majority,
             ties reject).
     """
+
+    # Calibration state attributes behind compose-aware descriptors: a
+    # streaming wrapper may hold this state as per-shard segments
+    # (core/segments.py) and install a ``_compose_hook`` that
+    # materializes the flat arrays on first read.  Plain (non-streaming)
+    # use assigns and reads them exactly like ordinary attributes.
+    _features = ComposedStateAttr()
+    _labels = ComposedStateAttr()
+    _scores = ComposedStateAttr()
+    _layouts = ComposedStateAttr()
 
     def __init__(
         self,
@@ -169,7 +180,8 @@ class PromClassifier:
 
     @property
     def is_calibrated(self) -> bool:
-        return hasattr(self, "_features")
+        # hook-free check: must not trigger lazy compose materialization
+        return state_is_set(self, "_features")
 
     @property
     def calibration_size(self) -> int:
@@ -384,6 +396,13 @@ class PromRegressor:
     literal formulation).
     """
 
+    # compose-aware state descriptors — see PromClassifier
+    _features = ComposedStateAttr()
+    _targets = ComposedStateAttr()
+    _clusters = ComposedStateAttr()
+    _scores = ComposedStateAttr()
+    _layouts = ComposedStateAttr()
+
     def __init__(
         self,
         score_functions=None,
@@ -462,7 +481,8 @@ class PromRegressor:
 
     @property
     def is_calibrated(self) -> bool:
-        return hasattr(self, "_features")
+        # hook-free check: must not trigger lazy compose materialization
+        return state_is_set(self, "_features")
 
     @property
     def calibration_size(self) -> int:

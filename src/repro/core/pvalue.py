@@ -226,6 +226,38 @@ def update_label_groups(
     )
 
 
+def merge_group_counts(layouts, n_labels: int) -> np.ndarray:
+    """Integer-exact global group counts from per-segment layouts.
+
+    The compose half of the segment-aware streaming runtime
+    (:mod:`repro.core.segments`): segment counts are non-negative
+    integers, so their sum is exact and the composed counts equal what
+    :func:`group_scores_by_label` would compute on the concatenated
+    scores and labels — no floating-point drift, no ``O(n)`` rescan.
+
+    Args:
+        layouts: per-segment :class:`LabelGroupedScores`, all built for
+            the same label space.
+        n_labels: number of candidate labels.
+
+    Returns:
+        ``(n_labels,)`` summed group counts.
+
+    Raises:
+        ValueError: when a layout's label space disagrees with
+            ``n_labels``.
+    """
+    counts = np.zeros(n_labels, dtype=np.int64)
+    for layout in layouts:
+        if layout.n_labels != n_labels:
+            raise ValueError(
+                f"cannot merge a layout over {layout.n_labels} labels "
+                f"into a {n_labels}-label composition"
+            )
+        counts = counts + layout.group_counts
+    return counts
+
+
 def _label_binned_sums(flat_bins, values, n_test, n_labels) -> np.ndarray:
     """Per-(test sample, label) sums via one scatter-add (bincount)."""
     return np.bincount(

@@ -7,6 +7,16 @@
   ``f(x) = exp(-(x - 1)^2 / (2 c^2))``: exactly one conforming label is
   the ideal; an empty set (no label conforms) or many conforming labels
   (ambiguity) both lower confidence.
+
+Position in the evaluation pipeline (see README architecture map): the
+p-value kernels of :mod:`repro.core.pvalue` reduce each test batch to a
+``(n_test, n_labels)`` p-value matrix per expert — computed against the
+calibration state the streaming runtime maintains (flat arrays, or the
+lazily materialized segment composition of :mod:`repro.core.segments`);
+:func:`assess_batch` turns each matrix into per-expert verdicts, which
+:mod:`repro.core.committee` then votes into decisions.  This module is
+deliberately state-free: it only ever sees p-values, so it is identical
+across the batch, streaming, sharded and async-serving paths.
 """
 
 from __future__ import annotations

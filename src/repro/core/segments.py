@@ -1,0 +1,346 @@
+"""Segment-aware composition of per-shard calibration state (DESIGN.md §6).
+
+PR 3 sharded calibration *maintenance*: an ``update()`` folds only into
+the shards its batch touched.  But the detector still consumed one flat
+array per state field (features, labels, per-expert scores), so every
+fold ended with an ``O(n)`` concatenation memcpy to rebuild them — and
+the async serving plane (PR 4) paid the same ``O(n)`` *again* per
+snapshot publish, deep-copying every store-aliased array so lock-free
+readers could never observe an in-place rewrite.
+
+This module replaces both copies with a **segment compose layer**:
+
+* :class:`SegmentedField` — one logical calibration column held as an
+  ordered tuple of immutable per-shard blocks, with the flat
+  concatenation materialized lazily (and cached) only when a consumer
+  actually needs it;
+* :class:`SegmentBundle` — the full composed detector state (every
+  field, every expert's scores, the integer-exact summed group counts),
+  built in ``O(touched shards)`` after a mutation because untouched
+  shards contribute the *same block objects* as the previous bundle;
+* :class:`ComposedStateAttr` — the descriptor the Prom detectors use
+  for their state attributes, so any read (an ``evaluate()``, a test
+  poking ``prom._features``) transparently materializes the current
+  bundle first.  Writes behave like plain attribute assignment, which
+  keeps the non-streaming ``calibrate()`` path untouched;
+* :class:`BundleComposeHook` — the one-shot materializer installed on
+  frozen detector snapshots, giving the serving plane
+  **structural-sharing publishes**: a snapshot references the live
+  bundle's blocks instead of deep-copying them, so publish cost drops
+  from ``O(store)`` to ``O(touched shards)`` and consecutive snapshots
+  share (``np.shares_memory``) every untouched shard's blocks.
+
+The safety contract is copy-on-write: a block handed to a bundle is
+never mutated in place — folds and rescores *replace* a shard's blocks
+with fresh arrays, and store-backed blocks are owned copies taken at
+the segment cache (:meth:`~repro.core.sharding.ShardedCalibrationStore.
+column_segment`), not views of the slot-reused buffers.  Under that
+discipline sharing blocks between the live detector and any number of
+published snapshots is free.
+
+Materialization is idempotent and tolerates benign races: concurrent
+first readers of one snapshot may each build the flat arrays, but every
+build produces equal values from the same immutable blocks, attribute
+stores are atomic under the GIL, and the done flag is only set after a
+full apply — so a reader either materializes for itself or observes a
+completed apply, never a torn one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .pvalue import LabelGroupedScores, merge_group_counts
+from .weighting import TAU_MAX_ROWS, TAU_SEED
+
+
+class ComposedStateAttr:
+    """Data descriptor for a lazily composable detector state attribute.
+
+    Reads first invoke the instance's ``_compose_hook`` (when one is
+    set), letting a compose layer install the current flat arrays on
+    first access after a mutation; without a hook, reads and writes
+    behave exactly like a plain instance attribute, including raising
+    ``AttributeError`` before the first assignment (``calibrate()``).
+    """
+
+    def __set_name__(self, owner, name):
+        self._name = name
+        self._slot = "_composed" + name
+
+    def __get__(self, instance, owner=None):
+        if instance is None:
+            return self
+        hook = instance.__dict__.get("_compose_hook")
+        if hook is not None:
+            hook()
+        try:
+            return instance.__dict__[self._slot]
+        except KeyError:
+            raise AttributeError(self._name) from None
+
+    def __set__(self, instance, value):
+        instance.__dict__[self._slot] = value
+
+    def __delete__(self, instance):
+        instance.__dict__.pop(self._slot, None)
+
+
+def state_is_set(instance, name: str) -> bool:
+    """Whether ``instance``'s composed-state attribute ``name`` holds a value.
+
+    The hook-free form of ``hasattr``: it inspects the descriptor's
+    backing slot without triggering materialization, so calibration
+    checks on the streaming hot path stay O(1).
+    """
+    return ("_composed" + name) in instance.__dict__
+
+
+class SegmentedField:
+    """An ordered tuple of immutable array blocks for one state field.
+
+    ``segments`` holds one block per shard (empty blocks for empty
+    shards), in global exposed order.  :meth:`flat` materializes the
+    concatenation lazily and caches it; because blocks are immutable,
+    the cached flat array is itself immutable and may be shared freely
+    between the live detector and published snapshots.
+    """
+
+    __slots__ = ("segments", "_flat")
+
+    def __init__(self, segments, flat: np.ndarray | None = None):
+        self.segments = tuple(segments)
+        self._flat = flat
+
+    def __len__(self) -> int:
+        return sum(len(segment) for segment in self.segments)
+
+    @property
+    def trailing_shape(self) -> tuple:
+        """Per-row shape of the field (``()`` for scalar columns)."""
+        return self.segments[0].shape[1:] if self.segments else ()
+
+    @property
+    def cached_flat(self) -> np.ndarray | None:
+        """The materialized concatenation, or ``None`` when not built yet."""
+        return self._flat
+
+    def flat(self) -> np.ndarray:
+        """The flat concatenation of the segments (materialized once).
+
+        A single-segment field returns its block directly — the block
+        is immutable, so no defensive copy is needed.
+        """
+        flat = self._flat
+        if flat is None:
+            if not self.segments:
+                flat = np.zeros(0)
+            elif len(self.segments) == 1:
+                flat = self.segments[0]
+            else:
+                flat = np.concatenate(self.segments)
+            self._flat = flat
+        return flat
+
+    def same_segments(self, segments) -> bool:
+        """Whether ``segments`` are exactly this field's blocks (by identity)."""
+        segments = tuple(segments)
+        return len(self.segments) == len(segments) and all(
+            mine is theirs for mine, theirs in zip(self.segments, segments)
+        )
+
+
+def make_field(segments, previous: SegmentedField | None = None) -> SegmentedField:
+    """Build a :class:`SegmentedField`, reusing ``previous`` when unchanged.
+
+    Reuse is by block identity: when every segment is the same object as
+    in the previous field, the previous field itself is returned — which
+    carries its materialized flat cache across the mutation for free
+    (e.g. a shard rescoring leaves the feature field's flat array
+    valid).
+    """
+    segments = tuple(segments)
+    if previous is not None and previous.same_segments(segments):
+        return previous
+    return SegmentedField(segments)
+
+
+def gather_rows(segments, rows) -> np.ndarray:
+    """Gather global rows from a segment list without the flat concat.
+
+    Bit-identical to ``np.concatenate(segments)[rows]`` (row order
+    preserved, negative indices wrap like NumPy's), in ``O(len(rows))``
+    gathered cells instead of ``O(n)``.
+
+    Raises:
+        ValueError: on an empty segment list.
+        IndexError: when any row index is outside ``[-n, n)`` — the
+            same contract as indexing the concatenation.
+    """
+    segments = [np.asarray(segment) for segment in segments]
+    if not segments:
+        raise ValueError("gather_rows needs at least one segment")
+    rows = np.asarray(rows, dtype=np.int64)
+    sizes = np.fromiter(
+        (len(segment) for segment in segments),
+        dtype=np.int64,
+        count=len(segments),
+    )
+    bounds = np.cumsum(sizes)
+    n = int(bounds[-1])
+    if len(rows):
+        rows = np.where(rows < 0, rows + n, rows)
+        if rows.min() < 0 or rows.max() >= n:
+            raise IndexError(
+                f"row index out of range for {n} segmented rows"
+            )
+    starts = bounds - sizes
+    dtype = np.result_type(*segments)
+    out = np.empty((len(rows),) + segments[0].shape[1:], dtype=dtype)
+    owners = np.searchsorted(bounds, rows, side="right")
+    for index, segment in enumerate(segments):
+        mask = owners == index
+        if mask.any():
+            out[mask] = segment[rows[mask] - starts[index]]
+    return out
+
+
+def tau_feature_sample(
+    field: SegmentedField, max_rows: int = TAU_MAX_ROWS, seed: int = TAU_SEED
+) -> np.ndarray:
+    """The feature rows ``resolve_tau`` would subsample, gathered per segment.
+
+    ``median_pairwise_tau`` draws ``max_rows`` rows with
+    ``default_rng(seed).choice`` when the set is larger; reproducing the
+    identical draw here and gathering only those rows keeps the resolved
+    tau bit-identical to the flat path while tau resolution costs
+    ``O(max_rows * d)`` instead of forcing the ``O(n)`` flat
+    materialization on every update.
+    """
+    flat = field.cached_flat
+    if flat is not None:
+        return flat
+    n = len(field)
+    if n <= max_rows:
+        return field.flat()
+    rows = np.random.default_rng(seed).choice(n, size=max_rows, replace=False)
+    return gather_rows(field.segments, rows)
+
+
+class SegmentBundle:
+    """The composed per-shard detector state behind one immutable handle.
+
+    Attributes:
+        fields: detector attribute name (``"_features"``, ``"_labels"``,
+            ``"_targets"``, ``"_clusters"``) -> :class:`SegmentedField`.
+        score_fields: one :class:`SegmentedField` per expert's
+            calibration scores.
+        group_counts: per-expert ``(n_labels,)`` global group counts,
+            summed integer-exactly over the per-shard layouts.
+        label_key: which entry of ``fields`` plays the p-value grouping
+            label (``"_labels"`` for classification, ``"_clusters"``
+            for regression pseudo-labels).
+        n_labels: number of candidate labels/clusters.
+
+    A bundle is immutable once built; a mutation builds a *new* bundle
+    whose untouched shards contribute the same block objects, so bundle
+    identity comparisons (:meth:`shared_shards_with`) quantify the
+    structural sharing between consecutive snapshots.
+    """
+
+    __slots__ = ("fields", "score_fields", "group_counts", "label_key", "n_labels")
+
+    def __init__(self, fields, score_fields, group_counts, label_key, n_labels):
+        self.fields = dict(fields)
+        self.score_fields = tuple(score_fields)
+        self.group_counts = tuple(group_counts)
+        self.label_key = label_key
+        self.n_labels = int(n_labels)
+
+    @property
+    def n_shards(self) -> int:
+        """Number of per-shard blocks each field carries."""
+        return len(self.score_fields[0].segments) if self.score_fields else 0
+
+    def iter_fields(self):
+        """Yield every field (state fields first, then expert scores)."""
+        yield from self.fields.values()
+        yield from self.score_fields
+
+    def apply(self, prom) -> None:
+        """Materialize the bundle's flat arrays onto ``prom``.
+
+        Sets every state attribute, the per-expert score arrays and the
+        composed :class:`~repro.core.pvalue.LabelGroupedScores` layouts.
+        Idempotent, and safe under the benign-race contract described in
+        the module docstring: every write installs an array whose values
+        are fully determined by the immutable blocks.
+        """
+        for name, field in self.fields.items():
+            setattr(prom, name, field.flat())
+        labels = self.fields[self.label_key].flat()
+        scores = [field.flat() for field in self.score_fields]
+        prom._scores = scores
+        prom._layouts = [
+            LabelGroupedScores(
+                scores=expert_scores,
+                labels=labels,
+                group_counts=counts,
+                n_labels=self.n_labels,
+            )
+            for expert_scores, counts in zip(scores, self.group_counts)
+        ]
+
+    def shared_shards_with(self, previous: "SegmentBundle | None") -> int:
+        """Count shards whose every block is shared with ``previous``.
+
+        Sharing is by object identity — the exact property the
+        structural-sharing snapshot tests verify with
+        ``np.shares_memory``.  Returns 0 when the bundles are not
+        comparable (different fields or shard counts).
+        """
+        if previous is None:
+            return 0
+        if set(self.fields) != set(previous.fields):
+            return 0
+        if len(self.score_fields) != len(previous.score_fields):
+            return 0
+        n_shards = self.n_shards
+        mine = list(self.iter_fields())
+        theirs = [previous.fields[name] for name in self.fields]
+        theirs += list(previous.score_fields)
+        if any(len(field.segments) != n_shards for field in mine + theirs):
+            return 0
+        shared = 0
+        for shard_id in range(n_shards):
+            if all(
+                a.segments[shard_id] is b.segments[shard_id]
+                for a, b in zip(mine, theirs)
+            ):
+                shared += 1
+        return shared
+
+
+class BundleComposeHook:
+    """One-shot compose hook for frozen detector snapshots.
+
+    Installed as the frozen detector's ``_compose_hook``: the first
+    state read applies the captured bundle (building the flat arrays —
+    or reusing flats the live detector already materialized from the
+    same blocks), later reads are a flag check.  ``done=True`` marks a
+    snapshot frozen while the live detector's flat state already
+    matched the bundle, so nothing needs rebuilding at all.
+    """
+
+    __slots__ = ("_prom", "_bundle", "_done")
+
+    def __init__(self, prom, bundle: SegmentBundle, done: bool = False):
+        self._prom = prom
+        self._bundle = bundle
+        self._done = done
+
+    def __call__(self) -> None:
+        if self._done:
+            return
+        self._bundle.apply(self._prom)
+        self._done = True

@@ -11,7 +11,13 @@ serving into two planes (DESIGN.md §5):
   (and the model reference) published behind a single attribute.
   Readers load the pointer, evaluate, and never take a lock; snapshot
   publication is an atomic pointer swap (double buffering: the next
-  snapshot is built aside while the current one keeps serving);
+  snapshot is built aside while the current one keeps serving).  With
+  a sharded runtime the freeze is a **structural-sharing publish**
+  (DESIGN.md §6): the snapshot references the segment compose layer's
+  immutable per-shard blocks instead of deep-copying the flat arrays,
+  so publishing after an update that touched ``k`` of ``N`` shards
+  costs ``O(k)``, and consecutive snapshots share the other ``N - k``
+  shards' blocks outright;
 * an **asynchronous maintenance plane** — calibration folds, shard
   recalibrations and model updates are :class:`MaintenanceJob` items in
   a bounded work queue, drained by background workers.  A worker takes
@@ -25,9 +31,10 @@ Backpressure is explicit: when the queue is full, ``"coalesce"``
 kind where the merge is semantically exact (fold batches concatenate,
 recalibration shard sets union; model updates never merge — see
 :meth:`AsyncServingLoop._coalesce`), ``"drop"`` rejects the newest
-submission, and ``"block"`` waits for space.  Worker failures never kill the loop — they are recorded as
-:class:`JobError` entries (surfaced as ``StreamResult.errors`` by the
-stream driver) and the last good snapshot keeps serving.
+submission, and ``"block"`` waits for space.  Worker failures never
+kill the loop — they are recorded as :class:`JobError` entries
+(surfaced as ``StreamResult.errors`` by the stream driver) and the
+last good snapshot keeps serving.
 
 The equivalence contract, property-tested in
 ``tests/core/test_serving.py``: with the queue drained, decisions
@@ -90,7 +97,15 @@ class JobError:
 
 @dataclass
 class ServingStats:
-    """Counters of one :class:`AsyncServingLoop`'s lifetime."""
+    """Counters of one :class:`AsyncServingLoop`'s lifetime.
+
+    ``shard_blocks_shared`` / ``shard_blocks_rebuilt`` account the
+    structural sharing of segment-composed snapshots (DESIGN.md §6):
+    per publish, how many shards' blocks were reused by identity from
+    the previously published snapshot versus rebuilt because the shard
+    mutated.  Both stay 0 in single-store mode, where snapshots are
+    deep copies.
+    """
 
     jobs_submitted: int = 0
     jobs_executed: int = 0
@@ -104,6 +119,8 @@ class ServingStats:
     decisions_during_maintenance: int = 0
     last_publish_seconds: float = 0.0
     total_publish_seconds: float = 0.0
+    shard_blocks_shared: int = 0
+    shard_blocks_rebuilt: int = 0
 
 
 @dataclass(frozen=True)
@@ -121,6 +138,11 @@ class ComposeSnapshot:
 
     ``epoch`` is the streaming wrapper's epoch the snapshot was built
     at — ``live_epoch - snapshot.epoch`` mutations have happened since.
+    ``shard_epochs`` tags the per-shard store epochs the snapshot's
+    blocks correspond to (empty in single-store mode), and
+    ``blocks_shared`` counts how many shards' blocks this snapshot
+    shares, by identity, with the previously published one — the
+    observable form of the structural-sharing publish (DESIGN.md §6).
     """
 
     epoch: int
@@ -128,6 +150,8 @@ class ComposeSnapshot:
     calibration_size: int
     shard_sizes: tuple
     published_at: float
+    shard_epochs: tuple = ()
+    blocks_shared: int = 0
 
     def predict(self, X):
         """``(predictions, decisions)`` for raw inputs, snapshot state."""
@@ -142,9 +166,11 @@ def freeze_interface(interface):
     """A shallow interface clone wired to a frozen detector copy.
 
     The clone shares the (stateless) feature-extraction hook and the
-    current model reference; the detector is the deep-enough copy from
-    :meth:`detector_snapshot`.  Model updates applied through
-    :meth:`AsyncServingLoop.submit_model_update` swap the live
+    current model reference; the detector is the frozen clone from
+    :meth:`~repro.core.streaming._ShardMixin.detector_snapshot` — a
+    structural-sharing snapshot over the segment compose layer when the
+    runtime is sharded, a deep copy otherwise.  Model updates applied
+    through :meth:`AsyncServingLoop.submit_model_update` swap the live
     interface's ``model`` attribute for a fresh object instead of
     mutating it (``isolate_model``), so the reference captured here
     stays stable for the snapshot's lifetime.
@@ -244,6 +270,11 @@ class AsyncServingLoop:
 
     @property
     def queue_depth(self) -> int:
+        """Pending maintenance jobs (excluding in-flight ones).
+
+        Safe to read from any thread; the value may be one submission
+        stale by the time the caller acts on it.
+        """
         return len(self._queue)
 
     @property
@@ -474,14 +505,37 @@ class AsyncServingLoop:
             raise ServingError(f"unknown maintenance job kind {job.kind!r}")
 
     def _build_snapshot(self) -> ComposeSnapshot:
+        """Freeze the current state into a new :class:`ComposeSnapshot`.
+
+        With a segment-composed (sharded) runtime this is ``O(touched
+        shards)``: the frozen detector references the live bundle's
+        immutable blocks, and the sharing with the previously published
+        snapshot is accounted per shard.  Single-store runtimes pay the
+        historical ``O(store)`` deep copy.
+        """
         started = time.perf_counter()
+        streaming = self.interface.streaming
         frozen = freeze_interface(self.interface)
+        previous = getattr(self, "_snapshot", None)
+        bundle = getattr(frozen.prom, "_segment_bundle", None)
+        shared = 0
+        if bundle is not None:
+            previous_bundle = (
+                getattr(previous.interface.prom, "_segment_bundle", None)
+                if previous is not None
+                else None
+            )
+            shared = bundle.shared_shards_with(previous_bundle)
+            self.stats.shard_blocks_shared += shared
+            self.stats.shard_blocks_rebuilt += bundle.n_shards - shared
         snapshot = ComposeSnapshot(
-            epoch=self.interface.streaming.epoch,
+            epoch=streaming.epoch,
             interface=frozen,
             calibration_size=self.interface.calibration_size,
             shard_sizes=tuple(self.interface.shard_sizes),
             published_at=time.perf_counter(),
+            shard_epochs=tuple(getattr(streaming.store, "shard_epochs", ())),
+            blocks_shared=shared,
         )
         elapsed = time.perf_counter() - started
         self.stats.last_publish_seconds = elapsed

@@ -58,6 +58,7 @@ class ShardRouter(abc.ABC):
 
     @property
     def is_fitted(self) -> bool:
+        """Whether the router can :meth:`route` (stateless routers always can)."""
         return True
 
     def fit(self, features, labels=None) -> "ShardRouter":
@@ -97,6 +98,7 @@ class HashShardRouter(ShardRouter):
     name = "hash"
 
     def route(self, features, labels=None) -> np.ndarray:
+        """Return each sample's CRC-32 feature-hash shard id, shape ``(n,)``."""
         features = np.ascontiguousarray(np.asarray(features, dtype=np.float64))
         if features.ndim == 1:
             features = features.reshape(1, -1)
@@ -117,6 +119,12 @@ class LabelShardRouter(ShardRouter):
     name = "label"
 
     def route(self, features, labels=None) -> np.ndarray:
+        """Return ``labels % n_shards`` per sample.
+
+        Raises:
+            CalibrationError: when ``labels`` is ``None`` (label-free
+                schemas must use the hash or cluster router).
+        """
         if labels is None:
             raise CalibrationError(
                 "label routing needs the store's label column; use the "
@@ -144,9 +152,18 @@ class ClusterShardRouter(ShardRouter):
 
     @property
     def is_fitted(self) -> bool:
+        """Whether K-means centers have been fit (required to route)."""
         return self._kmeans is not None
 
     def fit(self, features, labels=None) -> "ClusterShardRouter":
+        """Fit K-means centers on a calibration batch.
+
+        Places ``min(n_shards, len(features))`` centers — spare shards
+        stay empty until a larger refit.
+
+        Raises:
+            CalibrationError: on an empty or non-2-D feature batch.
+        """
         features = np.asarray(features, dtype=float)
         if features.ndim != 2 or len(features) == 0:
             raise CalibrationError(
@@ -161,11 +178,17 @@ class ClusterShardRouter(ShardRouter):
         return self
 
     def clone_unfitted(self) -> "ClusterShardRouter":
+        """A same-configuration router with the fitted centers dropped."""
         return ClusterShardRouter(
             self.n_shards, seed=self.seed, max_iter=self.max_iter
         )
 
     def route(self, features, labels=None) -> np.ndarray:
+        """Return each sample's nearest-fitted-center shard id.
+
+        Raises:
+            CalibrationError: when the router has not been ``fit``.
+        """
         if not self.is_fitted:
             raise CalibrationError(
                 "ClusterShardRouter must be fit before routing"
@@ -229,6 +252,7 @@ class ShardedStoreUpdate(StoreUpdate):
 
     @property
     def touched(self) -> tuple:
+        """Sorted ids of the shards this mutation actually changed."""
         return tuple(sorted(self.shard_updates))
 
 
@@ -308,6 +332,15 @@ class ShardedCalibrationStore:
             for i, (cap, pol) in enumerate(zip(shard_capacities, policies))
         ]
         self._column_cache: dict[str, np.ndarray] = {}
+        # Per-shard immutable column copies (the segment cache): one
+        # dict per shard, invalidated only when *that* shard mutates.
+        # Segment copies are what the streaming compose layer and the
+        # structural-sharing snapshots hold (core/segments.py) — they
+        # must be owned copies because slot-reuse eviction rewrites the
+        # shard's internal buffers in place.
+        self._segment_cache: list[dict[str, np.ndarray]] = [
+            {} for _ in range(self.n_shards)
+        ]
         # Concurrency plane (see core/serving.py and DESIGN.md §5):
         # per-shard write locks taken by background maintenance workers,
         # and monotone epoch counters tagging every mutation so snapshot
@@ -356,6 +389,18 @@ class ShardedCalibrationStore:
         self._epoch += 1
         for shard_id in range(self.n_shards) if shard_ids is None else shard_ids:
             self._shard_epochs[shard_id] += 1
+
+    def _invalidate_columns(self, shard_ids=None) -> None:
+        """Drop cached concatenations and the given shards' segment copies.
+
+        Called *before* a mutation with the shard ids about to be
+        touched (all shards by default), so a policy raising mid-loop
+        can never leave a stale cached snapshot outliving a partial
+        mutation.
+        """
+        self._column_cache = {}
+        for shard_id in range(self.n_shards) if shard_ids is None else shard_ids:
+            self._segment_cache[int(shard_id)].clear()
 
     @contextmanager
     def acquire_shards(self, shard_ids=None):
@@ -444,18 +489,22 @@ class ShardedCalibrationStore:
 
     @property
     def shard_sizes(self) -> tuple:
+        """Current number of stored samples in each shard."""
         return tuple(len(shard) for shard in self.shards)
 
     @property
     def shard_capacities(self) -> tuple:
+        """Per-shard capacity bounds (their sum is :attr:`capacity`)."""
         return tuple(shard.capacity for shard in self.shards)
 
     @property
     def policies(self) -> tuple:
+        """Each shard's resolved :class:`EvictionPolicy` instance."""
         return tuple(shard.policy for shard in self.shards)
 
     @property
     def column_names(self) -> tuple:
+        """The adopted column schema (``()`` before the first add)."""
         for shard in self.shards:
             if shard.column_names:
                 return shard.column_names
@@ -500,6 +549,69 @@ class ShardedCalibrationStore:
             parts = [reference.column(name)]
         return self._concat(parts, name)
 
+    def column_segment(self, shard_id: int, name: str) -> np.ndarray:
+        """One shard's column as an immutable owned copy (segment-cached).
+
+        The segment compose layer's read primitive: the returned array
+        is a snapshot copy owned by the cache — later slot-reuse
+        evictions rewrite the shard's internal buffers, never this
+        array — so compose bundles and published snapshots can hold it
+        without a defensive copy.  The cache entry is dropped only when
+        *this* shard mutates, which is what makes a post-update
+        recomposition ``O(touched shards)``: untouched shards keep
+        returning the same block object.
+
+        Args:
+            shard_id: which shard's block to return.
+            name: column name (store schema).
+
+        Returns:
+            The shard's column rows in its exposed order; an empty
+            array with the schema dtype and trailing shape for an
+            empty shard.
+
+        Raises:
+            KeyError: unknown column name.
+            IndexError: shard id out of range.
+        """
+        if not 0 <= shard_id < self.n_shards:
+            raise IndexError(
+                f"shard id {shard_id} out of range for {self.n_shards} shards"
+            )
+        cache = self._segment_cache[shard_id]
+        try:
+            return cache[name]
+        except KeyError:
+            pass
+        reference = self._schema_shard()
+        if reference is None or name not in reference.column_names:
+            raise KeyError(
+                f"store has no column {name!r}; columns: {self.column_names}"
+            )
+        shard = self.shards[shard_id]
+        if len(shard):
+            segment = np.array(shard.column(name))
+        else:
+            # empty shard: an empty block with the schema's dtype and
+            # trailing shape, mirroring column() on an emptied store
+            segment = np.array(reference.column(name)[:0])
+        cache[name] = segment
+        return segment
+
+    def column_segments(self, name: str) -> tuple:
+        """Per-shard owned column copies, one block per shard.
+
+        The segment-list view of :meth:`column`:
+        ``np.concatenate(column_segments(name))`` equals
+        ``column(name)`` value-for-value, but the blocks of untouched
+        shards are stable objects across mutations (see
+        :meth:`column_segment`).
+        """
+        return tuple(
+            self.column_segment(shard_id, name)
+            for shard_id in range(self.n_shards)
+        )
+
     @property
     def arrival(self) -> np.ndarray:
         """Per-shard arrival counters in global exposed order."""
@@ -509,6 +621,7 @@ class ShardedCalibrationStore:
 
     @property
     def priority(self) -> np.ndarray:
+        """Per-sample retention priorities in global exposed order."""
         return self._concat(
             [shard.priority for shard in self.shards if len(shard)], "__priority__"
         )
@@ -592,10 +705,12 @@ class ShardedCalibrationStore:
 
         n_before = len(self)
         offsets = self._offsets()
-        # Invalidate the cache up front: from here every failure mode
+        # Invalidate the caches up front: from here every failure mode
         # is exotic (e.g. a custom policy raising mid-loop), and stale
-        # cached snapshots must never outlive a partial mutation.
-        self._column_cache = {}
+        # cached snapshots must never outlive a partial mutation.  Only
+        # the shards receiving rows can mutate, so untouched shards'
+        # segment copies stay valid (the structural-sharing invariant).
+        self._invalidate_columns(np.unique(shard_ids))
         order_segments = []
         shard_updates = {}
         shard_batches = {}
@@ -648,6 +763,7 @@ class ShardedCalibrationStore:
         positions = positions % n if len(positions) else positions
         offsets = self._offsets()
         owners = self.shard_of(positions)
+        self._invalidate_columns(np.unique(owners))
         order_segments = []
         shard_updates = {}
         shard_batches = {}
@@ -663,7 +779,6 @@ class ShardedCalibrationStore:
             order_segments.append(existing[sub.order])
             shard_updates[s] = sub
             shard_batches[s] = np.zeros(0, dtype=np.int64)
-        self._column_cache = {}
         return self._compose(n, 0, order_segments, shard_updates, shard_batches)
 
     def clear(self, lifetime: bool = False) -> None:
@@ -679,10 +794,10 @@ class ShardedCalibrationStore:
         """
         with self._structural_mutation("clear() the sharded store"):
             self._tag_mutation()
+            self._invalidate_columns()
             for shard in self.shards:
                 shard.clear(lifetime=lifetime)
             self.router = self.router.clone_unfitted()
-            self._column_cache = {}
 
     def replace_column(self, name: str, values) -> None:
         """Overwrite one column in place (same length, global order).
@@ -700,6 +815,7 @@ class ShardedCalibrationStore:
                 f"store holds {len(self)}"
             )
         with self._structural_mutation(f"replace column {name!r}"):
+            self._invalidate_columns()
             start = 0
             for shard in self.shards:
                 stop = start + len(shard)
@@ -707,7 +823,6 @@ class ShardedCalibrationStore:
                     shard.replace_column(name, values[start:stop])
                 start = stop
             self._tag_mutation()
-            self._column_cache = {}
 
     def rebalance(self, refit_router: bool = True) -> ShardedStoreUpdate | None:
         """Re-route every stored sample through the (re)fit router.
@@ -735,7 +850,7 @@ class ShardedCalibrationStore:
             self.shards = [
                 shard.clone_empty() for shard in self.shards
             ]
-            self._column_cache = {}
+            self._invalidate_columns()
             return self.add(priority=priorities, **columns)
 
     def __repr__(self) -> str:

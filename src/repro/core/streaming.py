@@ -26,12 +26,23 @@ With ``n_shards > 1`` the store becomes a
 additionally keeps **per-shard** scores, label groupings and tau.  An
 update then folds only into the shards its batch touched — untouched
 shards' state is not even copied — and the global detector state is
-re-composed by concatenation (cheap memcpy) plus integer-exact
-group-count sums, so the equivalence guarantee is unchanged.  Full
-shard recalibrations (:meth:`recalibrate_shards`) run in a
-``ThreadPoolExecutor`` when ``parallel`` workers are configured (the
-NumPy kernels release the GIL); micro-batch folds stay serial — their
-per-shard work is far below the pool-spawn cost.  See DESIGN.md §4.
+re-composed *segment-aware* (:mod:`repro.core.segments`): per-shard
+score/feature/label blocks stay immutable segments in a
+:class:`~repro.core.segments.SegmentBundle`, group counts are summed
+integer-exactly per segment, tau is re-resolved from a per-segment row
+gather, and the flat arrays the p-value scatter-adds consume are
+materialized lazily on the next detector read — so a fold costs
+``O(touched shards)``, never ``O(store)``.  The equivalence guarantee
+is unchanged: the materialized state is bit-identical to the old eager
+concatenation.  :meth:`detector_snapshot` builds structural-sharing
+snapshots from the same bundle — untouched shards' blocks are shared
+(not copied) between consecutive publishes, which is what makes the
+async serving plane's snapshot publish ``O(touched shards)`` too
+(DESIGN.md §6).  Full shard recalibrations
+(:meth:`recalibrate_shards`) run in a ``ThreadPoolExecutor`` when
+``parallel`` workers are configured (the NumPy kernels release the
+GIL); micro-batch folds stay serial — their per-shard work is far
+below the pool-spawn cost.  See DESIGN.md §4.
 
 The invariant, property-tested in ``tests/core/test_streaming.py`` and
 ``tests/core/test_sharding.py``: after ANY sequence of
@@ -60,7 +71,15 @@ from .prom import PromClassifier, PromRegressor, _check_calibration_inputs
 from .pvalue import (
     LabelGroupedScores,
     group_scores_by_label,
+    merge_group_counts,
     update_label_groups,
+)
+from .segments import (
+    BundleComposeHook,
+    SegmentBundle,
+    SegmentedField,
+    make_field,
+    tau_feature_sample,
 )
 from .sharding import ShardedCalibrationStore
 from .weighting import median_pairwise_tau
@@ -121,12 +140,161 @@ class _ShardState:
 
 
 class _ShardMixin:
-    """Shard and snapshot bookkeeping shared by both streaming wrappers."""
+    """Shard, segment-compose and snapshot bookkeeping shared by both
+    streaming wrappers.
+
+    Sharded wrappers hold the detector's global state as a
+    :class:`~repro.core.segments.SegmentBundle` of immutable per-shard
+    blocks (``self._bundle``); the detector's flat arrays are
+    materialized from it lazily on first read (``self._bundle_fresh``
+    tracks whether they currently match).  Single-store wrappers keep
+    ``_bundle`` as ``None`` and behave exactly as before.
+    """
 
     #: detector attributes that may alias store buffers (rewritten in
     #: place by slot-reuse eviction) and must be materialized when a
-    #: frozen snapshot is published; set per wrapper class.
+    #: frozen snapshot is published without a segment bundle
+    #: (single-store mode); set per wrapper class.
     _snapshot_array_fields: tuple = ()
+
+    #: compose spec, set per wrapper class: detector attribute ->
+    #: store column for store-backed fields; detector attributes whose
+    #: blocks live on ``_ShardState`` (attribute name minus the
+    #: underscore); and which field plays the p-value grouping label.
+    _compose_store_fields: dict = {}
+    _compose_state_fields: tuple = ()
+    _compose_label_key: str = "_labels"
+
+    def _init_compose(self) -> None:
+        """Wire the detector to the lazy segment compose layer."""
+        self._bundle = None
+        self._bundle_fresh = True
+        # Installed as the detector's compose hook: any state read
+        # (evaluate, or a direct prom._features access) materializes
+        # the current bundle first, so laziness is never observable.
+        self.prom._compose_hook = self._materialize_composed
+
+    def _materialize_composed(self) -> None:
+        """Install the current bundle's flat arrays on the detector.
+
+        The lazy half of the segment compose: no-op in single-store
+        mode or when the detector already reflects the bundle;
+        otherwise one ``O(store)`` concatenation per mutated epoch,
+        paid by the first consumer that actually needs flat state
+        (and shared with snapshots built from the same bundle).
+
+        Full-rebuild paths (``calibrate``/``refresh``) call this
+        *before* overwriting the detector: a pending bundle must be
+        applied (or rendered moot) first, or the rebuild's own state
+        reads would trigger the hook and clobber the fresh arrays with
+        the stale composition.
+        """
+        bundle = self._bundle
+        if bundle is None or self._bundle_fresh:
+            return
+        bundle.apply(self.prom)
+        self._bundle_fresh = True
+
+    def _retune_composed_tau(self, retune_tau: bool, feature_field) -> None:
+        """Re-resolve the detector's tau from the feature segments.
+
+        Uses :func:`~repro.core.segments.tau_feature_sample` to gather
+        exactly the rows the flat ``resolve_tau`` would subsample, so
+        the resolved value is bit-identical while the cost stays
+        ``O(max_rows * d)`` instead of forcing the flat concat.
+        """
+        if not retune_tau:
+            return
+        weighting = self.prom.weighting
+        if weighting.tau is not None:
+            weighting.resolve_tau(None)  # fixed tau: features unused
+        else:
+            weighting.resolve_tau(tau_feature_sample(feature_field))
+
+    @property
+    def _feature_dim(self) -> int:
+        """Calibrated feature dimensionality, without materializing."""
+        if self._bundle is not None:
+            return int(self._bundle.fields["_features"].trailing_shape[0])
+        return int(self.prom._features.shape[1])
+
+    def _build_bundle(self, fresh: bool) -> dict:
+        """Assemble the :class:`SegmentBundle` from the current shard
+        states, per the class compose spec; returns the field dict.
+
+        ``fresh=True`` is the seed mode used right after a full
+        rebuild: the detector's flat arrays were just computed, so
+        every field's flat cache is pre-populated from them (score and
+        state blocks are zero-copy slices of those arrays) and the
+        detector is marked as already reflecting the bundle.
+        ``fresh=False`` is the incremental mode used after a fold or
+        rescore: fields whose every block is identical to the previous
+        bundle's are reused outright (flat caches carried along), and
+        the flat arrays are left to lazy materialization.
+        """
+        prom = self.prom
+        states = self._shard_states
+        previous = None if fresh else self._bundle
+        experts = self._compose_experts()
+        n_labels = self._compose_n_labels()
+
+        def build_field(name, blocks):
+            if fresh:
+                return SegmentedField(blocks, flat=getattr(prom, name))
+            return make_field(
+                blocks, previous.fields.get(name) if previous else None
+            )
+
+        fields = {
+            name: build_field(name, self.store.column_segments(column))
+            for name, column in self._compose_store_fields.items()
+        }
+        for name in self._compose_state_fields:
+            attr = name.lstrip("_")
+            fields[name] = build_field(
+                name, tuple(getattr(state, attr) for state in states)
+            )
+        score_fields = []
+        for e in range(len(experts)):
+            blocks = tuple(state.scores[e] for state in states)
+            if fresh:
+                score_fields.append(SegmentedField(blocks, flat=prom._scores[e]))
+            else:
+                score_fields.append(
+                    make_field(
+                        blocks,
+                        previous.score_fields[e] if previous else None,
+                    )
+                )
+        self._bundle = SegmentBundle(
+            fields=fields,
+            score_fields=tuple(score_fields),
+            group_counts=tuple(
+                merge_group_counts(
+                    [state.layouts[e] for state in states], n_labels
+                )
+                for e in range(len(experts))
+            ),
+            label_key=self._compose_label_key,
+            n_labels=n_labels,
+        )
+        self._bundle_fresh = fresh
+        return fields
+
+    def _compose_global(self, retune_tau: bool) -> None:
+        """Recompose the detector's global state from per-shard segments.
+
+        Builds a fresh immutable :class:`~repro.core.segments.SegmentBundle`
+        in ``O(touched shards)``: untouched shards contribute the same
+        block objects as the previous bundle (segment order is the
+        store's global exposed order, and group counts add
+        integer-exactly), tau is re-resolved from a per-segment row
+        gather, and the flat arrays are *not* rebuilt here — the next
+        detector state read materializes them, bit-identical to the
+        eager concatenation a fresh ``calibrate()`` would produce.
+        """
+        fields = self._build_bundle(fresh=False)
+        self._retune_composed_tau(retune_tau, fields["_features"])
 
     @property
     def is_sharded(self) -> bool:
@@ -149,17 +317,44 @@ class _ShardMixin:
         """A frozen, immutable clone of the wrapped detector.
 
         The clone shares the detector's configuration (functions,
-        committee, thresholds) but owns private copies of every array
-        that the streaming runtime may rewrite in place across the next
-        mutation — features, labels/targets/clusters, per-expert scores
-        and layouts — plus a frozen weighting (tau state).  Evaluating
-        the clone is therefore safe from any thread while the live
-        wrapper keeps folding updates: this is the double-buffered read
-        side of the async serving loop (DESIGN.md §5).
+        committee, thresholds) plus a frozen weighting (tau state), and
+        its calibration state is private to the snapshot — evaluating
+        it is safe from any thread while the live wrapper keeps folding
+        updates.  This is the double-buffered read side of the async
+        serving loop (DESIGN.md §5).
+
+        How the state is frozen depends on the compose mode:
+
+        * **sharded** — a structural-sharing snapshot (DESIGN.md §6):
+          the clone references the live
+          :class:`~repro.core.segments.SegmentBundle` of immutable
+          per-shard blocks, so freezing is ``O(n_shards)`` pointer
+          work, not an ``O(store)`` deep copy.  Untouched shards'
+          blocks are therefore *shared* (``np.shares_memory``) between
+          consecutive snapshots; folds replace touched shards' blocks
+          instead of mutating them, so shared blocks can never change
+          under a published snapshot.  Flat arrays are materialized on
+          the snapshot's first evaluate (or reused from the live
+          detector when it already materialized the same bundle).
+        * **single-store** — the store rewrites its buffers in place
+          (slot-reuse eviction), so the clone deep-copies every
+          store-aliased array, as before.
         """
         self.prom._require_calibrated()
         prom = copy.copy(self.prom)
         prom.weighting = copy.copy(self.prom.weighting)
+        bundle = self._bundle
+        if bundle is not None:
+            # Structural sharing: the one-shot hook materializes the
+            # bundle on first read.  When the live detector's flat
+            # state already reflects the bundle, the copied attributes
+            # are current and the hook starts done — zero copies.
+            prom._compose_hook = BundleComposeHook(
+                prom, bundle, done=self._bundle_fresh
+            )
+            prom._segment_bundle = bundle
+            return prom
+        prom._compose_hook = None
         for name in self._snapshot_array_fields:
             setattr(prom, name, np.array(getattr(self.prom, name)))
         layouts = [
@@ -261,6 +456,17 @@ class StreamingPromClassifier(_ShardMixin):
     """
 
     _snapshot_array_fields = ("_features", "_labels")
+    _compose_store_fields = {"_features": "features", "_labels": "label"}
+    _compose_state_fields = ()
+    _compose_label_key = "_labels"
+
+    def _compose_experts(self):
+        """The expert list whose scores the compose layer carries."""
+        return self.prom.functions
+
+    def _compose_n_labels(self) -> int:
+        """The p-value grouping-label space size (class count)."""
+        return self.prom._n_classes
 
     def __init__(
         self,
@@ -279,14 +485,21 @@ class StreamingPromClassifier(_ShardMixin):
         self.parallel = parallel
         self._shard_states = None
         self._epoch = 0
+        self._init_compose()
 
     # -- state --------------------------------------------------------------------
     @property
     def is_calibrated(self) -> bool:
+        """Whether the wrapped detector has been calibrated (hook-free)."""
         return self.prom.is_calibrated
 
     @property
     def calibration_size(self) -> int:
+        """Number of calibration samples backing the detector.
+
+        Reading this on a lazily composed wrapper materializes the
+        flat state first (the value is always the store size).
+        """
         return self.prom.calibration_size
 
     def _check_update_inputs(self, features, probabilities, labels):
@@ -316,6 +529,9 @@ class StreamingPromClassifier(_ShardMixin):
         features, probabilities, labels = _check_calibration_inputs(
             features, probabilities, labels
         )
+        # Apply any pending lazy composition before the rebuild
+        # overwrites the detector (see _materialize_composed).
+        self._materialize_composed()
         # Build the new store aside and swap it in only once the
         # detector accepted the batch — a validation failure inside
         # prom.calibrate must not leave store and detector desynced.
@@ -339,7 +555,16 @@ class StreamingPromClassifier(_ShardMixin):
         return self
 
     def _rebuild_shard_states(self) -> None:
-        """Slice the detector's global state into per-shard states."""
+        """Slice the detector's freshly calibrated state into per-shard
+        states and seed the compose bundle.
+
+        Runs right after a full ``calibrate()``/``refresh()``: the flat
+        arrays exist and match the store, so the bundle is built with
+        its flat caches pre-populated (score blocks are zero-copy
+        slices of the flat arrays; feature/label blocks come from the
+        store's segment cache so later folds can reuse them by
+        identity).
+        """
         prom = self.prom
         states = []
         for _, start, stop in self._shard_blocks():
@@ -355,6 +580,7 @@ class StreamingPromClassifier(_ShardMixin):
                 )
             )
         self._shard_states = states
+        self._build_bundle(fresh=True)
 
     def update(
         self,
@@ -448,34 +674,6 @@ class StreamingPromClassifier(_ShardMixin):
         self._map_shards(update.touched, fold, parallel=False)
         self._compose_global(retune_tau)
 
-    def _compose_global(self, retune_tau: bool):
-        """Reassemble the detector's flat state from the shard states.
-
-        Concatenation order is the store's global exposed order, and
-        group counts add integer-exactly, so the composed state is
-        bit-identical to what a fresh ``calibrate()`` on the store's
-        columns would build.
-        """
-        prom = self.prom
-        states = self._shard_states
-        prom._features = self.store.column("features")
-        prom._labels = self.store.column("label")
-        prom._scores = [
-            np.concatenate([state.scores[e] for state in states])
-            for e in range(len(prom.functions))
-        ]
-        prom._layouts = [
-            LabelGroupedScores(
-                scores=prom._scores[e],
-                labels=prom._labels,
-                group_counts=sum(state.layouts[e].group_counts for state in states),
-                n_labels=prom._n_classes,
-            )
-            for e in range(len(prom.functions))
-        ]
-        if retune_tau:
-            prom.weighting.resolve_tau(prom._features)
-
     def recalibrate_shards(
         self, shard_ids=None, retune_tau: bool = True
     ) -> "StreamingPromClassifier":
@@ -532,6 +730,7 @@ class StreamingPromClassifier(_ShardMixin):
         The batch-path reference the incremental path must match; also
         the escape hatch after ``retune_tau=False`` updates.
         """
+        self._materialize_composed()
         self.prom.calibrate(
             self.store.column("features"),
             self.store.column("probabilities"),
@@ -566,12 +765,19 @@ class StreamingPromClassifier(_ShardMixin):
 
     # -- deployment (delegation) --------------------------------------------------
     def evaluate(self, features, probabilities, predicted_labels=None, chunk_size=None):
+        """Batch-evaluate via the wrapped detector (see
+        :meth:`~repro.core.prom.PromClassifier.evaluate`); materializes
+        any pending lazy composition first."""
         return self.prom.evaluate(features, probabilities, predicted_labels, chunk_size)
 
     def evaluate_one(self, feature, probability_row, predicted_label=None):
+        """Evaluate one sample (see
+        :meth:`~repro.core.prom.PromClassifier.evaluate_one`)."""
         return self.prom.evaluate_one(feature, probability_row, predicted_label)
 
     def prediction_region_batch(self, features, probabilities, chunk_size=None):
+        """Committee prediction-region membership for a batch (see
+        :meth:`~repro.core.prom.PromClassifier.prediction_region_batch`)."""
         return self.prom.prediction_region_batch(features, probabilities, chunk_size)
 
     def __repr__(self) -> str:
@@ -602,6 +808,17 @@ class StreamingPromRegressor(_ShardMixin):
     """
 
     _snapshot_array_fields = ("_features", "_targets", "_clusters")
+    _compose_store_fields = {"_features": "features", "_targets": "target"}
+    _compose_state_fields = ("_clusters",)
+    _compose_label_key = "_clusters"
+
+    def _compose_experts(self):
+        """The expert list whose scores the compose layer carries."""
+        return self.prom.score_functions
+
+    def _compose_n_labels(self) -> int:
+        """The grouping-label space size (fitted cluster count)."""
+        return self.prom.clusterer_.k_
 
     def __init__(
         self,
@@ -620,13 +837,20 @@ class StreamingPromRegressor(_ShardMixin):
         self.parallel = parallel
         self._shard_states = None
         self._epoch = 0
+        self._init_compose()
 
     @property
     def is_calibrated(self) -> bool:
+        """Whether the wrapped detector has been calibrated (hook-free)."""
         return self.prom.is_calibrated
 
     @property
     def calibration_size(self) -> int:
+        """Number of calibration samples backing the detector.
+
+        Reading this on a lazily composed wrapper materializes the
+        flat state first (the value is always the store size).
+        """
         return self.prom.calibration_size
 
     # -- lifecycle ----------------------------------------------------------------
@@ -637,6 +861,9 @@ class StreamingPromRegressor(_ShardMixin):
         features, predictions, targets = _check_calibration_inputs(
             features, predictions, targets
         )
+        # Apply any pending lazy composition before the rebuild
+        # overwrites the detector (see _materialize_composed).
+        self._materialize_composed()
         # Staged swap, as in the classifier: a calibration failure must
         # not leave store and detector desynced.
         staged = self.store.clone_empty()
@@ -659,6 +886,8 @@ class StreamingPromRegressor(_ShardMixin):
         return self
 
     def _full_calibrate(self):
+        """Recalibrate from the store (fits clusters) and rebuild state."""
+        self._materialize_composed()
         self.prom.calibrate(
             self.store.column("features"),
             self.store.column("prediction"),
@@ -669,7 +898,9 @@ class StreamingPromRegressor(_ShardMixin):
         self._bump_epoch()
 
     def _rebuild_shard_states(self) -> None:
-        """Slice the detector's global state into per-shard states."""
+        """Slice the detector's freshly calibrated state into per-shard
+        states and seed the compose bundle (see the classifier's
+        :meth:`StreamingPromClassifier._rebuild_shard_states`)."""
         prom = self.prom
         states = []
         for _, start, stop in self._shard_blocks():
@@ -686,6 +917,7 @@ class StreamingPromRegressor(_ShardMixin):
                 )
             )
         self._shard_states = states
+        self._build_bundle(fresh=True)
 
     def update(
         self,
@@ -709,10 +941,10 @@ class StreamingPromRegressor(_ShardMixin):
         )
         predictions = predictions.astype(float).ravel()
         targets = np.asarray(targets, dtype=float).ravel()
-        if features.shape[1] != self.prom._features.shape[1]:
+        if features.shape[1] != self._feature_dim:
             raise CalibrationError(
                 f"feature dimensionality mismatch: calibrated with "
-                f"{self.prom._features.shape[1]}, got {features.shape[1]}"
+                f"{self._feature_dim}, got {features.shape[1]}"
             )
         columns = dict(
             features=features,
@@ -796,28 +1028,6 @@ class StreamingPromRegressor(_ShardMixin):
         self._map_shards(update.touched, fold, parallel=False)
         self._compose_global(retune_tau)
 
-    def _compose_global(self, retune_tau: bool):
-        prom = self.prom
-        states = self._shard_states
-        prom._features = self.store.column("features")
-        prom._targets = self.store.column("target")
-        prom._clusters = np.concatenate([state.clusters for state in states])
-        prom._scores = [
-            np.concatenate([state.scores[e] for state in states])
-            for e in range(len(prom.score_functions))
-        ]
-        prom._layouts = [
-            LabelGroupedScores(
-                scores=prom._scores[e],
-                labels=prom._clusters,
-                group_counts=sum(state.layouts[e].group_counts for state in states),
-                n_labels=prom.clusterer_.k_,
-            )
-            for e in range(len(prom.score_functions))
-        ]
-        if retune_tau:
-            prom.weighting.resolve_tau(prom._features)
-
     def recalibrate_shards(
         self, shard_ids=None, retune_tau: bool = True
     ) -> "StreamingPromRegressor":
@@ -891,6 +1101,7 @@ class StreamingPromRegressor(_ShardMixin):
             return self
         prom = self.prom
         prom._require_calibrated()
+        self._materialize_composed()
         features = self.store.column("features")
         predictions = self.store.column("prediction")
         targets = self.store.column("target")
@@ -939,9 +1150,14 @@ class StreamingPromRegressor(_ShardMixin):
 
     # -- deployment (delegation) --------------------------------------------------
     def evaluate(self, features, predictions, chunk_size=None):
+        """Batch-evaluate via the wrapped detector (see
+        :meth:`~repro.core.prom.PromRegressor.evaluate`); materializes
+        any pending lazy composition first."""
         return self.prom.evaluate(features, predictions, chunk_size)
 
     def evaluate_one(self, feature, prediction):
+        """Evaluate one prediction (see
+        :meth:`~repro.core.prom.PromRegressor.evaluate_one`)."""
         return self.prom.evaluate_one(feature, prediction)
 
     def __repr__(self) -> str:

@@ -19,6 +19,14 @@ import numpy as np
 #: no matter how large the test stream or calibration set grows.
 DISTANCE_CELL_BUDGET = 4_000_000
 
+#: rows :func:`median_pairwise_tau` subsamples, and the seed of the
+#: draw.  Shared with the segment-aware tau path
+#: (:func:`repro.core.segments.tau_feature_sample`), which must
+#: reproduce the exact same draw for the resolved tau to stay
+#: bit-identical — change these HERE, never by restating the literals.
+TAU_MAX_ROWS = 200
+TAU_SEED = 0
+
 
 def _auto_chunk(n_columns: int, chunk_size: int | None = None) -> int:
     if chunk_size is not None:
@@ -83,7 +91,9 @@ def _upper_triangle_indices(n: int):
     return np.triu_indices(n, k=1)
 
 
-def median_pairwise_tau(features, max_rows: int = 200, seed: int = 0) -> float:
+def median_pairwise_tau(
+    features, max_rows: int = TAU_MAX_ROWS, seed: int = TAU_SEED
+) -> float:
     """Median pairwise squared distance over (a subsample of) features.
 
     The automatic tau of :meth:`AdaptiveWeighting.resolve_tau`, exposed
@@ -202,7 +212,9 @@ class AdaptiveWeighting:
         """The tau actually in use (resolved value when tau was None)."""
         return self._resolved_tau
 
-    def resolve_tau(self, calibration_features, max_rows: int = 200, seed: int = 0) -> float:
+    def resolve_tau(
+        self, calibration_features, max_rows: int = TAU_MAX_ROWS, seed: int = TAU_SEED
+    ) -> float:
         """Fix an automatic tau from the calibration feature scale.
 
         Uses the median pairwise squared Euclidean distance over (a

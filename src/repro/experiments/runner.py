@@ -388,11 +388,15 @@ class StreamStep:
     jobs not yet reflected in the published snapshot,
     ``served_during_maintenance`` marks decisions that were served
     while a fold/recalibration/model update was mid-flight — the
-    batches a synchronous loop would have stalled — and
+    batches a synchronous loop would have stalled —
     ``n_lost_to_backpressure`` counts relabelled samples whose
     maintenance job a full queue rejected (their oracle labels never
     reached the calibration state; 0 whenever the submission was
-    accepted, coalesced or applied).
+    accepted, coalesced or applied), and ``snapshot_blocks_shared``
+    reports how many calibration shards' blocks the snapshot that
+    served this batch shared with its predecessor (the
+    structural-sharing publish of DESIGN.md §6; 0 in single-store
+    mode).
 
     Async accounting caveat: ``model_updated`` (and the monitor reset
     behind it) records an **accepted submission** — required for the
@@ -419,6 +423,7 @@ class StreamStep:
     snapshot_staleness: int = 0
     served_during_maintenance: bool = False
     n_lost_to_backpressure: int = 0
+    snapshot_blocks_shared: int = 0
     decisions: object = field(repr=False, compare=False, default=None)
 
 
@@ -569,10 +574,12 @@ def stream_deployment(
                 queue_depth = loop.queue_depth
                 staleness = loop.staleness
                 during_maintenance = loop.maintenance_active
+                blocks_shared = loop.snapshot.blocks_shared
                 _, decisions = loop.predict(X_stream[start:stop])
             else:
                 queue_depth = staleness = 0
                 during_maintenance = False
+                blocks_shared = 0
                 _, decisions = interface.predict(X_stream[start:stop])
             alert = monitor.observe_batch(decisions)
             # captured before any post-update reset clears the window
@@ -663,6 +670,7 @@ def stream_deployment(
                     snapshot_staleness=staleness,
                     served_during_maintenance=during_maintenance,
                     n_lost_to_backpressure=n_lost,
+                    snapshot_blocks_shared=blocks_shared,
                     decisions=decisions if record_decisions else None,
                 )
             )
