@@ -11,10 +11,12 @@ Usage::
 
     python scripts/check_docstrings.py [FILE ...]
 
-With no arguments the three gated modules are checked
-(``core/serving.py``, ``core/sharding.py``, ``core/streaming.py`` —
-the ISSUE 5 docstring-coverage satellite).  Prints per-file coverage
-and exits non-zero when anything is missing, so CI fails loudly.
+With no arguments the gated modules are checked (the serving plane
+from ISSUE 5 — ``core/serving.py``, ``core/sharding.py``,
+``core/streaming.py`` — plus the ISSUE 6 durability plane,
+``core/durability.py`` and ``core/faults.py``).  Prints per-file
+coverage and exits non-zero when anything is missing, so CI fails
+loudly.
 """
 
 from __future__ import annotations
@@ -26,6 +28,8 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 GATED_MODULES = (
+    "src/repro/core/durability.py",
+    "src/repro/core/faults.py",
     "src/repro/core/serving.py",
     "src/repro/core/sharding.py",
     "src/repro/core/streaming.py",

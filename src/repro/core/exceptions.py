@@ -1,4 +1,15 @@
-"""Exception types raised by the Prom core."""
+"""Exception types raised by the Prom core.
+
+One taxonomy, one root: every error the library raises on purpose
+derives from :class:`PromError`, so callers can catch the whole family
+with a single ``except PromError`` while still discriminating the
+planes — calibration data (:class:`CalibrationError`), the async
+serving plane (:class:`ServingError` and its retry/dead-letter
+specialization :class:`RetryExhaustedError`), the durability layer
+(:class:`CheckpointError`), and construction-time misconfiguration
+(:class:`ConfigurationError`, which also IS-A :class:`ValueError` so
+pre-taxonomy callers catching ``ValueError`` keep working).
+"""
 
 
 class PromError(Exception):
@@ -18,6 +29,30 @@ class InitializationWarningError(PromError):
     from the configured significance level by more than the tolerance."""
 
 
+class ConfigurationError(PromError, ValueError):
+    """A constructor or configuration argument is invalid.
+
+    Subclasses :class:`ValueError` too: code written before the unified
+    taxonomy (``except ValueError`` around a constructor) keeps
+    catching these.
+    """
+
+
 class ServingError(PromError):
     """The async serving plane rejected an operation (closed loop,
     structural mutation under live shard locks, drain timeout, ...)."""
+
+
+class RetryExhaustedError(ServingError):
+    """A maintenance job failed every retry attempt and was dead-lettered.
+
+    Surfaced through :class:`~repro.core.serving.JobError` records (the
+    worker loop never propagates) and through
+    :attr:`~repro.core.serving.AsyncServingLoop.dead_letters`.
+    """
+
+
+class CheckpointError(PromError):
+    """A checkpoint could not be written, or no generation could be
+    restored (bad CRC, missing block, torn manifest with no valid
+    predecessor, configuration mismatch with the target runtime)."""

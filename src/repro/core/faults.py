@@ -1,0 +1,127 @@
+"""Injectable fault layer for crash and corruption testing.
+
+The durability layer's correctness claims — a mid-checkpoint crash
+never corrupts the last committed generation, a torn manifest or
+truncated block falls back to the previous generation — are only worth
+anything if they are *exercised*.  This module provides the probe: a
+:class:`FaultInjector` that production code calls at named stages
+(``writer.checkpoint`` calls :meth:`FaultInjector.hit` before every
+serialize/write/commit step; :class:`~repro.core.serving.AsyncServingLoop`
+calls it before applying each maintenance job and before each snapshot
+publish).  Tests arm rules — raise on the Nth call of a stage, truncate
+the bytes a stage is about to write — and assert the recovery contract.
+
+With no injector armed (the default ``None`` everywhere) the hooks are
+never invoked, so the production hot path carries zero overhead.
+
+Typical arming, from a test::
+
+    faults = FaultInjector()
+    faults.fail_on("write_manifest", call=2)        # crash 2nd commit
+    faults.truncate_on("write_block", keep=17)      # torn block write
+    writer = CheckpointWriter(path, faults=faults)
+
+``kill-worker`` crashes are the same mechanism pointed at the serving
+loop's stages: ``faults.fail_on("job:fold", call=3)`` makes the third
+fold job die mid-flight, exercising the retry/dead-letter path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class InjectedFault(RuntimeError):
+    """A deliberately injected failure (raised only by armed injectors)."""
+
+
+@dataclass
+class _FaultRule:
+    """One armed fault: fires on calls ``[call, call + times)`` of a stage."""
+
+    stage: str
+    call: int = 1
+    times: int = 1
+    keep: int | None = None
+    exc: type = InjectedFault
+
+    def matches(self, stage: str, count: int) -> bool:
+        return (
+            self.stage == stage and self.call <= count < self.call + self.times
+        )
+
+
+@dataclass
+class FaultInjector:
+    """Stage-keyed fault rules plus per-stage call counters.
+
+    Rules are armed with :meth:`fail_on` (raise) and :meth:`truncate_on`
+    (corrupt the bytes about to be written, optionally crashing after
+    the corrupted write lands — the classic torn-write shape).
+    Production code reports progress through :meth:`hit` and
+    :meth:`mangle`; both count every call whether or not a rule fires,
+    so ``call=`` arguments address the Nth invocation of a stage.
+    """
+
+    _rules: list = field(default_factory=list)
+    _counts: dict = field(default_factory=dict)
+
+    def fail_on(
+        self, stage: str, call: int = 1, times: int = 1, exc: type = InjectedFault
+    ) -> "FaultInjector":
+        """Arm a raise: calls ``call .. call+times-1`` of ``stage`` throw."""
+        self._rules.append(_FaultRule(stage=stage, call=call, times=times, exc=exc))
+        return self
+
+    def truncate_on(
+        self, stage: str, call: int = 1, keep: int = 0, crash: bool = True
+    ) -> "FaultInjector":
+        """Arm a torn write: the matching call's bytes are cut to ``keep``.
+
+        ``crash=True`` (default) additionally raises :class:`InjectedFault`
+        *after* the truncated bytes land, simulating a crash that left a
+        committed-but-partial file behind.
+        """
+        self._rules.append(
+            _FaultRule(stage=stage, call=call, times=1, keep=keep, exc=(
+                InjectedFault if crash else None
+            ))
+        )
+        return self
+
+    def calls(self, stage: str) -> int:
+        """How many times ``stage`` has been hit so far."""
+        return self._counts.get(stage, 0)
+
+    def reset_counts(self) -> None:
+        """Zero every stage counter (armed rules stay armed)."""
+        self._counts.clear()
+
+    def _count(self, stage: str) -> int:
+        count = self._counts.get(stage, 0) + 1
+        self._counts[stage] = count
+        return count
+
+    def hit(self, stage: str) -> None:
+        """Report reaching ``stage``; raises when a fail rule matches."""
+        count = self._count(stage)
+        for rule in self._rules:
+            if rule.keep is None and rule.matches(stage, count):
+                raise rule.exc(f"injected fault at {stage!r} (call {count})")
+
+    def mangle(self, stage: str, data: bytes) -> tuple[bytes, type | None]:
+        """Report ``stage`` writing ``data``; apply any truncation rule.
+
+        Returns ``(bytes_to_write, crash_exc)`` — ``crash_exc`` is the
+        exception type the caller must raise *after* the write lands
+        (``None`` for a clean write).  Raise rules armed on the same
+        stage fire here too, before any bytes are written.
+        """
+        count = self._count(stage)
+        for rule in self._rules:
+            if not rule.matches(stage, count):
+                continue
+            if rule.keep is None:
+                raise rule.exc(f"injected fault at {stage!r} (call {count})")
+            return data[: rule.keep], rule.exc
+        return data, None

@@ -57,10 +57,48 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .exceptions import ServingError
+from .exceptions import ConfigurationError, RetryExhaustedError, ServingError
 
 #: queue backpressure policies accepted by :class:`AsyncServingLoop`
 BACKPRESSURE_POLICIES = ("coalesce", "drop", "block")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for failed maintenance jobs.
+
+    A job that raises is re-queued at the head of the queue (preserving
+    its position relative to later submissions) and retried after
+    ``delay(attempt)`` seconds; after ``max_attempts`` total attempts it
+    is dead-lettered instead — recorded as a
+    :class:`~repro.core.exceptions.RetryExhaustedError`-tagged
+    :class:`JobError` and appended to
+    :attr:`AsyncServingLoop.dead_letters` — and the loop moves on.
+    :class:`~repro.core.exceptions.ServingError` failures (unknown job
+    kind, structural-mutation rejections) are permanent and never
+    retried.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0 or self.multiplier < 1:
+            raise ConfigurationError(
+                "need base_delay >= 0, max_delay >= 0 and multiplier >= 1"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return min(
+            self.max_delay, self.base_delay * self.multiplier ** (attempt - 1)
+        )
 
 
 @dataclass
@@ -69,9 +107,13 @@ class MaintenanceJob:
 
     ``kind`` is ``"fold"`` (calibration-only extension),
     ``"recalibrate"`` (whole-shard rescoring; ``shard_ids=None`` means
-    every shard) or ``"model_update"`` (incremental model update plus
-    full calibration rebuild).  ``coalesced`` counts how many
-    submissions were merged into this job by queue backpressure.
+    every shard), ``"model_update"`` (incremental model update plus
+    full calibration rebuild) or ``"checkpoint"`` (persist the runtime
+    through the configured :class:`~repro.core.durability.CheckpointWriter`).
+    ``coalesced`` counts how many submissions were merged into this job
+    by queue backpressure; ``attempts``/``not_before`` drive the
+    :class:`RetryPolicy` (a retried job is not eligible to run before
+    ``not_before`` on the monotonic clock).
     """
 
     kind: str
@@ -81,15 +123,22 @@ class MaintenanceJob:
     epochs: int = 20
     submitted_at: float = 0.0
     coalesced: int = 0
+    attempts: int = 0
+    not_before: float = 0.0
 
 
 @dataclass(frozen=True)
 class JobError:
-    """A maintenance-plane failure, preserved instead of propagated."""
+    """A maintenance-plane failure, preserved instead of propagated.
+
+    ``attempts`` is how many times the job ran before being recorded
+    (> 1 only under a :class:`RetryPolicy`).
+    """
 
     kind: str
     error: str
     traceback: str
+    attempts: int = 1
 
     def __str__(self) -> str:
         return f"{self.kind}: {self.error}"
@@ -105,6 +154,15 @@ class ServingStats:
     the previously published snapshot versus rebuilt because the shard
     mutated.  Both stay 0 in single-store mode, where snapshots are
     deep copies.
+
+    ``n_retries`` / ``n_dead_lettered`` account the :class:`RetryPolicy`
+    (re-executions of failed jobs, and jobs given up on after the last
+    attempt).  ``checkpoint_generations`` / ``last_checkpoint_ms`` /
+    ``checkpoint_errors`` account the durability plane when a
+    :class:`~repro.core.durability.CheckpointWriter` is attached
+    (DESIGN.md §7): committed generations, the wall-clock cost of the
+    newest commit, and failed checkpoint attempts (the loop keeps
+    serving; the previous generation keeps restoring).
     """
 
     jobs_submitted: int = 0
@@ -121,6 +179,11 @@ class ServingStats:
     total_publish_seconds: float = 0.0
     shard_blocks_shared: int = 0
     shard_blocks_rebuilt: int = 0
+    n_retries: int = 0
+    n_dead_lettered: int = 0
+    checkpoint_generations: int = 0
+    last_checkpoint_ms: float = 0.0
+    checkpoint_errors: int = 0
 
 
 @dataclass(frozen=True)
@@ -201,6 +264,25 @@ class AsyncServingLoop:
             though more work is queued — bounding how long readers can
             be served from an old snapshot while the queue never
             drains.  (An idle queue always publishes immediately.)
+        retry: optional :class:`RetryPolicy`.  Transient job failures
+            (anything but :class:`ServingError`) are re-queued with
+            bounded exponential backoff; jobs that exhaust
+            ``max_attempts`` are dead-lettered (``dead_letters``) and
+            recorded as :class:`RetryExhaustedError` job errors.
+            ``None`` (default) preserves the historical
+            fail-once-record-once behaviour.
+        checkpoint: optional
+            :class:`~repro.core.durability.CheckpointWriter`.  When
+            set, every ``checkpoint_every``-th snapshot publish
+            enqueues a background ``"checkpoint"`` maintenance job that
+            persists the runtime incrementally (DESIGN.md §7); a failed
+            checkpoint increments ``stats.checkpoint_errors`` but never
+            disturbs serving.
+        checkpoint_every: publishes between automatic checkpoints.
+        faults: optional :class:`~repro.core.faults.FaultInjector`
+            probed before each job application (stage ``"job:<kind>"``)
+            — the kill-worker hook of the fault-injection harness.
+            ``None`` (default) keeps the maintenance path probe-free.
 
     The evaluate path (:meth:`predict` / :meth:`evaluate`) never takes
     a lock: it reads the current :class:`ComposeSnapshot` and runs
@@ -216,19 +298,29 @@ class AsyncServingLoop:
         queue_capacity: int = 32,
         backpressure: str = "coalesce",
         publish_every: int = 8,
+        retry: RetryPolicy | None = None,
+        checkpoint=None,
+        checkpoint_every: int = 1,
+        faults=None,
     ):
         if n_workers < 1:
-            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+            raise ConfigurationError(
+                f"n_workers must be >= 1, got {n_workers}"
+            )
         if queue_capacity < 1:
-            raise ValueError(
+            raise ConfigurationError(
                 f"queue_capacity must be >= 1, got {queue_capacity}"
             )
         if publish_every < 1:
-            raise ValueError(
+            raise ConfigurationError(
                 f"publish_every must be >= 1, got {publish_every}"
             )
+        if checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
         if backpressure not in BACKPRESSURE_POLICIES:
-            raise ValueError(
+            raise ConfigurationError(
                 f"backpressure must be one of {BACKPRESSURE_POLICIES}, "
                 f"got {backpressure!r}"
             )
@@ -237,9 +329,15 @@ class AsyncServingLoop:
         self.queue_capacity = int(queue_capacity)
         self.backpressure = backpressure
         self.publish_every = int(publish_every)
+        self.retry = retry
+        self.checkpoint = checkpoint
+        self.checkpoint_every = int(checkpoint_every)
+        self._faults = faults
+        self._publishes_since_checkpoint = 0
         self._jobs_since_publish = 0
         self.stats = ServingStats()
         self.errors: list[JobError] = []
+        self.dead_letters: list[MaintenanceJob] = []
         self._queue: deque[MaintenanceJob] = deque()
         self._lock = threading.Lock()
         self._work_ready = threading.Condition(self._lock)
@@ -389,6 +487,11 @@ class AsyncServingLoop:
         if job.kind == "model_update":
             return False
         tail = self._queue[-1]
+        if job.kind == "checkpoint":
+            # Two queued checkpoints persist the same state; one is
+            # enough.
+            tail.coalesced += 1
+            return True
         if job.kind == "recalibrate":
             if tail.shard_ids is None or job.shard_ids is None:
                 tail.shard_ids = None
@@ -414,40 +517,92 @@ class AsyncServingLoop:
     def _worker(self) -> None:
         while True:
             with self._lock:
-                while not self._queue and not self._closed:
-                    self._work_ready.wait()
-                if self._closed and not self._queue:
-                    return
+                while True:
+                    if self._queue:
+                        # A retried head job may carry a backoff
+                        # deadline; sleep it off on the condition so a
+                        # close() or a fresh submission still wakes us.
+                        wait = self._queue[0].not_before - time.monotonic()
+                        if wait <= 0:
+                            break
+                        self._work_ready.wait(timeout=wait)
+                    elif self._closed:
+                        return
+                    else:
+                        self._work_ready.wait()
                 job = self._queue.popleft()
                 self._in_flight += 1
                 self._idle.notify_all()
             try:
+                job.attempts += 1
                 self._execute(job)
                 with self._stats_lock:
                     self.stats.jobs_executed += 1
             except Exception as err:  # noqa: BLE001 — the loop must survive
-                with self._stats_lock:
-                    self.stats.jobs_failed += 1
-                    self.errors.append(
-                        JobError(
-                            kind=job.kind,
-                            error=f"{type(err).__name__}: {err}",
-                            traceback=traceback.format_exc(),
-                        )
-                    )
-                # A failed job publishes nothing itself, but it may
-                # have been the backlog's designated publisher: flush
-                # any deferred publish so earlier applied jobs become
-                # visible (and drain() leaves a current snapshot).
-                if self._publish_pending:
-                    with self._state_lock:
-                        if self._publish_pending and not self._queue:
-                            self._publish()
-                            self._publish_pending = False
+                self._handle_failure(job, err)
             finally:
                 with self._lock:
                     self._in_flight -= 1
                     self._idle.notify_all()
+
+    def _handle_failure(self, job: MaintenanceJob, err: Exception) -> None:
+        """Retry a transiently failed job, or record it and move on.
+
+        :class:`ServingError` failures are structural (unknown kind,
+        rejected mutation) — retrying cannot help, so they are recorded
+        immediately.  Everything else is considered transient when a
+        :class:`RetryPolicy` is configured: the job goes back to the
+        *head* of the queue (it must not reorder behind jobs submitted
+        after it) with a backoff deadline.  Once attempts are exhausted
+        the job is dead-lettered: kept on ``dead_letters`` for
+        inspection/resubmission and recorded as a
+        :class:`RetryExhaustedError`-tagged :class:`JobError`.
+        """
+        retryable = self.retry is not None and not isinstance(err, ServingError)
+        if retryable and job.attempts < self.retry.max_attempts:
+            with self._lock:
+                if not self._closed:
+                    job.not_before = (
+                        time.monotonic() + self.retry.delay(job.attempts)
+                    )
+                    # Deliberately bypasses queue_capacity: a retry is
+                    # readmitting accepted work, not accepting new work.
+                    self._queue.appendleft(job)
+                    self._track_depth()
+                    self._work_ready.notify()
+                    with self._stats_lock:
+                        self.stats.n_retries += 1
+                    return
+        if retryable:
+            exhausted = RetryExhaustedError(
+                f"{job.kind} failed after {job.attempts} attempts: "
+                f"{type(err).__name__}: {err}"
+            )
+            error = f"{type(exhausted).__name__}: {exhausted}"
+            with self._stats_lock:
+                self.stats.n_dead_lettered += 1
+            self.dead_letters.append(job)
+        else:
+            error = f"{type(err).__name__}: {err}"
+        with self._stats_lock:
+            self.stats.jobs_failed += 1
+            self.errors.append(
+                JobError(
+                    kind=job.kind,
+                    error=error,
+                    traceback=traceback.format_exc(),
+                    attempts=job.attempts,
+                )
+            )
+        # A failed job publishes nothing itself, but it may have been
+        # the backlog's designated publisher: flush any deferred
+        # publish so earlier applied jobs become visible (and drain()
+        # leaves a current snapshot).
+        if self._publish_pending:
+            with self._state_lock:
+                if self._publish_pending and not self._queue:
+                    self._publish()
+                    self._publish_pending = False
 
     def _execute(self, job: MaintenanceJob) -> None:
         """Apply one job under the maintenance mutex + shard write locks.
@@ -460,6 +615,16 @@ class AsyncServingLoop:
         """
         interface = self.interface
         streaming = interface.streaming
+        if self._faults is not None:
+            self._faults.hit(f"job:{job.kind}")
+        if job.kind == "checkpoint":
+            # Checkpoints only read calibration state; the state lock
+            # alone pins it (no job mutates state without holding it),
+            # and nothing is published afterwards.
+            with self._state_lock:
+                self._run_checkpoint()
+            return
+        published = False
         with self._state_lock:
             store = streaming.store
             if streaming.is_sharded:
@@ -482,6 +647,9 @@ class AsyncServingLoop:
             else:
                 self._publish()
                 self._publish_pending = False
+                published = True
+        if published:
+            self._after_publish()
 
     def _apply(self, interface, job: MaintenanceJob) -> None:
         if job.kind == "fold":
@@ -503,6 +671,68 @@ class AsyncServingLoop:
                 interface.incremental_update(job.X, job.y, epochs=job.epochs)
         else:
             raise ServingError(f"unknown maintenance job kind {job.kind!r}")
+
+    def _run_checkpoint(self) -> None:
+        """Persist the runtime through the attached writer (timed).
+
+        Failures re-raise into the worker's error path (so the retry
+        policy applies) after bumping ``checkpoint_errors`` — serving
+        and the previously committed generation are never affected.
+        """
+        started = time.perf_counter()
+        try:
+            info = self.checkpoint.checkpoint(self.interface.streaming)
+        except Exception:
+            with self._stats_lock:
+                self.stats.checkpoint_errors += 1
+            raise
+        del info  # CheckpointInfo is surfaced via writer.latest_generation
+        with self._stats_lock:
+            self.stats.checkpoint_generations += 1
+            self.stats.last_checkpoint_ms = (
+                (time.perf_counter() - started) * 1000.0
+            )
+
+    def _after_publish(self) -> None:
+        """Post-publish hook: schedule a checkpoint when one is due.
+
+        Called by the executing worker *after* releasing the state
+        lock.  The checkpoint rides the maintenance queue as its own
+        job, so it coalesces under backlog (consecutive due
+        checkpoints merge into one) and never blocks the publish that
+        triggered it.
+        """
+        if self.checkpoint is None:
+            return
+        self._publishes_since_checkpoint += 1
+        if self._publishes_since_checkpoint < self.checkpoint_every:
+            return
+        self._publishes_since_checkpoint = 0
+        self._submit_checkpoint()
+
+    def _submit_checkpoint(self) -> bool:
+        """Enqueue a ``"checkpoint"`` job without ever blocking.
+
+        Workers call this from the publish path; under ``"block"``
+        backpressure a full queue must coalesce or drop instead of
+        waiting (the single worker waiting on itself would deadlock).
+        """
+        job = MaintenanceJob(kind="checkpoint")
+        job.submitted_at = time.perf_counter()
+        with self._lock:
+            if self._closed:
+                return False
+            self.stats.jobs_submitted += 1
+            if len(self._queue) >= self.queue_capacity:
+                if self._coalesce(job):
+                    self.stats.jobs_coalesced += 1
+                    return True
+                self.stats.jobs_dropped += 1
+                return False
+            self._queue.append(job)
+            self._track_depth()
+            self._work_ready.notify()
+        return True
 
     def _build_snapshot(self) -> ComposeSnapshot:
         """Freeze the current state into a new :class:`ComposeSnapshot`.
@@ -577,19 +807,56 @@ class AsyncServingLoop:
         """Stop the workers (idempotent).
 
         ``drain=True`` (default) applies the queued jobs first;
-        ``drain=False`` abandons them.  The last published snapshot
+        ``drain=False`` abandons them.  ``timeout`` is a **hard
+        deadline** for the whole shutdown: when the drain cannot finish
+        in time (e.g. a wedged worker), ``close`` does not raise —
+        it records a ``kind="drain"`` :class:`JobError`, abandons the
+        still-queued jobs, best-effort flushes any deferred snapshot
+        publish, and returns once the join budget is spent (wedged
+        daemon workers are left behind).  The last published snapshot
         keeps serving reads after close; submissions raise.
         """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        timed_out = False
         if drain and not self._closed:
-            self.drain(timeout=timeout)
+            try:
+                self.drain(timeout=timeout)
+            except ServingError as err:
+                timed_out = True
+                with self._stats_lock:
+                    self.errors.append(
+                        JobError(
+                            kind="drain",
+                            error=f"ServingError: {err}",
+                            traceback="",
+                        )
+                    )
+                # The designated publisher may be the wedged job:
+                # flush the deferred publish ourselves so applied work
+                # is visible, but never block past the deadline on the
+                # state lock a wedged worker might hold.
+                if self._publish_pending and self._state_lock.acquire(
+                    timeout=max(0.0, deadline - time.monotonic())
+                ):
+                    try:
+                        if self._publish_pending:
+                            self._publish()
+                            self._publish_pending = False
+                    finally:
+                        self._state_lock.release()
         with self._lock:
             self._closed = True
-            if not drain:
+            if not drain or timed_out:
                 self._queue.clear()
             self._work_ready.notify_all()
             self._idle.notify_all()
         for worker in self._workers:
-            worker.join(timeout=timeout)
+            remaining = timeout
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            worker.join(timeout=remaining)
 
     def __enter__(self) -> "AsyncServingLoop":
         return self

@@ -36,7 +36,7 @@ import numpy as np
 
 from ..ml.cluster import KMeans
 from .calibration_store import CalibrationStore, StoreUpdate, check_batch_columns
-from .exceptions import CalibrationError, ServingError
+from .exceptions import CalibrationError, ConfigurationError, ServingError
 
 
 class ShardRouter(abc.ABC):
@@ -53,7 +53,7 @@ class ShardRouter(abc.ABC):
 
     def __init__(self, n_shards: int):
         if n_shards < 1:
-            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+            raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
         self.n_shards = int(n_shards)
 
     @property
@@ -209,7 +209,7 @@ def resolve_shard_router(router, n_shards: int, seed: int = 0) -> ShardRouter:
     """Return a :class:`ShardRouter` from an instance or registry name."""
     if isinstance(router, ShardRouter):
         if router.n_shards != n_shards:
-            raise ValueError(
+            raise ConfigurationError(
                 f"router covers {router.n_shards} shards, store has {n_shards}"
             )
         return router
@@ -217,7 +217,7 @@ def resolve_shard_router(router, n_shards: int, seed: int = 0) -> ShardRouter:
         try:
             cls = _ROUTERS[router]
         except KeyError:
-            raise ValueError(
+            raise ConfigurationError(
                 f"unknown shard router {router!r}; choose from {sorted(_ROUTERS)}"
             ) from None
         if cls is ClusterShardRouter:
@@ -294,10 +294,10 @@ class ShardedCalibrationStore:
         shard_capacities=None,
     ):
         if n_shards < 1:
-            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+            raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
         if shard_capacities is None:
             if capacity < n_shards:
-                raise ValueError(
+                raise ConfigurationError(
                     f"capacity {capacity} cannot give each of {n_shards} "
                     f"shards at least one slot"
                 )
@@ -308,14 +308,14 @@ class ShardedCalibrationStore:
         else:
             shard_capacities = [int(c) for c in shard_capacities]
             if len(shard_capacities) != n_shards:
-                raise ValueError(
+                raise ConfigurationError(
                     f"need one capacity per shard, got {len(shard_capacities)} "
                     f"for {n_shards} shards"
                 )
         if isinstance(policy, (list, tuple)):
             policies = list(policy)
             if len(policies) != n_shards:
-                raise ValueError(
+                raise ConfigurationError(
                     f"need one eviction policy per shard, got {len(policies)} "
                     f"for {n_shards} shards"
                 )

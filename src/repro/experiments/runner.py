@@ -38,8 +38,10 @@ from ..core import (
     select_relabel_budget,
     split_calibration,
 )
+from ..core.durability import CheckpointWriter, restore_checkpoint
+from ..core.exceptions import CheckpointError
 from ..core.nonconformity import default_classification_functions
-from ..core.serving import AsyncServingLoop
+from ..core.serving import AsyncServingLoop, JobError
 from ..models import tlp as tlp_factory
 from ..tasks import DnnCodeGenerationTask
 from ..tasks.base import CaseStudy, Split
@@ -406,6 +408,13 @@ class StreamStep:
     ``serving.jobs_failed``; cross-check those before trusting the
     update counters of a run with a non-empty error list (the cleared
     alert re-arms by itself as the un-updated model keeps rejecting).
+
+    ``n_retries`` / ``n_dead_lettered`` / ``checkpoint_generations`` /
+    ``last_checkpoint_ms`` are cumulative durability-plane counters as
+    of this batch (DESIGN.md §7): retried and dead-lettered maintenance
+    jobs (async runs with a retry policy), committed checkpoint
+    generations, and the wall-clock cost of the newest one (sync runs
+    checkpoint inline; async runs ride the maintenance queue).
     """
 
     start: int
@@ -424,6 +433,10 @@ class StreamStep:
     served_during_maintenance: bool = False
     n_lost_to_backpressure: int = 0
     snapshot_blocks_shared: int = 0
+    n_retries: int = 0
+    n_dead_lettered: int = 0
+    checkpoint_generations: int = 0
+    last_checkpoint_ms: float = 0.0
     decisions: object = field(repr=False, compare=False, default=None)
 
 
@@ -433,11 +446,20 @@ class StreamResult:
 
     ``errors`` holds the maintenance-plane
     :class:`~repro.core.serving.JobError` records of an async run
-    (worker crashes never interrupt serving — they surface here);
-    ``serving`` its :class:`~repro.core.serving.ServingStats`;
+    (worker crashes never interrupt serving — they surface here;
+    checkpoint/restore failures of either mode are recorded with
+    ``kind="checkpoint"``/``kind="restore"``); ``serving`` its
+    :class:`~repro.core.serving.ServingStats`;
     ``n_lost_to_backpressure`` totals the relabelled samples whose
     fold/update jobs a full queue rejected.  All stay empty/zero/None
     for synchronous runs.
+
+    ``checkpoint_generations`` counts the generations committed during
+    the run (either mode, with ``checkpoint_dir``);
+    ``restored_generation`` is the generation a warm restart
+    (``restore_from_checkpoint=True``) resumed from (``None`` for cold
+    starts) and ``restore_fallbacks`` the reasons newer generations
+    were skipped over during that restore.
     """
 
     steps: list = field(repr=False, default_factory=list)
@@ -455,6 +477,9 @@ class StreamResult:
     errors: tuple = ()
     serving: object = field(repr=False, default=None)
     n_lost_to_backpressure: int = 0
+    checkpoint_generations: int = 0
+    restored_generation: int | None = None
+    restore_fallbacks: tuple = ()
 
 
 def stream_deployment(
@@ -472,6 +497,11 @@ def stream_deployment(
     backpressure: str = "coalesce",
     drain_each_step: bool = False,
     record_decisions: bool = False,
+    checkpoint_dir=None,
+    checkpoint_keep: int = 3,
+    checkpoint_every: int = 1,
+    restore_from_checkpoint: bool = False,
+    retry=None,
 ) -> StreamResult:
     """Serve a sample stream end to end: detect, relabel, recalibrate.
 
@@ -536,6 +566,25 @@ def stream_deployment(
         record_decisions: keep each batch's
             :class:`~repro.core.committee.DecisionBatch` on its
             :class:`StreamStep` (memory-heavy; meant for tests).
+        checkpoint_dir: when set, persist the calibration runtime to
+            this directory through a
+            :class:`~repro.core.durability.CheckpointWriter`
+            (DESIGN.md §7) — incrementally, after every
+            ``checkpoint_every``-th mutating step (sync mode) or
+            snapshot publish (async mode, where the checkpoint rides
+            the maintenance queue).  Checkpoint failures are recorded
+            in ``StreamResult.errors``; serving is never interrupted.
+        checkpoint_keep: checkpoint generations to retain.
+        checkpoint_every: mutations/publishes between checkpoints.
+        restore_from_checkpoint: warm-restart the interface from the
+            newest restorable generation in ``checkpoint_dir`` before
+            serving (cold start when the directory holds none; a
+            corrupted newest generation falls back to its predecessor,
+            with the reasons on ``StreamResult.restore_fallbacks``).
+        retry: optional :class:`~repro.core.serving.RetryPolicy`
+            forwarded to the serving loop (async mode only) —
+            transient job failures back off and retry instead of
+            dead-ending on first error.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -544,14 +593,66 @@ def stream_deployment(
     if len(X_stream) != len(oracle_labels):
         raise ValueError("X_stream and oracle_labels must align")
     monitor = monitor or DriftMonitor()
+    writer = None
+    restore_errors = []
+    restored_generation = None
+    restore_fallbacks = ()
+    if checkpoint_dir is not None:
+        writer = CheckpointWriter(checkpoint_dir, keep=checkpoint_keep)
+        if restore_from_checkpoint and writer.latest_generation is not None:
+            try:
+                report = restore_checkpoint(interface.streaming, checkpoint_dir)
+            except CheckpointError as err:
+                # Restart must never block on bad state: record the
+                # reason and continue from the interface's own (cold)
+                # calibration.
+                restore_errors.append(
+                    JobError(
+                        kind="restore",
+                        error=f"CheckpointError: {err}",
+                        traceback="",
+                    )
+                )
+            else:
+                restored_generation = report.generation
+                restore_fallbacks = report.fallbacks
     loop = None
+    sync_checkpoint_state = {"since": 0, "generations": 0, "last_ms": 0.0}
     if async_serving:
         loop = AsyncServingLoop(
             interface,
             n_workers=serving_workers,
             queue_capacity=queue_capacity,
             backpressure=backpressure,
+            retry=retry,
+            checkpoint=writer,
+            checkpoint_every=checkpoint_every,
         )
+
+    def _sync_checkpoint(mutated: bool) -> None:
+        """Inline checkpoint cadence for the synchronous loop."""
+        if writer is None or loop is not None or not mutated:
+            return
+        sync_checkpoint_state["since"] += 1
+        if sync_checkpoint_state["since"] < checkpoint_every:
+            return
+        sync_checkpoint_state["since"] = 0
+        started = time.perf_counter()
+        try:
+            writer.checkpoint(interface.streaming)
+        except Exception as err:  # noqa: BLE001 — serving must continue
+            restore_errors.append(
+                JobError(
+                    kind="checkpoint",
+                    error=f"{type(err).__name__}: {err}",
+                    traceback="",
+                )
+            )
+        else:
+            sync_checkpoint_state["generations"] += 1
+            sync_checkpoint_state["last_ms"] = (
+                (time.perf_counter() - started) * 1000.0
+            )
 
     def known_classes():
         if not hasattr(interface.model, "classes_"):
@@ -642,6 +743,7 @@ def stream_deployment(
                         n_shards_touched = (
                             len(touched) if touched is not None else 1
                         )
+            _sync_checkpoint(len(chosen) > 0)
             if loop is not None and drain_each_step:
                 loop.drain()
             n_flagged = len(drifting_indices(decisions))
@@ -649,6 +751,15 @@ def stream_deployment(
             n_relabelled_total += len(chosen)
             n_dropped_total += n_dropped
             n_lost_total += n_lost
+            if loop is not None:
+                step_retries = loop.stats.n_retries
+                step_dead = loop.stats.n_dead_lettered
+                step_generations = loop.stats.checkpoint_generations
+                step_checkpoint_ms = loop.stats.last_checkpoint_ms
+            else:
+                step_retries = step_dead = 0
+                step_generations = sync_checkpoint_state["generations"]
+                step_checkpoint_ms = sync_checkpoint_state["last_ms"]
             steps.append(
                 StreamStep(
                     start=start,
@@ -671,6 +782,10 @@ def stream_deployment(
                     served_during_maintenance=during_maintenance,
                     n_lost_to_backpressure=n_lost,
                     snapshot_blocks_shared=blocks_shared,
+                    n_retries=step_retries,
+                    n_dead_lettered=step_dead,
+                    checkpoint_generations=step_generations,
+                    last_checkpoint_ms=step_checkpoint_ms,
                     decisions=decisions if record_decisions else None,
                 )
             )
@@ -680,6 +795,14 @@ def stream_deployment(
         if loop is not None:
             loop.close(drain=False)
     elapsed = time.perf_counter() - stream_started
+    errors = tuple(restore_errors)
+    if loop is not None:
+        errors += tuple(loop.errors)
+    total_generations = (
+        loop.stats.checkpoint_generations
+        if loop is not None
+        else sync_checkpoint_state["generations"]
+    )
     return StreamResult(
         steps=steps,
         n_samples=len(X_stream),
@@ -693,9 +816,12 @@ def stream_deployment(
         n_shards=getattr(getattr(interface, "streaming", None), "n_shards", 1),
         final_shard_sizes=tuple(getattr(interface, "shard_sizes", ())),
         monitor=monitor,
-        errors=tuple(loop.errors) if loop is not None else (),
+        errors=errors,
         serving=loop.stats if loop is not None else None,
         n_lost_to_backpressure=n_lost_total,
+        checkpoint_generations=total_generations,
+        restored_generation=restored_generation,
+        restore_fallbacks=restore_fallbacks,
     )
 
 
