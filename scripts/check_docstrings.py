@@ -13,10 +13,10 @@ Usage::
 
 With no arguments the gated modules are checked (the serving plane
 from ISSUE 5 — ``core/serving.py``, ``core/sharding.py``,
-``core/streaming.py`` — plus the ISSUE 6 durability plane,
-``core/durability.py`` and ``core/faults.py``).  Prints per-file
-coverage and exits non-zero when anything is missing, so CI fails
-loudly.
+``core/streaming.py`` — the ISSUE 6 durability plane,
+``core/durability.py`` and ``core/faults.py``, and the ISSUE 7
+analyzer package ``src/repro/analysis/``).  Prints per-file coverage
+and exits non-zero when anything is missing, so CI fails loudly.
 """
 
 from __future__ import annotations
@@ -28,6 +28,13 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 GATED_MODULES = (
+    "src/repro/analysis/__init__.py",
+    "src/repro/analysis/__main__.py",
+    "src/repro/analysis/checks.py",
+    "src/repro/analysis/engine.py",
+    "src/repro/analysis/reporters.py",
+    "src/repro/analysis/rules.py",
+    "src/repro/analysis/visitor.py",
     "src/repro/core/durability.py",
     "src/repro/core/faults.py",
     "src/repro/core/serving.py",

@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Convenience wrapper for the promlint analyzer.
+
+Equivalent to ``PYTHONPATH=src python -m repro.analysis`` but runnable
+from the repo root with no environment setup::
+
+    python scripts/promlint.py src/
+    python scripts/promlint.py --list-rules
+
+See ``src/repro/analysis/`` and DESIGN.md §8 for the rule set.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.__main__ import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

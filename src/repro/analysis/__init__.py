@@ -1,0 +1,55 @@
+"""promlint: AST-based invariant analysis for the concurrent runtime.
+
+The serving plane built in DESIGN.md §5–§7 rests on conventions that
+plain Python cannot enforce: published snapshots are immutable by
+*contract*, shard locks deadlock-free by *convention* (ascending order
+via ``acquire_shards``), warm restarts bit-identical only while every
+RNG stays seeded.  This package machine-checks those conventions — a
+small rule engine (:mod:`repro.analysis.engine`) walks the AST of every
+source file, applies the repo-specific rules in
+:mod:`repro.analysis.checks` (PL001–PL005), honours
+``# promlint: disable=RULE`` suppressions, and reports findings with
+``file:line`` provenance through :mod:`repro.analysis.reporters`.
+
+Run it as a module (the CI gate)::
+
+    python -m repro.analysis src/
+
+or through the convenience wrapper ``scripts/promlint.py``.  The rule
+set and excluded paths are configurable from ``pyproject.toml`` under
+``[tool.promlint]``.
+
+The static rules have a dynamic complement: the runtime lock-order
+sanitizer in :mod:`repro.core.sharding` (enabled by the ``concurrency``
+test fixture) catches out-of-order shard-lock acquisition that only
+manifests on paths the AST cannot see.
+"""
+
+from .checks import (
+    ExceptionTaxonomyRule,
+    DeterminismRule,
+    LockDisciplineRule,
+    MutableSharedStateRule,
+    SnapshotMutationRule,
+)
+from .engine import AnalysisResult, PromlintConfig, analyze_paths, load_config
+from .reporters import render_json, render_text
+from .rules import ALL_RULES, Finding, Rule, resolve_rules
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisResult",
+    "DeterminismRule",
+    "ExceptionTaxonomyRule",
+    "Finding",
+    "LockDisciplineRule",
+    "MutableSharedStateRule",
+    "PromlintConfig",
+    "Rule",
+    "SnapshotMutationRule",
+    "analyze_paths",
+    "load_config",
+    "render_json",
+    "render_text",
+    "resolve_rules",
+]

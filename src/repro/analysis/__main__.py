@@ -1,0 +1,83 @@
+"""CLI entry point: ``python -m repro.analysis [paths ...]``.
+
+Exit codes: 0 clean, 1 unsuppressed findings (or unparseable files),
+2 usage errors.  This is the command the CI ``static-checks`` job runs
+over ``src/`` — see DESIGN.md §8 for the gate's contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .engine import PromlintConfig, analyze_paths, load_config
+from .reporters import render_json, render_rule_list, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The promlint argument parser (exposed for the test suite)."""
+    parser = argparse.ArgumentParser(
+        prog="promlint",
+        description="AST-based invariant analyzer for the Prom runtime",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories to analyze"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="report format"
+    )
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule ids to run (default: pyproject or all)",
+    )
+    parser.add_argument(
+        "--config",
+        help="path to a pyproject.toml ([tool.promlint] section)",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore pyproject.toml and run every registered rule",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list findings silenced by promlint: disable comments",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="describe the registered rules"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    """Run the analyzer; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+    if args.no_config:
+        config = PromlintConfig()
+    else:
+        config = load_config(args.config)
+    if args.select:
+        ids = tuple(part.strip() for part in args.select.split(",") if part.strip())
+        try:
+            config = PromlintConfig(select=ids, exclude=config.exclude)
+        except KeyError as exc:
+            print(f"promlint: {exc}", file=sys.stderr)
+            return 2
+    try:
+        result = analyze_paths(args.paths, config)
+    except KeyError as exc:
+        print(f"promlint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, show_suppressed=args.show_suppressed))
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

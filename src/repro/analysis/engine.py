@@ -1,0 +1,206 @@
+"""File walking, configuration, and suppression handling for promlint.
+
+The engine turns paths into :class:`~repro.analysis.visitor.FileContext`
+objects, runs the configured rules over each, and filters the findings
+through the suppression comments:
+
+* ``# promlint: disable=PL001`` (trailing on the flagged line, or a
+  standalone comment on that physical line) suppresses the named
+  rule(s) for that line only; comma-separate several ids.
+* ``# promlint: disable-file=PL003`` anywhere in a file suppresses the
+  rule(s) for the whole file.
+
+Suppressed findings are retained on the result (``suppressed``) so the
+reporters can show them with ``--show-suppressed`` — a suppression is an
+auditable decision, not a deletion.  Configuration lives in
+``pyproject.toml`` under ``[tool.promlint]`` (``select`` = rule ids,
+``exclude`` = path glob fragments); parsing uses :mod:`tomllib` when the
+interpreter has it (3.11+) and silently falls back to the defaults
+otherwise, so the analyzer itself never gains a dependency.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+
+from .rules import ALL_RULES, Finding, resolve_rules
+from .visitor import FileContext
+
+try:  # pragma: no cover - interpreter-version gate
+    import tomllib
+except ImportError:  # pragma: no cover
+    tomllib = None
+
+_SUPPRESSION = re.compile(
+    r"#\s*promlint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s]+)"
+)
+
+
+@dataclass(frozen=True)
+class PromlintConfig:
+    """Resolved promlint configuration (rule selection + path excludes)."""
+
+    select: tuple = tuple(sorted(ALL_RULES))
+    exclude: tuple = ()
+
+    def excludes(self, path: Path) -> bool:
+        """Whether ``path`` matches any configured exclude glob."""
+        text = path.as_posix()
+        return any(
+            fnmatch(text, pattern) or fnmatch(text, f"*/{pattern}")
+            for pattern in self.exclude
+        )
+
+
+def load_config(pyproject=None) -> PromlintConfig:
+    """Read ``[tool.promlint]`` from ``pyproject.toml`` when possible.
+
+    ``pyproject`` defaults to ``pyproject.toml`` in the current working
+    directory.  A missing file, a missing section, or an interpreter
+    without :mod:`tomllib` all yield the default configuration — the
+    gate must run everywhere, including python 3.10.
+    """
+    path = Path(pyproject) if pyproject is not None else Path("pyproject.toml")
+    if tomllib is None or not path.is_file():
+        return PromlintConfig()
+    with path.open("rb") as handle:
+        data = tomllib.load(handle)
+    section = data.get("tool", {}).get("promlint", {})
+    kwargs = {}
+    if "select" in section:
+        kwargs["select"] = tuple(section["select"])
+    if "exclude" in section:
+        kwargs["exclude"] = tuple(section["exclude"])
+    return PromlintConfig(**kwargs)
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analyzer run produced.
+
+    ``findings`` are the unsuppressed violations (the gate fails on
+    any); ``suppressed`` the ones silenced by a suppression comment;
+    ``errors`` are files the parser rejected, reported as synthetic
+    ``PL000`` findings so a syntax error can never green-wash the gate.
+    """
+
+    findings: list = field(default_factory=list)
+    suppressed: list = field(default_factory=list)
+    errors: list = field(default_factory=list)
+    n_files: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean, 1 when any unsuppressed finding or parse error."""
+        return 1 if (self.findings or self.errors) else 0
+
+
+def collect_suppressions(source: str):
+    """``(file_wide_ids, per_line_ids)`` from a file's comments.
+
+    Uses :mod:`tokenize` so directives inside string literals are not
+    honoured.  ``per_line_ids`` maps a physical line number to the rule
+    ids disabled on that line.
+    """
+    file_wide: set = set()
+    per_line: dict = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            token for token in tokens if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenizeError, SyntaxError, IndentationError):
+        return file_wide, per_line
+    for token in comments:
+        match = _SUPPRESSION.search(token.string)
+        if match is None:
+            continue
+        ids = {part.strip() for part in match.group(2).split(",") if part.strip()}
+        if match.group(1) == "disable-file":
+            file_wide |= ids
+        else:
+            per_line.setdefault(token.start[0], set()).update(ids)
+    return file_wide, per_line
+
+
+def iter_python_files(paths, config: PromlintConfig):
+    """Yield every ``.py`` file under ``paths``, honouring excludes."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not config.excludes(candidate):
+                    yield candidate
+        elif path.suffix == ".py" and not config.excludes(path):
+            yield path
+
+
+def analyze_source(
+    source: str, path, rules, display_path=None, is_core=None
+) -> AnalysisResult:
+    """Analyze one in-memory source blob (the fixture-test entry point)."""
+    result = AnalysisResult(n_files=1)
+    try:
+        context = FileContext.from_source(
+            path, source, display_path=display_path, is_core=is_core
+        )
+    except SyntaxError as exc:
+        result.errors.append(
+            Finding(
+                path=str(display_path or path),
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                rule_id="PL000",
+                message=f"file does not parse: {exc.msg}",
+            )
+        )
+        return result
+    file_wide, per_line = collect_suppressions(source)
+    for rule in rules:
+        if rule.core_only and not context.is_core:
+            continue
+        for finding in rule.check(context):
+            if finding.rule_id in file_wide or finding.rule_id in per_line.get(
+                finding.line, ()
+            ):
+                result.suppressed.append(finding)
+            else:
+                result.findings.append(finding)
+    result.findings.sort()
+    result.suppressed.sort()
+    return result
+
+
+def analyze_paths(paths, config: PromlintConfig | None = None) -> AnalysisResult:
+    """Run the configured rules over every python file under ``paths``."""
+    config = config or PromlintConfig()
+    rules = resolve_rules(config.select)
+    merged = AnalysisResult()
+    for path in iter_python_files(paths, config):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            merged.errors.append(
+                Finding(
+                    path=str(path),
+                    line=1,
+                    col=0,
+                    rule_id="PL000",
+                    message=f"file is unreadable: {exc}",
+                )
+            )
+            continue
+        single = analyze_source(source, path, rules, display_path=str(path))
+        merged.findings.extend(single.findings)
+        merged.suppressed.extend(single.suppressed)
+        merged.errors.extend(single.errors)
+        merged.n_files += 1
+    merged.findings.sort()
+    merged.suppressed.sort()
+    merged.errors.sort()
+    return merged

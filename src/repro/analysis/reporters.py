@@ -1,0 +1,67 @@
+"""Text and JSON reporters for promlint results.
+
+The text form is the human/CI log surface (one ``path:line:col: PL###``
+line per finding plus a summary); the JSON form is the machine surface
+(stable keys, findings and suppressions as objects) for tooling that
+wants to diff runs or annotate pull requests.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .rules import ALL_RULES
+
+
+def _finding_dict(finding) -> dict:
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "rule": finding.rule_id,
+        "message": finding.message,
+    }
+
+
+def render_text(result, show_suppressed: bool = False) -> str:
+    """Human-readable report: findings, optional suppressions, summary."""
+    lines = []
+    for finding in result.errors:
+        lines.append(finding.render())
+    for finding in result.findings:
+        lines.append(finding.render())
+    if show_suppressed and result.suppressed:
+        lines.append("")
+        lines.append(f"suppressed ({len(result.suppressed)}):")
+        for finding in result.suppressed:
+            lines.append(f"  {finding.render()}")
+    total = len(result.findings) + len(result.errors)
+    lines.append("")
+    lines.append(
+        f"promlint: {result.n_files} file(s) checked, "
+        f"{total} finding(s), {len(result.suppressed)} suppressed"
+    )
+    return "\n".join(lines).lstrip("\n")
+
+
+def render_json(result) -> str:
+    """Machine-readable report with stable keys."""
+    payload = {
+        "files_checked": result.n_files,
+        "findings": [_finding_dict(finding) for finding in result.findings],
+        "errors": [_finding_dict(finding) for finding in result.errors],
+        "suppressed": [_finding_dict(finding) for finding in result.suppressed],
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    """One line per registered rule: id, title, scope, rationale."""
+    lines = []
+    for rule_id in sorted(ALL_RULES):
+        rule = ALL_RULES[rule_id]
+        scope = "core/ only" if rule.core_only else "all files"
+        lines.append(f"{rule_id}  {rule.title} [{scope}]")
+        lines.append(f"       {rule.rationale}")
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Rule protocol, findings, and the promlint rule registry.
+
+A rule is a class with a stable id (``PL###``), a one-line title, and a
+``check(context)`` method returning :class:`Finding` records.  Rules are
+registered by the :func:`register` decorator at import time and resolved
+by id through :func:`resolve_rules`, so the configured rule set
+(``[tool.promlint] select`` in ``pyproject.toml``) is just a list of
+ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to ``path:line:col``.
+
+    Sort order is (path, line, col, rule_id) so reports read in file
+    order; ``render()`` is the canonical one-line text form that the
+    text reporter and the fixture tests share.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str = field(compare=False)
+
+    def render(self) -> str:
+        """The canonical ``path:line:col: PL### message`` line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+class Rule:
+    """Base class for promlint rules.
+
+    Subclasses set :attr:`rule_id`, :attr:`title`, :attr:`rationale`
+    (the invariant the rule protects, surfaced by ``--list-rules``) and
+    :attr:`core_only` (whether the rule applies only to files under a
+    ``core`` directory — the checkpoint-covered runtime), and implement
+    :meth:`check`.
+    """
+
+    rule_id = "PL000"
+    title = ""
+    rationale = ""
+    core_only = False
+
+    def check(self, context) -> list:
+        """Return the rule's :class:`Finding` list for one parsed file.
+
+        ``context`` is an :class:`~repro.analysis.visitor.FileContext`
+        carrying the AST, the path, and shared import-alias maps.
+        """
+        raise NotImplementedError
+
+    def finding(self, context, node, message: str) -> Finding:
+        """Build a :class:`Finding` for ``node`` in ``context``'s file."""
+        return Finding(
+            path=context.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+ALL_RULES: dict = {}
+
+
+def register(cls):
+    """Class decorator adding a rule to :data:`ALL_RULES` by id."""
+    ALL_RULES[cls.rule_id] = cls
+    return cls
+
+
+def resolve_rules(select=None) -> list:
+    """Instantiate the selected rules (every registered rule by default).
+
+    ``select`` is an iterable of rule ids; unknown ids raise
+    ``KeyError`` so a typo in ``pyproject.toml`` fails loudly instead of
+    silently disabling a gate.
+    """
+    if select is None:
+        ids = sorted(ALL_RULES)
+    else:
+        ids = list(select)
+        unknown = [rule_id for rule_id in ids if rule_id not in ALL_RULES]
+        if unknown:
+            raise KeyError(f"unknown promlint rule ids: {unknown}")
+    return [ALL_RULES[rule_id]() for rule_id in ids]

@@ -1,0 +1,199 @@
+"""Shared AST machinery: file context, name resolution, scope tracking.
+
+The rules in :mod:`repro.analysis.checks` need three things over and
+over: the dotted name a call resolves to (through ``import`` aliases),
+the leftmost base name of an attribute/subscript chain, and
+lexically-scoped tracking of what a local name was bound from.  This
+module centralizes all three so each rule stays a small, readable
+visitor.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+def attr_base_name(node):
+    """Leftmost ``Name`` id of an attribute/subscript chain, or ``None``.
+
+    ``snap.interface.model[0]`` resolves to ``"snap"``; chains rooted in
+    a call or literal resolve to ``None``.
+    """
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def dotted_name(node):
+    """Render a ``Name``/``Attribute`` chain as ``"a.b.c"``, else ``None``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_method_name(call: ast.Call):
+    """The final attribute/function name a call invokes, or ``None``."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def literal_int_set(node):
+    """The set of ints in a literal list/tuple/set/int, else ``None``.
+
+    Used by the lock-discipline rule to compare statically-known shard
+    id sets; anything dynamic (a variable, a range call) returns
+    ``None`` meaning "unknown".
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return {node.value}
+    if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+        values = set()
+        for element in node.elts:
+            if not (
+                isinstance(element, ast.Constant)
+                and isinstance(element.value, int)
+            ):
+                return None
+            values.add(element.value)
+        return values
+    return None
+
+
+def import_aliases(tree: ast.Module) -> dict:
+    """Map local names to canonical dotted module paths.
+
+    ``import numpy as np`` yields ``{"np": "numpy"}``;
+    ``from random import shuffle as sh`` yields
+    ``{"sh": "random.shuffle"}``.  Rules resolve a call's dotted name
+    through this map to decide whether ``np.random.seed`` really is
+    ``numpy.random.seed``.
+    """
+    aliases = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                canonical = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = canonical
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one parsed file."""
+
+    path: Path
+    display_path: str
+    tree: ast.Module
+    source: str
+    is_core: bool
+    aliases: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_source(cls, path, source, display_path=None, is_core=None):
+        """Parse ``source`` and build the context (``SyntaxError`` propagates)."""
+        path = Path(path)
+        tree = ast.parse(source, filename=str(path))
+        if is_core is None:
+            is_core = "core" in path.parts
+        return cls(
+            path=path,
+            display_path=display_path or str(path),
+            tree=tree,
+            source=source,
+            is_core=is_core,
+            aliases=import_aliases(tree),
+        )
+
+    def resolve_call(self, call: ast.Call):
+        """Canonical dotted name of ``call``'s target through import aliases.
+
+        ``np.random.default_rng(...)`` resolves to
+        ``"numpy.random.default_rng"`` when ``np`` aliases ``numpy``;
+        unresolvable targets (method calls on objects) return the raw
+        dotted form or ``None``.
+        """
+        name = dotted_name(call.func)
+        if name is None:
+            return None
+        head, _, rest = name.partition(".")
+        canonical = self.aliases.get(head, head)
+        return f"{canonical}.{rest}" if rest else canonical
+
+
+class ScopedVisitor(ast.NodeVisitor):
+    """``NodeVisitor`` with a lexical scope stack for name tagging.
+
+    Subclasses call :meth:`bind` when a name is (re)bound and
+    :meth:`lookup` to read the innermost binding, with closure-style
+    fallthrough to enclosing scopes.  Function and lambda bodies push a
+    scope automatically (parameters are bound to ``None`` — untagged);
+    class bodies push a scope too, which is a conservative
+    approximation of Python's class-scope rules that is good enough for
+    taint tracking.
+    """
+
+    def __init__(self):
+        self._scopes = [{}]
+
+    def bind(self, name, tag) -> None:
+        """Bind ``name`` to ``tag`` in the innermost scope."""
+        self._scopes[-1][name] = tag
+
+    def lookup(self, name):
+        """Innermost binding of ``name`` (``None`` when unbound/untagged)."""
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def _visit_in_new_scope(self, node, params=()):
+        self._scopes.append({name: None for name in params})
+        try:
+            self.generic_visit(node)
+        finally:
+            self._scopes.pop()
+
+    @staticmethod
+    def _param_names(args: ast.arguments):
+        for group in (args.posonlyargs, args.args, args.kwonlyargs):
+            for arg in group:
+                yield arg.arg
+        for arg in (args.vararg, args.kwarg):
+            if arg is not None:
+                yield arg.arg
+
+    def visit_FunctionDef(self, node):
+        """Push a fresh scope for the function body."""
+        self._visit_in_new_scope(node, self._param_names(node.args))
+
+    def visit_AsyncFunctionDef(self, node):
+        """Push a fresh scope for the async function body."""
+        self._visit_in_new_scope(node, self._param_names(node.args))
+
+    def visit_Lambda(self, node):
+        """Push a fresh scope for the lambda body."""
+        self._visit_in_new_scope(node, self._param_names(node.args))
+
+    def visit_ClassDef(self, node):
+        """Push a fresh scope for the class body."""
+        self._visit_in_new_scope(node)

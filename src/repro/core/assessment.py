@@ -20,6 +20,7 @@ import numpy as np
 
 from .metrics import coverage_deviation, detection_metrics
 from .prom import PromClassifier
+from .exceptions import ValidationError
 
 
 @dataclass(frozen=True)
@@ -68,7 +69,7 @@ def coverage_assessment(
     labels = np.asarray(labels, dtype=int)
     n = len(features)
     if n < 5:
-        raise ValueError("need at least 5 calibration samples to assess coverage")
+        raise ValidationError("need at least 5 calibration samples to assess coverage")
     rng = np.random.default_rng(seed)
 
     per_round = []

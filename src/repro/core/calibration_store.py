@@ -39,7 +39,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .exceptions import CalibrationError
+from .exceptions import (
+    CalibrationError,
+    ConfigurationError,
+    InternalError,
+    ValidationError,
+)
 
 
 @dataclass(frozen=True)
@@ -106,7 +111,7 @@ def check_batch_columns(columns: dict, schema: dict | None = None):
     ndarrays plus the batch length.
     """
     if not columns:
-        raise ValueError("add() needs at least one column")
+        raise ValidationError("add() needs at least one column")
     arrays = {name: np.asarray(values) for name, values in columns.items()}
     lengths = {name: len(values) for name, values in arrays.items()}
     if len(set(lengths.values())) != 1:
@@ -223,7 +228,8 @@ class ReservoirEviction(EvictionPolicy):
         return np.asarray(victims[:n_over], dtype=int)
 
 
-_POLICIES = {
+# write-once registry: populated at import time, read-only afterwards
+_POLICIES = {  # promlint: disable=PL005
     policy.name: policy
     for policy in (FIFOEviction, LowestWeightEviction, ReservoirEviction)
 }
@@ -237,7 +243,7 @@ def resolve_eviction_policy(policy) -> EvictionPolicy:
         try:
             return _POLICIES[policy]()
         except KeyError:
-            raise ValueError(
+            raise ConfigurationError(
                 f"unknown eviction policy {policy!r}; "
                 f"choose from {sorted(_POLICIES)}"
             ) from None
@@ -283,7 +289,7 @@ class CalibrationStore:
 
     def __init__(self, capacity: int, policy="fifo", seed: int = 0):
         if capacity < 1:
-            raise ValueError(f"capacity must be >= 1, got {capacity}")
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
         self.policy = resolve_eviction_policy(policy)
         self.seed = seed
@@ -466,7 +472,7 @@ class CalibrationStore:
                 dtype=int,
             )
             if len(victims) != n_over or len(np.unique(victims)) != n_over:
-                raise RuntimeError(
+                raise InternalError(
                     f"{self.policy!r} returned {len(victims)} victims, "
                     f"needed {n_over} distinct"
                 )

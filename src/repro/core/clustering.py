@@ -12,6 +12,7 @@ import numpy as np
 
 from ..ml.cluster import KMeans, gap_statistic
 from ..ml.knn import pairwise_euclidean
+from .exceptions import ConfigurationError, NotFittedError, ValidationError
 
 
 class CalibrationClusterer:
@@ -32,9 +33,9 @@ class CalibrationClusterer:
         seed: int = 0,
     ):
         if n_clusters is not None and n_clusters < 1:
-            raise ValueError("n_clusters must be >= 1 when given")
+            raise ConfigurationError("n_clusters must be >= 1 when given")
         if k_min < 1 or k_max < k_min:
-            raise ValueError("need 1 <= k_min <= k_max")
+            raise ConfigurationError("need 1 <= k_min <= k_max")
         self.n_clusters = n_clusters
         self.k_min = k_min
         self.k_max = k_max
@@ -44,7 +45,7 @@ class CalibrationClusterer:
         """Cluster the calibration features; stores labels and centers."""
         features = np.asarray(calibration_features, dtype=float)
         if features.ndim != 2 or len(features) == 0:
-            raise ValueError("calibration_features must be a non-empty 2-D array")
+            raise ValidationError("calibration_features must be a non-empty 2-D array")
         if self.n_clusters is not None:
             k = min(self.n_clusters, len(features))
         else:
@@ -62,7 +63,7 @@ class CalibrationClusterer:
     def assign(self, test_features) -> np.ndarray:
         """Assign each test sample the cluster of its nearest calibration sample."""
         if not hasattr(self, "labels_"):
-            raise RuntimeError("CalibrationClusterer is not fitted; call fit() first")
+            raise NotFittedError("CalibrationClusterer is not fitted; call fit() first")
         test = np.asarray(test_features, dtype=float)
         if test.ndim == 1:
             test = test.reshape(1, -1)

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .scores import ExpertAssessment
+from .exceptions import ConfigurationError, ValidationError
 
 
 @dataclass(frozen=True)
@@ -160,14 +161,14 @@ class ExpertCommittee:
 
     def __init__(self, vote_threshold: float = 0.5):
         if not 0.0 < vote_threshold <= 1.0:
-            raise ValueError(f"vote_threshold must be in (0, 1], got {vote_threshold}")
+            raise ConfigurationError(f"vote_threshold must be in (0, 1], got {vote_threshold}")
         self.vote_threshold = vote_threshold
 
     def decide(self, assessments) -> Decision:
         """Combine per-expert assessments into one :class:`Decision`."""
         votes = tuple(assessments)
         if not votes:
-            raise ValueError("committee needs at least one expert assessment")
+            raise ValidationError("committee needs at least one expert assessment")
         accepts = sum(1 for vote in votes if vote.accept)
         accepted = accepts > self.vote_threshold * len(votes)
         credibility = float(np.median([vote.credibility for vote in votes]))
@@ -190,7 +191,7 @@ class ExpertCommittee:
         """
         batches = list(assessment_batches)
         if not batches:
-            raise ValueError("committee needs at least one expert assessment")
+            raise ValidationError("committee needs at least one expert assessment")
         accept_matrix = np.stack([np.asarray(b.accept, dtype=bool) for b in batches])
         accepts = accept_matrix.sum(axis=0)
         credibility_matrix = np.stack([b.credibility for b in batches])

@@ -5,10 +5,16 @@ derives from :class:`PromError`, so callers can catch the whole family
 with a single ``except PromError`` while still discriminating the
 planes — calibration data (:class:`CalibrationError`), the async
 serving plane (:class:`ServingError` and its retry/dead-letter
-specialization :class:`RetryExhaustedError`), the durability layer
-(:class:`CheckpointError`), and construction-time misconfiguration
-(:class:`ConfigurationError`, which also IS-A :class:`ValueError` so
-pre-taxonomy callers catching ``ValueError`` keep working).
+specialization :class:`RetryExhaustedError`, plus the sanitizer's
+:class:`LockOrderError`), the durability layer
+(:class:`CheckpointError`), construction-time misconfiguration
+(:class:`ConfigurationError`), and call-time data problems
+(:class:`ValidationError`).  The configuration/validation classes also
+IS-A :class:`ValueError` — and :class:`NotFittedError` /
+:class:`InternalError` IS-A :class:`RuntimeError` — so pre-taxonomy
+callers catching the builtins keep working.  The promlint gate
+(``python -m repro.analysis``, rule PL003) enforces that ``core/``
+raises this taxonomy instead of bare builtins.
 """
 
 
@@ -38,6 +44,35 @@ class ConfigurationError(PromError, ValueError):
     """
 
 
+class ValidationError(PromError, ValueError):
+    """Runtime data handed to the library is unusable (misaligned
+    arrays, wrong dimensionality, empty batches, out-of-range indices).
+
+    Like :class:`ConfigurationError` it also IS-A :class:`ValueError`,
+    so every pre-taxonomy ``except ValueError`` around an evaluate or
+    update call keeps working.  The distinction from
+    :class:`ConfigurationError` is *when* the mistake was made:
+    construction time (configuration) versus call time (data).
+    """
+
+
+class NotFittedError(PromError, RuntimeError):
+    """An estimator was used before ``fit()``.
+
+    IS-A :class:`RuntimeError` for back-compat with pre-taxonomy
+    callers (and with the ``ml/`` convention of raising
+    ``RuntimeError('... not fitted')``).
+    """
+
+
+class InternalError(PromError, RuntimeError):
+    """A library-internal invariant was violated (a plugin returned an
+    out-of-contract result, an impossible state was reached).  These are
+    bugs — in the library or in a user-supplied policy/router — not bad
+    inputs; IS-A :class:`RuntimeError` keeps pre-taxonomy callers
+    working."""
+
+
 class ServingError(PromError):
     """The async serving plane rejected an operation (closed loop,
     structural mutation under live shard locks, drain timeout, ...)."""
@@ -50,6 +85,16 @@ class RetryExhaustedError(ServingError):
     worker loop never propagates) and through
     :attr:`~repro.core.serving.AsyncServingLoop.dead_letters`.
     """
+
+
+class LockOrderError(ServingError):
+    """The runtime lock-order sanitizer observed an out-of-order shard
+    lock acquisition (a thread holding shard *i* tried to take shard
+    *j* <= *i* in a separate ``acquire_shards`` call).  Such a pattern
+    can deadlock against a concurrent worker; the sanitizer
+    (:func:`~repro.core.sharding.enable_lock_order_sanitizer`, armed by
+    the ``concurrency`` test fixture) turns the latent deadlock into an
+    immediate failure."""
 
 
 class CheckpointError(PromError):

@@ -16,6 +16,7 @@ import numpy as np
 
 from .committee import DecisionBatch
 from .prom import drifting_indices
+from .exceptions import ConfigurationError
 
 
 @dataclass(frozen=True)
@@ -53,7 +54,7 @@ def select_relabel_budget(
         empty when nothing was flagged.
     """
     if not 0.0 < budget_fraction <= 1.0:
-        raise ValueError(f"budget_fraction must be in (0, 1], got {budget_fraction}")
+        raise ConfigurationError(f"budget_fraction must be in (0, 1], got {budget_fraction}")
     flagged = drifting_indices(decisions)
     if len(flagged) == 0:
         return flagged

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from .exceptions import ValidationError
 
 
 @dataclass(frozen=True)
@@ -50,10 +51,10 @@ def detection_metrics(mispredicted, rejected) -> DetectionMetrics:
     mispredicted = np.asarray(mispredicted, dtype=bool)
     rejected = np.asarray(rejected, dtype=bool)
     if mispredicted.shape != rejected.shape:
-        raise ValueError("mispredicted and rejected must align")
+        raise ValidationError("mispredicted and rejected must align")
     n = len(mispredicted)
     if n == 0:
-        raise ValueError("cannot compute metrics on zero samples")
+        raise ValidationError("cannot compute metrics on zero samples")
 
     tp = int(np.sum(mispredicted & rejected))
     fp = int(np.sum(~mispredicted & rejected))
@@ -91,9 +92,9 @@ def performance_to_oracle(achieved, oracle) -> np.ndarray:
     achieved = np.asarray(achieved, dtype=float)
     oracle = np.asarray(oracle, dtype=float)
     if achieved.shape != oracle.shape:
-        raise ValueError("achieved and oracle must align")
+        raise ValidationError("achieved and oracle must align")
     if np.any(oracle <= 0):
-        raise ValueError("oracle performance must be positive")
+        raise ValidationError("oracle performance must be positive")
     return np.clip(achieved / oracle, 0.0, 1.0)
 
 
@@ -133,7 +134,7 @@ def geometric_mean(values) -> float:
     """Geometric mean of positive values (used for F1 summaries)."""
     values = np.asarray(values, dtype=float)
     if np.any(values <= 0):
-        raise ValueError("geometric mean requires positive values")
+        raise ValidationError("geometric mean requires positive values")
     return float(np.exp(np.mean(np.log(values))))
 
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 import abc
 
 import numpy as np
+from .exceptions import ConfigurationError, ValidationError
 
 
 def _check_probabilities(probabilities) -> np.ndarray:
@@ -20,9 +21,9 @@ def _check_probabilities(probabilities) -> np.ndarray:
     if probs.ndim == 1:
         probs = probs.reshape(1, -1)
     if probs.ndim != 2:
-        raise ValueError(f"expected (n, n_classes) probabilities, got {probs.shape}")
+        raise ValidationError(f"expected (n, n_classes) probabilities, got {probs.shape}")
     if np.any(probs < -1e-9):
-        raise ValueError("probabilities must be non-negative")
+        raise ValidationError("probabilities must be non-negative")
     return probs
 
 
@@ -147,9 +148,9 @@ class RAPS(NonconformityFunction):
 
     def __init__(self, lam: float = 0.05, k_reg: int = 1):
         if lam < 0:
-            raise ValueError("lam must be non-negative")
+            raise ConfigurationError("lam must be non-negative")
         if k_reg < 0:
-            raise ValueError("k_reg must be non-negative")
+            raise ConfigurationError("k_reg must be non-negative")
         self.lam = lam
         self.k_reg = k_reg
 
@@ -222,7 +223,7 @@ class NormalizedErrorScore(RegressionScore):
 
     def __init__(self, beta: float = 1e-6):
         if beta <= 0:
-            raise ValueError("beta must be positive")
+            raise ConfigurationError("beta must be positive")
         self.beta = beta
 
     def score(self, predictions, targets) -> np.ndarray:

@@ -31,7 +31,12 @@ import numpy as np
 
 from .clustering import CalibrationClusterer
 from .committee import Decision, DecisionBatch, ExpertCommittee
-from .exceptions import CalibrationError, NotCalibratedError
+from .exceptions import (
+    CalibrationError,
+    ConfigurationError,
+    NotCalibratedError,
+    ValidationError,
+)
 from .nonconformity import (
     default_classification_functions,
     default_regression_scores,
@@ -61,7 +66,7 @@ def _evaluation_chunk(n_calibration: int, chunk_size: int | None, n_labels: int 
     """
     if chunk_size is not None:
         if chunk_size < 1:
-            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
         return chunk_size
     widest = max(1, n_calibration, n_labels * n_labels)
     return max(1, _EVALUATE_CELL_BUDGET // widest)
@@ -125,14 +130,14 @@ class PromClassifier:
         weighting: AdaptiveWeighting | None = None,
     ):
         if not 0.0 < epsilon < 1.0:
-            raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+            raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
         self.functions = (
             list(functions)
             if functions is not None
             else default_classification_functions()
         )
         if not self.functions:
-            raise ValueError("need at least one nonconformity function")
+            raise ConfigurationError("need at least one nonconformity function")
         self.epsilon = epsilon
         self.gaussian_scale = gaussian_scale
         self.credibility_threshold = credibility_threshold
@@ -201,7 +206,7 @@ class PromClassifier:
         if probabilities.ndim == 1:
             probabilities = probabilities.reshape(1, -1)
         if probabilities.shape[1] != self._n_classes:
-            raise ValueError(
+            raise ValidationError(
                 f"probability vector has {probabilities.shape[1]} entries, "
                 f"calibration used {self._n_classes} classes"
             )
@@ -422,11 +427,11 @@ class PromRegressor:
         weighting: AdaptiveWeighting | None = None,
     ):
         if not 0.0 < epsilon < 1.0:
-            raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+            raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
         if k_neighbors < 1:
-            raise ValueError("k_neighbors must be >= 1")
+            raise ConfigurationError("k_neighbors must be >= 1")
         if calibration_residuals not in ("loo", "true"):
-            raise ValueError(
+            raise ConfigurationError(
                 f"calibration_residuals must be 'loo' or 'true', "
                 f"got {calibration_residuals!r}"
             )
@@ -436,7 +441,7 @@ class PromRegressor:
             else default_regression_scores()
         )
         if not self.score_functions:
-            raise ValueError("need at least one regression score function")
+            raise ConfigurationError("need at least one regression score function")
         self.epsilon = epsilon
         self.k_neighbors = k_neighbors
         self.n_clusters = n_clusters

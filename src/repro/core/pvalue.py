@@ -39,6 +39,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .weighting import CalibrationSubset, CalibrationSubsetBatch
+from .exceptions import ConfigurationError, ValidationError
 
 WEIGHT_MODES = ("count", "multiply")
 
@@ -73,9 +74,9 @@ def classification_pvalue(
         never observed nearby).
     """
     if weight_mode not in WEIGHT_MODES:
-        raise ValueError(f"weight_mode must be one of {WEIGHT_MODES}, got {weight_mode!r}")
+        raise ConfigurationError(f"weight_mode must be one of {WEIGHT_MODES}, got {weight_mode!r}")
     if tail not in ("right", "both"):
-        raise ValueError(f"tail must be 'right' or 'both', got {tail!r}")
+        raise ConfigurationError(f"tail must be 'right' or 'both', got {tail!r}")
     selected_labels = np.asarray(calibration_labels)[subset.indices]
     mask = selected_labels == label
     if not mask.any():
@@ -164,9 +165,9 @@ def group_scores_by_label(
     scores = np.asarray(calibration_scores, dtype=float).ravel()
     labels = np.asarray(calibration_labels, dtype=int).ravel()
     if scores.shape != labels.shape:
-        raise ValueError("calibration scores and labels must align")
+        raise ValidationError("calibration scores and labels must align")
     if len(labels) and (labels.min() < 0 or labels.max() >= n_labels):
-        raise ValueError("calibration label index out of range")
+        raise ValidationError("calibration label index out of range")
     return LabelGroupedScores(
         scores=scores,
         labels=labels,
@@ -200,14 +201,14 @@ def update_label_groups(
     new_scores = np.asarray(new_scores, dtype=float).ravel()
     new_labels = np.asarray(new_labels, dtype=int).ravel()
     if new_scores.shape != new_labels.shape:
-        raise ValueError("new scores and labels must align")
+        raise ValidationError("new scores and labels must align")
     if len(new_labels) and (
         new_labels.min() < 0 or new_labels.max() >= layout.n_labels
     ):
-        raise ValueError("new calibration label index out of range")
+        raise ValidationError("new calibration label index out of range")
     keep_mask = np.asarray(keep_mask, dtype=bool)
     if len(keep_mask) != len(layout.labels) + len(new_labels):
-        raise ValueError(
+        raise ValidationError(
             f"keep_mask covers {len(keep_mask)} rows, combined layout has "
             f"{len(layout.labels) + len(new_labels)}"
         )
@@ -250,7 +251,7 @@ def merge_group_counts(layouts, n_labels: int) -> np.ndarray:
     counts = np.zeros(n_labels, dtype=np.int64)
     for layout in layouts:
         if layout.n_labels != n_labels:
-            raise ValueError(
+            raise ValidationError(
                 f"cannot merge a layout over {layout.n_labels} labels "
                 f"into a {n_labels}-label composition"
             )
@@ -341,13 +342,13 @@ def pvalues_from_binning(
     the dense ``n_test * n_labels * k`` of per-label boolean masks.
     """
     if weight_mode not in WEIGHT_MODES:
-        raise ValueError(f"weight_mode must be one of {WEIGHT_MODES}, got {weight_mode!r}")
+        raise ConfigurationError(f"weight_mode must be one of {WEIGHT_MODES}, got {weight_mode!r}")
     if tail not in ("right", "both"):
-        raise ValueError(f"tail must be 'right' or 'both', got {tail!r}")
+        raise ConfigurationError(f"tail must be 'right' or 'both', got {tail!r}")
     test_scores = np.asarray(test_scores, dtype=float)
     n_labels = layout.n_labels
     if test_scores.ndim != 2 or test_scores.shape[1] != n_labels:
-        raise ValueError(
+        raise ValidationError(
             f"test_scores must be (n_test, {n_labels}), got {test_scores.shape}"
         )
     n_test = test_scores.shape[0]

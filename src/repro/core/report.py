@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .committee import DecisionBatch
+from .exceptions import ConfigurationError, ValidationError
 
 
 @dataclass(frozen=True)
@@ -67,7 +68,7 @@ def summarize_decisions(decisions, predicted_labels=None) -> DriftReport:
     """
     if isinstance(decisions, DecisionBatch):
         if len(decisions) == 0:
-            raise ValueError("cannot summarize an empty decision stream")
+            raise ValidationError("cannot summarize an empty decision stream")
         rejected = np.asarray(decisions.drifting)
         credibilities = np.asarray(decisions.credibility, dtype=float)
         confidences = np.asarray(decisions.confidence, dtype=float)
@@ -77,7 +78,7 @@ def summarize_decisions(decisions, predicted_labels=None) -> DriftReport:
     else:
         decisions = list(decisions)
         if not decisions:
-            raise ValueError("cannot summarize an empty decision stream")
+            raise ValidationError("cannot summarize an empty decision stream")
         rejected = np.asarray([d.drifting for d in decisions])
         credibilities = np.asarray([d.credibility for d in decisions])
         confidences = np.asarray([d.confidence for d in decisions])
@@ -94,7 +95,7 @@ def summarize_decisions(decisions, predicted_labels=None) -> DriftReport:
     if predicted_labels is not None:
         predicted_labels = np.asarray(predicted_labels)
         if len(predicted_labels) != len(decisions):
-            raise ValueError("predicted_labels must align with decisions")
+            raise ValidationError("predicted_labels must align with decisions")
         for label in np.unique(predicted_labels):
             mask = predicted_labels == label
             per_label[label.item() if hasattr(label, "item") else label] = float(
@@ -127,9 +128,9 @@ class DriftMonitor:
 
     def __init__(self, window: int = 100, alert_threshold: float = 0.3):
         if window < 1:
-            raise ValueError("window must be >= 1")
+            raise ConfigurationError("window must be >= 1")
         if not 0.0 < alert_threshold <= 1.0:
-            raise ValueError("alert_threshold must be in (0, 1]")
+            raise ConfigurationError("alert_threshold must be in (0, 1]")
         self.window = window
         self.alert_threshold = alert_threshold
         self._flags = deque(maxlen=window)

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from .exceptions import ConfigurationError
 
 
 def prediction_set(pvalues: np.ndarray, epsilon: float) -> np.ndarray:
@@ -46,7 +47,7 @@ def confidence_from_set_size(set_size: int, gaussian_scale: float = 1.0) -> floa
     sensitivity analysis covers the same trade-off.
     """
     if gaussian_scale <= 0:
-        raise ValueError("gaussian_scale must be positive")
+        raise ConfigurationError("gaussian_scale must be positive")
     return float(np.exp(-((set_size - 1.0) ** 2) / (2.0 * gaussian_scale**2)))
 
 
@@ -149,7 +150,7 @@ def assess_batch(
     :class:`ExpertAssessmentBatch`.
     """
     if gaussian_scale <= 0:
-        raise ValueError("gaussian_scale must be positive")
+        raise ConfigurationError("gaussian_scale must be positive")
     if credibility_threshold is None:
         credibility_threshold = epsilon
     pvalues = np.asarray(pvalues, dtype=float)

@@ -52,6 +52,7 @@ import numpy as np
 
 from .pvalue import LabelGroupedScores, merge_group_counts
 from .weighting import TAU_MAX_ROWS, TAU_SEED
+from .exceptions import ValidationError
 
 
 class ComposedStateAttr:
@@ -179,7 +180,7 @@ def gather_rows(segments, rows) -> np.ndarray:
     """
     segments = [np.asarray(segment) for segment in segments]
     if not segments:
-        raise ValueError("gather_rows needs at least one segment")
+        raise ValidationError("gather_rows needs at least one segment")
     rows = np.asarray(rows, dtype=np.int64)
     sizes = np.fromiter(
         (len(segment) for segment in segments),

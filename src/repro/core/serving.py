@@ -43,6 +43,15 @@ for every shard router × eviction policy combination, because a
 drained loop has applied exactly the same mutations in exactly the
 same order and the snapshot is a bit-exact copy of the resulting
 state.
+
+Two analyzers machine-check this module's locking and immutability
+conventions (DESIGN.md §8): the static promlint gate
+(``python -m repro.analysis`` — PL001 snapshot mutation, PL002 lock
+discipline) and the runtime lock-order sanitizer
+(:func:`~repro.core.sharding.enable_lock_order_sanitizer`, armed by
+the ``concurrency`` test fixture), which raises
+:class:`~repro.core.exceptions.LockOrderError` on any shard-lock
+acquisition that is not strictly ascending.
 """
 
 from __future__ import annotations

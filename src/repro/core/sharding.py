@@ -36,7 +36,101 @@ import numpy as np
 
 from ..ml.cluster import KMeans
 from .calibration_store import CalibrationStore, StoreUpdate, check_batch_columns
-from .exceptions import CalibrationError, ConfigurationError, ServingError
+from .exceptions import (
+    CalibrationError,
+    ConfigurationError,
+    LockOrderError,
+    ServingError,
+    ValidationError,
+)
+
+
+class _LockOrderSanitizer:
+    """Thread-local held-shard-lock stack: the dynamic lock-order probe.
+
+    The static analyzer (promlint PL002) proves ascending order only
+    for literal shard-id sets; this sanitizer is the runtime complement
+    for everything the AST cannot see.  While enabled, every
+    :meth:`ShardedCalibrationStore.acquire_shards` acquisition is
+    checked against the shard locks the calling thread already holds on
+    the *same store*: acquiring a shard id not strictly greater than
+    every held id raises
+    :class:`~repro.core.exceptions.LockOrderError` immediately, turning
+    a latent deadlock (two workers nesting overlapping shard sets in
+    opposite orders) or a guaranteed self-deadlock (re-acquiring a held
+    non-reentrant lock) into a loud test failure.
+
+    Disabled (the default) the hooks are a single boolean check, so the
+    production hot path pays nothing; the ``concurrency``-marked test
+    suite arms it through an autouse fixture.
+    """
+
+    def __init__(self):
+        self._local = threading.local()
+        self.enabled = False
+
+    def _held(self) -> list:
+        held = getattr(self._local, "held", None)
+        if held is None:
+            held = self._local.held = []
+        return held
+
+    def held_shards(self, store) -> tuple:
+        """Shard ids of ``store`` held by the calling thread, ascending."""
+        return tuple(
+            sorted(
+                shard_id
+                for store_id, shard_id in self._held()
+                if store_id == id(store)
+            )
+        )
+
+    def check(self, store, ordered_ids) -> None:
+        """Raise :class:`LockOrderError` unless the acquisition is ascending.
+
+        ``ordered_ids`` is the (sorted) id set one ``acquire_shards``
+        call is about to take; it must sit strictly above every id the
+        thread already holds on this store.
+        """
+        held = self.held_shards(store)
+        if held and ordered_ids and min(ordered_ids) <= max(held):
+            raise LockOrderError(
+                f"out-of-order shard lock acquisition: thread holds "
+                f"{list(held)} and tried to acquire {list(ordered_ids)}; "
+                f"nested acquisitions must be strictly ascending — take "
+                f"every needed shard in one acquire_shards() call"
+            )
+
+    def push(self, store, shard_id: int) -> None:
+        """Record the calling thread now holding ``shard_id`` of ``store``."""
+        self._held().append((id(store), shard_id))
+
+    def pop(self, store, shard_id: int) -> None:
+        """Forget one held-entry of ``shard_id`` of ``store``, if recorded."""
+        entry = (id(store), shard_id)
+        held = self._held()
+        for index in range(len(held) - 1, -1, -1):
+            if held[index] == entry:
+                del held[index]
+                return
+
+
+_LOCK_SANITIZER = _LockOrderSanitizer()
+
+
+def enable_lock_order_sanitizer() -> None:
+    """Arm the runtime lock-order sanitizer (process-wide)."""
+    _LOCK_SANITIZER.enabled = True
+
+
+def disable_lock_order_sanitizer() -> None:
+    """Disarm the runtime lock-order sanitizer and drop held-state."""
+    _LOCK_SANITIZER.enabled = False
+
+
+def lock_order_sanitizer_enabled() -> bool:
+    """Whether the runtime lock-order sanitizer is currently armed."""
+    return _LOCK_SANITIZER.enabled
 
 
 class ShardRouter(abc.ABC):
@@ -199,7 +293,8 @@ class ClusterShardRouter(ShardRouter):
         return self._check_routes(self._kmeans.predict(features))
 
 
-_ROUTERS = {
+# write-once registry: populated at import time, read-only afterwards
+_ROUTERS = {  # promlint: disable=PL005
     router.name: router
     for router in (HashShardRouter, LabelShardRouter, ClusterShardRouter)
 }
@@ -412,21 +507,40 @@ class ShardedCalibrationStore:
         from *other* threads are rejected; the holding thread itself may
         still run them (a worker rebuilding state inside its own
         critical section is the designed path).
+
+        Nested calls from one thread must keep the global order
+        ascending too — the second call's lowest shard id must exceed
+        the first call's highest.  The runtime lock-order sanitizer
+        (:func:`enable_lock_order_sanitizer`, armed by the
+        ``concurrency`` test fixture) raises
+        :class:`~repro.core.exceptions.LockOrderError` when that is
+        violated instead of letting the acquisition deadlock.
         """
         if shard_ids is None:
             shard_ids = range(self.n_shards)
         ordered = sorted(set(int(s) for s in shard_ids))
         if ordered and (ordered[0] < 0 or ordered[-1] >= self.n_shards):
-            raise ValueError(f"shard id out of range for {self.n_shards} shards")
+            raise ValidationError(
+                f"shard id out of range for {self.n_shards} shards"
+            )
+        sanitize = _LOCK_SANITIZER.enabled
+        if sanitize:
+            _LOCK_SANITIZER.check(self, ordered)
         me = threading.get_ident()
-        for shard_id in ordered:
-            self._shard_locks[shard_id].acquire()
-            with self._holder_guard:
-                self._lock_holders[shard_id] = me
+        acquired = []
         try:
+            for shard_id in ordered:
+                self._shard_locks[shard_id].acquire()
+                acquired.append(shard_id)
+                with self._holder_guard:
+                    self._lock_holders[shard_id] = me
+                if sanitize:
+                    _LOCK_SANITIZER.push(self, shard_id)
             yield self
         finally:
-            for shard_id in reversed(ordered):
+            for shard_id in reversed(acquired):
+                if sanitize:
+                    _LOCK_SANITIZER.pop(self, shard_id)
                 with self._holder_guard:
                     self._lock_holders.pop(shard_id, None)
                 self._shard_locks[shard_id].release()
@@ -458,6 +572,7 @@ class ShardedCalibrationStore:
                 if holder == me
             }
         acquired = []
+        sanitize = _LOCK_SANITIZER.enabled
         try:
             for shard_id in range(self.n_shards):
                 if shard_id in mine:
@@ -471,9 +586,16 @@ class ShardedCalibrationStore:
                 acquired.append(shard_id)
                 with self._holder_guard:
                     self._lock_holders[shard_id] = me
+                if sanitize:
+                    # non-blocking acquires cannot deadlock, but the
+                    # held-set must stay accurate for nested
+                    # acquire_shards calls made while we hold these
+                    _LOCK_SANITIZER.push(self, shard_id)
             yield self
         finally:
             for shard_id in reversed(acquired):
+                if sanitize:
+                    _LOCK_SANITIZER.pop(self, shard_id)
                 with self._holder_guard:
                     self._lock_holders.pop(shard_id, None)
                 self._shard_locks[shard_id].release()

@@ -13,6 +13,7 @@ import functools
 from dataclasses import dataclass
 
 import numpy as np
+from .exceptions import ConfigurationError, ValidationError
 
 #: soft bound on the number of float64 cells a distance block may hold
 #: (~32 MB); chunked helpers size their blocks so temporaries stay flat
@@ -31,7 +32,7 @@ TAU_SEED = 0
 def _auto_chunk(n_columns: int, chunk_size: int | None = None) -> int:
     if chunk_size is not None:
         if chunk_size < 1:
-            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
         return chunk_size
     return max(1, DISTANCE_CELL_BUDGET // max(1, n_columns))
 
@@ -50,9 +51,9 @@ def iter_squared_distance_chunks(test_features, calibration_features, chunk_size
     if test.ndim == 1:
         test = test.reshape(1, -1)
     if calibration.ndim != 2 or test.ndim != 2:
-        raise ValueError("feature arrays must be 2-D")
+        raise ValidationError("feature arrays must be 2-D")
     if test.shape[1] != calibration.shape[1]:
-        raise ValueError(
+        raise ValidationError(
             f"feature dimensionality mismatch: calibration has "
             f"{calibration.shape[1]}, test has {test.shape[1]}"
         )
@@ -194,13 +195,13 @@ class AdaptiveWeighting:
         weight_floor: float = 0.05,
     ):
         if not 0.0 < fraction <= 1.0:
-            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+            raise ConfigurationError(f"fraction must be in (0, 1], got {fraction}")
         if min_samples < 1:
-            raise ValueError("min_samples must be >= 1")
+            raise ConfigurationError("min_samples must be >= 1")
         if tau is not None and tau <= 0:
-            raise ValueError("tau must be positive when given")
+            raise ConfigurationError("tau must be positive when given")
         if not 0.0 <= weight_floor < 1.0:
-            raise ValueError(f"weight_floor must be in [0, 1), got {weight_floor}")
+            raise ConfigurationError(f"weight_floor must be in [0, 1), got {weight_floor}")
         self.fraction = fraction
         self.min_samples = min_samples
         self.tau = tau
@@ -238,9 +239,9 @@ class AdaptiveWeighting:
         features = np.asarray(calibration_features, dtype=float)
         test = np.asarray(test_feature, dtype=float).ravel()
         if features.ndim != 2:
-            raise ValueError("calibration_features must be 2-D")
+            raise ValidationError("calibration_features must be 2-D")
         if features.shape[1] != test.shape[0]:
-            raise ValueError(
+            raise ValidationError(
                 f"feature dimensionality mismatch: calibration has "
                 f"{features.shape[1]}, test has {test.shape[0]}"
             )
@@ -283,9 +284,9 @@ class AdaptiveWeighting:
         if test.ndim == 1:
             test = test.reshape(1, -1)
         if features.ndim != 2:
-            raise ValueError("calibration_features must be 2-D")
+            raise ValidationError("calibration_features must be 2-D")
         if features.shape[1] != test.shape[1]:
-            raise ValueError(
+            raise ValidationError(
                 f"feature dimensionality mismatch: calibration has "
                 f"{features.shape[1]}, test has {test.shape[1]}"
             )

@@ -1,0 +1,45 @@
+"""PL002 known-bad: raw shard locks, unordered nesting, blocking holds.
+
+`hold_lock` is drawn verbatim from the pre-fix tree's
+`tests/core/test_serving.py::TestStructuralMutationGuard` (git HEAD
+`34bd3a7`): an `Event.wait` — a blocking call — inside an
+`acquire_shards` region.  The other functions are the raw-lock and
+nesting shapes the rule forbids.
+"""
+
+
+def hold_lock(store, entered, release):
+    """Verbatim pre-fix test helper: blocks while holding shard 1."""
+    with store.acquire_shards([1]):
+        entered.set()
+        release.wait(30)
+
+
+def raw_lock_access(shard, store):
+    """Direct lock touches bypass the ascending-order bookkeeping."""
+    shard._lock.acquire()
+    shard._lock.release()
+    with store._shard_locks[0]:
+        pass
+
+
+def descending_nested(store):
+    """Nested acquisition below a held id: the deadlock shape."""
+    with store.acquire_shards([3]):
+        with store.acquire_shards([1]):
+            pass
+
+
+def unprovable_nested(store, ids):
+    """Nested acquisition with dynamic ids cannot be proven ascending."""
+    with store.acquire_shards([2]):
+        with store.acquire_shards(ids):
+            pass
+
+
+def blocking_under_locks(store, queue, writer, handle):
+    """queue.put / drain / fsync stall readers while shards are held."""
+    with store.acquire_shards():
+        queue.put(1)
+        writer.drain()
+        handle.fsync()

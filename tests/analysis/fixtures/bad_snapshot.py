@@ -1,0 +1,39 @@
+"""PL001 known-bad: in-place writes to snapshot-derived state.
+
+The surrounding idiom (freeze, evaluate, compare) is drawn from the
+pre-fix tree's `tests/core/test_segments.py::TestSnapshotImmutability`;
+each mutation below is the minimal invariant-breaking edit of that real
+code — the write the immutability contract (DESIGN.md §5–§6) forbids.
+"""
+
+import numpy as np
+
+
+def churn_with_mutations(streaming, batch):
+    """Every statement below writes through a published snapshot."""
+    snapshot = streaming.detector_snapshot()
+    snapshot._features[0] = 0.0
+    snapshot._features += 1.0
+    snapshot._scores.append(None)
+    held = snapshot
+    held._layouts[0] = None
+    np.copyto(snapshot._features, np.zeros(4))
+    np.add(batch, 1.0, out=snapshot._features)
+    snapshot._features.sort()
+    return snapshot
+
+
+def mutate_segments(store):
+    """Column segments are owned immutable copies: writes are corruption."""
+    segment = store.column_segment(0, "features")
+    segment.fill(0.0)
+    for block in store.column_segments("features"):
+        block[0] = 1.0
+    return segment
+
+
+def mutate_compose_snapshot(loop):
+    """`AsyncServingLoop.snapshot()` results are frozen too."""
+    snap = loop.snapshot()
+    snap.shard_sizes += (1,)
+    return snap

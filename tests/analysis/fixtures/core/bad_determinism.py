@@ -1,0 +1,33 @@
+"""PL004 known-bad: wall-clock reads and unseeded/global RNGs.
+
+The timing loop is drawn verbatim from the pre-fix tree's
+`benchmarks/warm_cache.py` (`time.time()` around model training) —
+held to core standards here because checkpoint-covered code must not
+read the wall clock; the RNG sites are the unseeded and legacy-global
+shapes PL004 exists to keep out of `core/`.
+"""
+
+import random
+import time
+
+import numpy as np
+
+
+def train_and_time(model, task_name, model_name, index):
+    """Pre-fix `benchmarks/warm_cache.py` timing shape."""
+    started = time.time()
+    model.fit()
+    print(f"[{index}] {task_name}/{model_name} done in {time.time() - started:.1f}s")
+    return model
+
+
+def subsample_rows(features):
+    """Unseeded generator: restarts cannot reproduce the subsample."""
+    rng = np.random.default_rng()
+    return features[rng.permutation(len(features))[:10]]
+
+
+def jitter(values):
+    """Legacy global RNGs: invisible to the checkpoint writer."""
+    np.random.shuffle(values)
+    return values[0] + random.random()

@@ -1,0 +1,39 @@
+"""PL005 known-bad: module-level mutable registry + mutable default.
+
+The registry is the verbatim pre-fix `core/sharding.py` `_ROUTERS`
+mapping (git HEAD `34bd3a7`) without the suppression rationale it now
+carries; the mutable default argument is the classic shape the rule
+exists for.
+"""
+
+
+class HashShardRouter:
+    """Stand-in router (name attribute only)."""
+
+    name = "hash"
+
+
+class LabelShardRouter:
+    """Stand-in router (name attribute only)."""
+
+    name = "label"
+
+
+class ClusterShardRouter:
+    """Stand-in router (name attribute only)."""
+
+    name = "cluster"
+
+
+_ROUTERS = {
+    router.name: router
+    for router in (HashShardRouter, LabelShardRouter, ClusterShardRouter)
+}
+
+_PENDING_JOBS = []
+
+
+def fold_batch(batch, seen=set()):
+    """Mutable default argument: shared across every call site."""
+    seen.add(id(batch))
+    return len(seen)

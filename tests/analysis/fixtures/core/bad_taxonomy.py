@@ -1,0 +1,37 @@
+"""PL003 known-bad: verbatim pre-fix `core/committee.py` raise sites.
+
+Regression fixture drawn from the tree as it stood before the ISSUE 7
+taxonomy migration (git HEAD `34bd3a7`): `core/` raising bare
+`ValueError` instead of the `core/exceptions.py` classes.
+"""
+
+import numpy as np
+
+
+class ExpertCommittee:
+    """Majority-vote committee (pre-fix excerpt)."""
+
+    def __init__(self, vote_threshold: float = 0.5):
+        if not 0.0 < vote_threshold <= 1.0:
+            raise ValueError(f"vote_threshold must be in (0, 1], got {vote_threshold}")
+        self.vote_threshold = vote_threshold
+
+    def decide(self, assessments):
+        """Combine per-expert assessments into one decision."""
+        votes = tuple(assessments)
+        if not votes:
+            raise ValueError("committee needs at least one expert assessment")
+        accepts = sum(1 for vote in votes if vote.accept)
+        accepted = accepts > self.vote_threshold * len(votes)
+        credibility = float(np.median([vote.credibility for vote in votes]))
+        return accepted, credibility
+
+
+def select_victims_checked(policy, victims, n_over):
+    """Pre-fix `calibration_store.py` policy-contract guard shape."""
+    if len(victims) != n_over or len(np.unique(victims)) != n_over:
+        raise RuntimeError(
+            f"{policy!r} returned {len(victims)} victims, "
+            f"needed {n_over} distinct"
+        )
+    return victims

@@ -1,0 +1,29 @@
+"""PL005 known-good: frozen module state, suppressed registry, None default.
+
+Module-level constants are immutable tuples; the one intended
+write-once registry carries an explicit audited suppression (the
+post-fix `core/` idiom); defaults are ``None`` with construction in the
+body.  PL005 must stay silent here.
+"""
+
+
+class HashShardRouter:
+    """Stand-in router (name attribute only)."""
+
+    name = "hash"
+
+
+WEIGHT_MODES = ("count", "multiply")
+
+# write-once registry: populated at import time, read-only afterwards
+_ROUTERS = {  # promlint: disable=PL005
+    router.name: router for router in (HashShardRouter,)
+}
+
+
+def fold_batch(batch, seen=None):
+    """Construct the default inside the body; nothing is shared."""
+    if seen is None:
+        seen = set()
+    seen.add(id(batch))
+    return len(seen)

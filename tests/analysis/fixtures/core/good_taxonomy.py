@@ -1,0 +1,45 @@
+"""PL003 known-good: the post-migration taxonomy idiom.
+
+The same raise sites as `bad_taxonomy.py`, rewritten the way `core/`
+writes them after the ISSUE 7 migration: `ConfigurationError` for bad
+constructor arguments, `ValidationError` for bad call-time data,
+`InternalError` for violated library invariants.  PL003 must stay
+silent here.
+"""
+
+import numpy as np
+
+from repro.core.exceptions import (
+    ConfigurationError,
+    InternalError,
+    ValidationError,
+)
+
+
+class ExpertCommittee:
+    """Majority-vote committee (post-fix excerpt)."""
+
+    def __init__(self, vote_threshold: float = 0.5):
+        if not 0.0 < vote_threshold <= 1.0:
+            raise ConfigurationError(
+                f"vote_threshold must be in (0, 1], got {vote_threshold}"
+            )
+        self.vote_threshold = vote_threshold
+
+    def decide(self, assessments):
+        """Combine per-expert assessments into one decision."""
+        votes = tuple(assessments)
+        if not votes:
+            raise ValidationError("committee needs at least one expert assessment")
+        accepts = sum(1 for vote in votes if vote.accept)
+        return accepts > self.vote_threshold * len(votes)
+
+
+def select_victims_checked(policy, victims, n_over):
+    """Post-fix policy-contract guard."""
+    if len(victims) != n_over or len(np.unique(victims)) != n_over:
+        raise InternalError(
+            f"{policy!r} returned {len(victims)} victims, "
+            f"needed {n_over} distinct"
+        )
+    return victims

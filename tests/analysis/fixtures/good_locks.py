@@ -1,0 +1,41 @@
+"""PL002 known-good: the sanctioned shard-lock idioms.
+
+One `acquire_shards` call per critical section (every needed shard at
+once), provably-ascending nesting when nesting is unavoidable, blocking
+work outside the locked region, and `self`-owned plain mutexes (the
+serving loop's own `self._lock` is not a shard lock).  PL002 must stay
+silent here.
+"""
+
+
+def apply_job(store, job, interface):
+    """The serving-worker shape: one lock call, work inside, no blocking."""
+    with store.acquire_shards(job.shard_ids):
+        interface.recalibrate_shards(job.shard_ids)
+
+
+def provably_ascending(store):
+    """Literal ids strictly above the held set are deadlock-free."""
+    with store.acquire_shards([0, 1]):
+        with store.acquire_shards([2, 3]):
+            pass
+
+
+def block_outside_locks(store, queue, batch):
+    """Enqueue after releasing: readers never wait on the queue."""
+    with store.acquire_shards([0]):
+        result = batch.sum()
+    queue.put(result)
+    return result
+
+
+class Loop:
+    """`self._lock` on the owning object is a plain mutex, not a shard lock."""
+
+    def __init__(self, lock):
+        self._lock = lock
+
+    def bump(self):
+        """The serving loop's own counter mutex idiom."""
+        with self._lock:
+            return 1

@@ -1,0 +1,31 @@
+"""PL001 known-good: verbatim pre-fix snapshot *read* idiom.
+
+Drawn from `tests/core/test_segments.py::TestSnapshotImmutability` as
+it stood before ISSUE 7 (git HEAD `34bd3a7`): freeze a snapshot,
+defensively copy what you need (`np.array(...)` makes a private
+buffer), evaluate, and mutate only the *live* wrapper.  PL001 must
+stay silent here.
+"""
+
+import numpy as np
+
+
+def churn_leaves_snapshot_stable(streaming, batches, test):
+    """The real test body: reads on the snapshot, writes on the live side."""
+    snapshot = streaming.detector_snapshot()
+    before_decisions = snapshot.evaluate(test[0], test[1])
+    frozen_features = np.array(snapshot._features)
+    frozen_scores = [np.array(scores) for scores in snapshot._scores]
+    for batch in batches:
+        streaming.update(*batch)
+    assert np.array_equal(snapshot._features, frozen_features)
+    for held, frozen in zip(snapshot._scores, frozen_scores):
+        assert np.array_equal(held, frozen)
+    return before_decisions
+
+
+def copy_then_mutate(store):
+    """Mutating a private copy of a segment is the sanctioned pattern."""
+    segment = np.array(store.column_segment(0, "features"))
+    segment.fill(0.0)
+    return segment

@@ -1,0 +1,93 @@
+"""CLI and reporter tests for ``python -m repro.analysis``."""
+
+import json
+import textwrap
+
+from repro.analysis.__main__ import main
+from repro.analysis.engine import PromlintConfig, analyze_paths
+from repro.analysis.reporters import render_json, render_text
+
+BAD_CORE = textwrap.dedent(
+    """
+    def check(value):
+        if value < 0:
+            raise ValueError("negative")
+    """
+)
+
+
+def write_core_file(tmp_path, source=BAD_CORE, name="sample.py"):
+    core = tmp_path / "core"
+    core.mkdir(exist_ok=True)
+    target = core / name
+    target.write_text(source)
+    return target
+
+
+class TestCli:
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        target = write_core_file(tmp_path)
+        assert main([str(target), "--no-config"]) == 1
+        out = capsys.readouterr().out
+        assert "PL003" in out
+        assert "1 finding(s)" in out
+
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        target = write_core_file(tmp_path, source="X = (1,)\n")
+        assert main([str(target), "--no-config"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_select_filters_rules(self, tmp_path, capsys):
+        target = write_core_file(tmp_path)
+        assert main([str(target), "--no-config", "--select", "PL004"]) == 0
+        capsys.readouterr()
+
+    def test_unknown_select_is_usage_error(self, tmp_path, capsys):
+        target = write_core_file(tmp_path)
+        assert main([str(target), "--no-config", "--select", "PL999"]) == 2
+        assert "PL999" in capsys.readouterr().err
+
+    def test_json_format_payload(self, tmp_path, capsys):
+        target = write_core_file(tmp_path)
+        assert main([str(target), "--no-config", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_checked"] == 1
+        assert payload["exit_code"] == 1
+        [finding] = payload["findings"]
+        assert finding["rule"] == "PL003"
+        assert finding["line"] == 4
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("PL001", "PL002", "PL003", "PL004", "PL005"):
+            assert rule_id in out
+
+    def test_show_suppressed(self, tmp_path, capsys):
+        source = BAD_CORE.replace(
+            'raise ValueError("negative")',
+            'raise ValueError("negative")  # promlint: disable=PL003',
+        )
+        target = write_core_file(tmp_path, source=source)
+        assert main([str(target), "--no-config", "--show-suppressed"]) == 0
+        out = capsys.readouterr().out
+        assert "suppressed (1):" in out
+
+
+class TestReporters:
+    def _result(self, tmp_path):
+        write_core_file(tmp_path)
+        return analyze_paths([tmp_path], PromlintConfig())
+
+    def test_text_report_lines_are_canonical(self, tmp_path):
+        result = self._result(tmp_path)
+        text = render_text(result)
+        assert "PL003" in text
+        assert text.endswith("1 finding(s), 0 suppressed")
+
+    def test_json_round_trips(self, tmp_path):
+        result = self._result(tmp_path)
+        payload = json.loads(render_json(result))
+        assert payload["errors"] == []
+        assert payload["suppressed"] == []
+        assert len(payload["findings"]) == 1

@@ -4,6 +4,31 @@ import numpy as np
 import pytest
 
 
+@pytest.fixture(autouse=True)
+def _lock_order_sanitizer(request):
+    """Arm the runtime lock-order sanitizer for concurrency-marked tests.
+
+    Every test carrying the ``concurrency`` marker runs with the
+    dynamic shard-lock-order probe enabled, so an out-of-order
+    acquisition raises LockOrderError instead of deadlocking the suite
+    (the static analyzer, promlint PL002, covers only what the AST can
+    prove).
+    """
+    if request.node.get_closest_marker("concurrency") is None:
+        yield
+        return
+    from repro.core.sharding import (
+        disable_lock_order_sanitizer,
+        enable_lock_order_sanitizer,
+    )
+
+    enable_lock_order_sanitizer()
+    try:
+        yield
+    finally:
+        disable_lock_order_sanitizer()
+
+
 @pytest.fixture(scope="session")
 def rng():
     return np.random.default_rng(12345)

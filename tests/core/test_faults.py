@@ -1,0 +1,106 @@
+"""Direct unit tests for the fault-injection layer (core/faults.py).
+
+The checkpoint and serving suites exercise :class:`FaultInjector`
+end-to-end; these tests pin the injector's own contract — stage/call
+window matching, counter semantics, and the two-phase torn-write shape
+returned by :meth:`mangle`.
+"""
+
+import pytest
+
+from repro.core.faults import FaultInjector, InjectedFault
+
+
+class TestFailOn:
+    def test_fires_on_the_addressed_call_only(self):
+        faults = FaultInjector().fail_on("write_manifest", call=2)
+        faults.hit("write_manifest")  # call 1: clean
+        with pytest.raises(InjectedFault, match="call 2"):
+            faults.hit("write_manifest")
+        faults.hit("write_manifest")  # call 3: window closed
+
+    def test_times_widens_the_window(self):
+        faults = FaultInjector().fail_on("commit", call=2, times=2)
+        faults.hit("commit")
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                faults.hit("commit")
+        faults.hit("commit")  # call 4: past the window
+
+    def test_stages_are_isolated(self):
+        faults = FaultInjector().fail_on("write_block")
+        faults.hit("write_manifest")
+        faults.hit("job:fold")
+        with pytest.raises(InjectedFault):
+            faults.hit("write_block")
+
+    def test_custom_exception_type(self):
+        faults = FaultInjector().fail_on("publish", exc=OSError)
+        with pytest.raises(OSError):
+            faults.hit("publish")
+
+    def test_unarmed_injector_is_inert(self):
+        faults = FaultInjector()
+        for _ in range(5):
+            faults.hit("anything")
+        assert faults.calls("anything") == 5
+
+
+class TestCounters:
+    def test_calls_counts_hits_and_mangles(self):
+        faults = FaultInjector()
+        faults.hit("stage")
+        faults.mangle("stage", b"abc")
+        assert faults.calls("stage") == 2
+        assert faults.calls("other") == 0
+
+    def test_failing_calls_still_count(self):
+        faults = FaultInjector().fail_on("stage", call=1, times=3)
+        for _ in range(3):
+            with pytest.raises(InjectedFault):
+                faults.hit("stage")
+        assert faults.calls("stage") == 3
+
+    def test_reset_counts_rearms_call_addressing(self):
+        faults = FaultInjector().fail_on("stage", call=1)
+        with pytest.raises(InjectedFault):
+            faults.hit("stage")
+        faults.hit("stage")  # call 2: clean
+        faults.reset_counts()
+        with pytest.raises(InjectedFault):
+            faults.hit("stage")  # counter back at 1: rule matches again
+
+    def test_chaining_returns_self(self):
+        faults = FaultInjector()
+        assert faults.fail_on("a").truncate_on("b") is faults
+
+
+class TestMangle:
+    def test_clean_write_passes_bytes_through(self):
+        faults = FaultInjector()
+        data, crash = faults.mangle("write_block", b"payload")
+        assert data == b"payload"
+        assert crash is None
+
+    def test_truncate_cuts_bytes_and_requests_crash(self):
+        faults = FaultInjector().truncate_on("write_block", keep=3)
+        data, crash = faults.mangle("write_block", b"payload")
+        assert data == b"pay"
+        assert crash is InjectedFault
+
+    def test_truncate_without_crash(self):
+        faults = FaultInjector().truncate_on("write_block", keep=0, crash=False)
+        data, crash = faults.mangle("write_block", b"payload")
+        assert data == b""
+        assert crash is None
+
+    def test_truncate_addresses_a_single_call(self):
+        faults = FaultInjector().truncate_on("write_block", call=2, keep=1)
+        assert faults.mangle("write_block", b"aa") == (b"aa", None)
+        assert faults.mangle("write_block", b"bb") == (b"b", InjectedFault)
+        assert faults.mangle("write_block", b"cc") == (b"cc", None)
+
+    def test_fail_rule_fires_inside_mangle_before_write(self):
+        faults = FaultInjector().fail_on("write_block")
+        with pytest.raises(InjectedFault):
+            faults.mangle("write_block", b"payload")

@@ -1,0 +1,120 @@
+"""Regression tests for the runtime lock-order sanitizer (DESIGN.md §8).
+
+Marked ``concurrency`` so the autouse fixture in ``tests/conftest.py``
+arms the sanitizer: out-of-order nested ``acquire_shards`` calls must
+raise :class:`LockOrderError` instead of deadlocking.  The static
+analyzer (promlint PL002) catches the literal-id cases; these tests pin
+the dynamic complement.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import LockOrderError, ShardedCalibrationStore
+from repro.core.sharding import _LOCK_SANITIZER, lock_order_sanitizer_enabled
+
+pytestmark = pytest.mark.concurrency
+
+
+@pytest.fixture
+def store():
+    return ShardedCalibrationStore(capacity=16, n_shards=4)
+
+
+class TestLockOrderSanitizer:
+    def test_fixture_armed_the_sanitizer(self):
+        assert lock_order_sanitizer_enabled()
+
+    def test_descending_nested_acquisition_raises(self, store):
+        with store.acquire_shards([2, 3]):
+            with pytest.raises(LockOrderError, match="strictly ascending"):
+                with store.acquire_shards([0]):
+                    pass  # pragma: no cover - never reached
+
+    def test_overlapping_reacquisition_raises(self, store):
+        """Re-taking a held non-reentrant lock would self-deadlock."""
+        with store.acquire_shards([1]):
+            with pytest.raises(LockOrderError):
+                with store.acquire_shards([1, 2]):
+                    pass  # pragma: no cover - never reached
+
+    def test_strictly_ascending_nesting_is_allowed(self, store):
+        with store.acquire_shards([0, 1]):
+            with store.acquire_shards([2, 3]):
+                assert store.locked_shard_ids() == (0, 1, 2, 3)
+
+    def test_error_names_held_and_requested_ids(self, store):
+        with store.acquire_shards([2]):
+            with pytest.raises(LockOrderError, match=r"holds \[2\].*\[0, 1\]"):
+                with store.acquire_shards([0, 1]):
+                    pass  # pragma: no cover - never reached
+
+    def test_held_state_unwinds_after_violation(self, store):
+        """A raised violation leaves no phantom held entries behind."""
+        with store.acquire_shards([1]):
+            with pytest.raises(LockOrderError):
+                with store.acquire_shards([0]):
+                    pass  # pragma: no cover - never reached
+            assert _LOCK_SANITIZER.held_shards(store) == (1,)
+        assert _LOCK_SANITIZER.held_shards(store) == ()
+        # the store is fully usable afterwards
+        with store.acquire_shards([0]):
+            pass
+
+    def test_held_state_is_per_thread(self, store):
+        """Another thread's holds don't poison this thread's ordering."""
+        entered = threading.Event()
+        release = threading.Event()
+        errors = []
+
+        def hold_high():
+            try:
+                with store.acquire_shards([3]):
+                    entered.set()
+                    release.wait(10)
+            except Exception as exc:  # pragma: no cover - diagnostic only
+                errors.append(exc)
+
+        worker = threading.Thread(target=hold_high)
+        worker.start()
+        try:
+            assert entered.wait(10)
+            # this thread holds nothing: acquiring low ids is legal even
+            # though another thread currently holds shard 3
+            with store.acquire_shards([0, 1]):
+                assert _LOCK_SANITIZER.held_shards(store) == (0, 1)
+        finally:
+            release.set()
+            worker.join(10)
+        assert not errors
+
+    def test_held_state_is_per_store(self):
+        """Holding shards of one store never constrains another store."""
+        first = ShardedCalibrationStore(capacity=16, n_shards=4)
+        second = ShardedCalibrationStore(capacity=16, n_shards=4)
+        with first.acquire_shards([3]):
+            with second.acquire_shards([0]):
+                assert _LOCK_SANITIZER.held_shards(first) == (3,)
+                assert _LOCK_SANITIZER.held_shards(second) == (0,)
+
+
+class TestSanitizerDisarmed:
+    def test_disabled_outside_concurrency_marker(self, store):
+        """With the sanitizer off, ordering is not checked (legacy path).
+
+        Descending nesting on *disjoint* shard sets cannot deadlock a
+        single thread, so with the sanitizer disarmed it proceeds; this
+        pins the zero-overhead default rather than endorsing the idiom.
+        """
+        from repro.core.sharding import disable_lock_order_sanitizer
+
+        disable_lock_order_sanitizer()
+        try:
+            with store.acquire_shards([2, 3]):
+                with store.acquire_shards([0]):
+                    assert store.locked_shard_ids() == (0, 2, 3)
+        finally:
+            from repro.core.sharding import enable_lock_order_sanitizer
+
+            enable_lock_order_sanitizer()
