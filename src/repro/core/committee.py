@@ -59,6 +59,13 @@ class DecisionBatch(Sequence):
             per-expert arrays.
         expert_credibility / expert_confidence / expert_set_size /
             expert_accept: ``(n_experts, n)`` per-expert detail.
+        n_candidates_scored / n_shards_pruned: whole-batch pruning
+            observability (set by the shard-pruned evaluate path,
+            ``None`` otherwise): total calibration rows in the test
+            samples' candidate pools, and total shards those samples
+            skipped.  Preserved by :meth:`take` (a permutation keeps
+            the whole batch), summed by :meth:`concatenate`, dropped by
+            slicing (a subset is no longer the whole batch).
     """
 
     accepted: np.ndarray
@@ -69,6 +76,8 @@ class DecisionBatch(Sequence):
     expert_confidence: np.ndarray
     expert_set_size: np.ndarray
     expert_accept: np.ndarray
+    n_candidates_scored: int | None = None
+    n_shards_pruned: int | None = None
 
     def __len__(self) -> int:
         return len(self.accepted)
@@ -114,9 +123,34 @@ class DecisionBatch(Sequence):
         """Materialize the batch as a plain list of :class:`Decision`."""
         return [self[i] for i in range(len(self))]
 
+    def take(self, indices) -> "DecisionBatch":
+        """Gather batch rows into a new order (a permutation/gather).
+
+        Used by the shard-pruned evaluate path to restore the caller's
+        row order after grouping test samples by candidate shard; the
+        whole-batch pruning counters are preserved.
+        """
+        indices = np.asarray(indices, dtype=int)
+        return DecisionBatch(
+            accepted=self.accepted[indices],
+            credibility=self.credibility[indices],
+            confidence=self.confidence[indices],
+            expert_names=self.expert_names,
+            expert_credibility=self.expert_credibility[:, indices],
+            expert_confidence=self.expert_confidence[:, indices],
+            expert_set_size=self.expert_set_size[:, indices],
+            expert_accept=self.expert_accept[:, indices],
+            n_candidates_scored=self.n_candidates_scored,
+            n_shards_pruned=self.n_shards_pruned,
+        )
+
     @classmethod
     def concatenate(cls, batches, expert_names=()) -> "DecisionBatch":
-        """Stitch per-chunk batches back into one result."""
+        """Stitch per-chunk batches back into one result.
+
+        Pruning counters sum when every batch carries them and drop to
+        ``None`` when any batch lacks them.
+        """
         batches = list(batches)
         if not batches:
             n_experts = len(expert_names)
@@ -146,6 +180,16 @@ class DecisionBatch(Sequence):
             ),
             expert_accept=np.concatenate(
                 [b.expert_accept for b in batches], axis=1
+            ),
+            n_candidates_scored=(
+                sum(b.n_candidates_scored for b in batches)
+                if all(b.n_candidates_scored is not None for b in batches)
+                else None
+            ),
+            n_shards_pruned=(
+                sum(b.n_shards_pruned for b in batches)
+                if all(b.n_shards_pruned is not None for b in batches)
+                else None
             ),
         )
 

@@ -48,7 +48,7 @@ from .pvalue import (
     pvalues_from_binning,
 )
 from .scores import assess, assess_batch
-from .segments import ComposedStateAttr, state_is_set
+from .segments import ComposedStateAttr, EvaluationView, state_is_set
 from .weighting import AdaptiveWeighting, iter_squared_distance_chunks, squared_distance_matrix
 
 #: soft bound on the number of float64 cells one evaluation chunk's
@@ -70,6 +70,23 @@ def _evaluation_chunk(n_calibration: int, chunk_size: int | None, n_labels: int 
         return chunk_size
     widest = max(1, n_calibration, n_labels * n_labels)
     return max(1, _EVALUATE_CELL_BUDGET // widest)
+
+
+def _pending_bundle(prom):
+    """The un-materialized compose bundle behind ``prom``, or ``None``.
+
+    Hook-free: inspects the installed ``_compose_hook`` without firing
+    it, so asking never triggers the deferred flat concatenation.
+    """
+    hook = prom.__dict__.get("_compose_hook")
+    pending = getattr(hook, "pending_bundle", None)
+    return pending() if pending is not None else None
+
+
+def _segment_view(prom):
+    """The segment-direct :class:`EvaluationView`, or ``None`` (flat path)."""
+    bundle = _pending_bundle(prom)
+    return bundle.evaluation_view() if bundle is not None else None
 
 
 def _check_calibration_inputs(features, outputs, targets):
@@ -191,12 +208,27 @@ class PromClassifier:
     @property
     def calibration_size(self) -> int:
         """Number of calibration samples backing the detector (0 before
-        ``calibrate()``)."""
-        return len(self._features) if self.is_calibrated else 0
+        ``calibrate()``).  Counted from the pending compose bundle when
+        one exists, so asking never forces the flat materialization."""
+        if not self.is_calibrated:
+            return 0
+        bundle = _pending_bundle(self)
+        if bundle is not None:
+            return len(bundle.fields["_features"])
+        return len(self._features)
 
     def _require_calibrated(self):
         if not self.is_calibrated:
             raise NotCalibratedError("call calibrate() before evaluating samples")
+
+    def _evaluation_state(self) -> EvaluationView:
+        """The flat-state evaluation view (materializes composed state)."""
+        return EvaluationView(
+            features=self._features,
+            labels=self._labels,
+            layouts=tuple(self._layouts),
+            n_labels=self._n_classes,
+        )
 
     def _check_evaluate_inputs(self, features, probabilities, predicted_labels):
         features = np.asarray(features, dtype=float)
@@ -241,19 +273,53 @@ class PromClassifier:
         processed in memory-bounded chunks: each chunk costs one chunked
         distance matrix, one p-value kernel per expert, and one
         committee vote, independent of the number of samples.
+
+        When the detector's state sits behind an un-materialized
+        compose bundle (a streaming snapshot), the kernels iterate the
+        per-shard blocks directly — bit-identical to the flat path, and
+        the ``O(n)`` flat concatenation never happens (DESIGN.md §9).
+        A :class:`~repro.core.pruning.CandidatePruner` installed as
+        ``_pruner`` additionally restricts each test sample to its
+        router-affine candidate shards.  ``chunk_size=None`` falls back
+        to the instance default ``_chunk_size`` (when set) before the
+        automatic memory-bounded choice.
         """
         self._require_calibrated()
         features, probabilities, predicted_labels = self._check_evaluate_inputs(
             features, probabilities, predicted_labels
         )
+        if chunk_size is None:
+            chunk_size = getattr(self, "_chunk_size", None)
+        view = _segment_view(self)
+        pruner = self.__dict__.get("_pruner")
+        if view is not None and pruner is not None:
+            pruned = pruner.evaluate(
+                self,
+                view,
+                features,
+                (probabilities, predicted_labels),
+                chunk_size,
+                route_labels=predicted_labels,
+            )
+            if pruned is not None:
+                return pruned
+        state = view if view is not None else self._evaluation_state()
+        return self._evaluate_rows(
+            state, features, (probabilities, predicted_labels), chunk_size
+        )
+
+    def _evaluate_rows(self, state, features, payload, chunk_size) -> DecisionBatch:
+        """Chunked committee evaluation against one evaluation state."""
+        probabilities, predicted_labels = payload
         chunk = _evaluation_chunk(
-            len(self._features), chunk_size, self._n_classes
+            len(state.features), chunk_size, self._n_classes
         )
         chunks = [
             self._evaluate_chunk(
                 features[start : start + chunk],
                 probabilities[start : start + chunk],
                 predicted_labels[start : start + chunk],
+                state,
             )
             for start in range(0, len(features), chunk)
         ]
@@ -261,13 +327,15 @@ class PromClassifier:
             chunks, expert_names=tuple(f.name for f in self.functions)
         )
 
-    def _evaluate_chunk(self, features, probabilities, predicted_labels) -> DecisionBatch:
-        subset = self.weighting.select_batch(self._features, features)
+    def _evaluate_chunk(
+        self, features, probabilities, predicted_labels, state
+    ) -> DecisionBatch:
+        subset = self.weighting.select_batch(state.features, features)
         # Selection, weights and labels are expert-independent: bin them
         # once and share across the committee.
-        binning = bin_subset_by_label(subset, self._labels, self._n_classes)
+        binning = bin_subset_by_label(subset, state.labels, self._n_classes)
         assessments = []
-        for function, layout in zip(self.functions, self._layouts):
+        for function, layout in zip(self.functions, state.layouts):
             test_scores = function.score_all_labels(probabilities)
             pvalues = pvalues_from_binning(
                 layout,
@@ -358,18 +426,20 @@ class PromClassifier:
         features, probabilities, _ = self._check_evaluate_inputs(
             features, probabilities, None
         )
+        view = _segment_view(self)
+        state = view if view is not None else self._evaluation_state()
         chunk = _evaluation_chunk(
-            len(self._features), chunk_size, self._n_classes
+            len(state.features), chunk_size, self._n_classes
         )
         membership = np.empty((len(features), self._n_classes), dtype=bool)
         for start in range(0, len(features), chunk):
             stop = min(len(features), start + chunk)
             subset = self.weighting.select_batch(
-                self._features, features[start:stop]
+                state.features, features[start:stop]
             )
-            binning = bin_subset_by_label(subset, self._labels, self._n_classes)
+            binning = bin_subset_by_label(subset, state.labels, self._n_classes)
             inclusion_votes = np.zeros((stop - start, self._n_classes))
-            for function, layout in zip(self.functions, self._layouts):
+            for function, layout in zip(self.functions, state.layouts):
                 test_scores = function.score_all_labels(probabilities[start:stop])
                 pvalues = pvalues_from_binning(
                     layout,
@@ -492,12 +562,28 @@ class PromRegressor:
     @property
     def calibration_size(self) -> int:
         """Number of calibration samples backing the detector (0 before
-        ``calibrate()``)."""
-        return len(self._features) if self.is_calibrated else 0
+        ``calibrate()``).  Counted from the pending compose bundle when
+        one exists, so asking never forces the flat materialization."""
+        if not self.is_calibrated:
+            return 0
+        bundle = _pending_bundle(self)
+        if bundle is not None:
+            return len(bundle.fields["_features"])
+        return len(self._features)
 
     def _require_calibrated(self):
         if not self.is_calibrated:
             raise NotCalibratedError("call calibrate() before evaluating samples")
+
+    def _evaluation_state(self) -> EvaluationView:
+        """The flat-state evaluation view (materializes composed state)."""
+        return EvaluationView(
+            features=self._features,
+            labels=self._clusters,
+            layouts=tuple(self._layouts),
+            n_labels=self.clusterer_.k_,
+            targets=self._targets,
+        )
 
     def _loo_targets(self, features: np.ndarray, targets: np.ndarray) -> np.ndarray:
         """Leave-one-out k-NN approximation of each calibration target."""
@@ -522,19 +608,27 @@ class PromRegressor:
 
         The test-vs-calibration distance matrix is built in
         memory-bounded chunks; each chunk needs one ``argpartition``
-        and one gather-mean.
+        and one gather-mean.  Runs segment-direct (bit-identical, no
+        flat concat) when the state sits behind a pending compose
+        bundle.
         """
         self._require_calibrated()
         features = np.asarray(features, dtype=float)
         if features.ndim == 1:
             features = features.reshape(1, -1)
-        k = min(self.k_neighbors, len(self._features))
+        view = _segment_view(self)
+        state = view if view is not None else self._evaluation_state()
+        return self._approximate_targets(features, state, chunk_size)
+
+    def _approximate_targets(self, features, state, chunk_size=None) -> np.ndarray:
+        """k-NN target estimates against one evaluation state."""
+        k = min(self.k_neighbors, len(state.features))
         approximations = np.empty(len(features))
         for start, stop, block in iter_squared_distance_chunks(
-            features, self._features, chunk_size
+            features, state.features, chunk_size
         ):
             nearest = np.argpartition(block, k - 1, axis=1)[:, :k]
-            approximations[start:stop] = self._targets[nearest].mean(axis=1)
+            approximations[start:stop] = state.targets[nearest].mean(axis=1)
         return approximations
 
     # -- deployment --------------------------------------------------------------
@@ -551,19 +645,41 @@ class PromRegressor:
         return batch[0]
 
     def evaluate(self, features, predictions, chunk_size=None) -> DecisionBatch:
-        """Assess a batch of regression predictions with the batch engine."""
+        """Assess a batch of regression predictions with the batch engine.
+
+        Mirrors :meth:`PromClassifier.evaluate`, including the
+        segment-direct path over a pending compose bundle, the optional
+        ``_pruner`` shard restriction, and the ``_chunk_size`` default.
+        """
         self._require_calibrated()
         features = np.asarray(features, dtype=float)
         predictions = np.asarray(predictions, dtype=float).ravel()
         if features.ndim == 1:
             features = features.reshape(1, -1)
+        if chunk_size is None:
+            chunk_size = getattr(self, "_chunk_size", None)
+        view = _segment_view(self)
+        pruner = self.__dict__.get("_pruner")
+        if view is not None and pruner is not None:
+            pruned = pruner.evaluate(
+                self, view, features, (predictions,), chunk_size
+            )
+            if pruned is not None:
+                return pruned
+        state = view if view is not None else self._evaluation_state()
+        return self._evaluate_rows(state, features, (predictions,), chunk_size)
+
+    def _evaluate_rows(self, state, features, payload, chunk_size) -> DecisionBatch:
+        """Chunked committee evaluation against one evaluation state."""
+        (predictions,) = payload
         chunk = _evaluation_chunk(
-            len(self._features), chunk_size, self.clusterer_.k_
+            len(state.features), chunk_size, self.clusterer_.k_
         )
         chunks = [
             self._evaluate_chunk(
                 features[start : start + chunk],
                 predictions[start : start + chunk],
+                state,
             )
             for start in range(0, len(features), chunk)
         ]
@@ -571,16 +687,16 @@ class PromRegressor:
             chunks, expert_names=tuple(f.name for f in self.score_functions)
         )
 
-    def _evaluate_chunk(self, features, predictions) -> DecisionBatch:
-        approx_targets = self.approximate_target_batch(features)
-        subset = self.weighting.select_batch(self._features, features)
-        binning = bin_subset_by_label(subset, self._clusters, self.clusterer_.k_)
+    def _evaluate_chunk(self, features, predictions, state) -> DecisionBatch:
+        approx_targets = self._approximate_targets(features, state)
+        subset = self.weighting.select_batch(state.features, features)
+        binning = bin_subset_by_label(subset, state.labels, self.clusterer_.k_)
         assigned_clusters = np.asarray(
             self.clusterer_.assign(features), dtype=int
         )
         n_clusters = self.clusterer_.k_
         assessments = []
-        for function, layout in zip(self.score_functions, self._layouts):
+        for function, layout in zip(self.score_functions, state.layouts):
             test_scores = function.score(predictions, approx_targets)
             # The same residual score stands in for every candidate
             # cluster (the scalar path's np.full, batched).

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .blocks import BlockColumn
 from .weighting import CalibrationSubset, CalibrationSubsetBatch
 from .exceptions import ConfigurationError, ValidationError
 
@@ -304,11 +305,19 @@ def bin_subset_by_label(
     calibration_labels: np.ndarray,
     n_labels: int,
 ) -> SubsetBinning:
-    """Build the shared :class:`SubsetBinning` for one evaluation batch."""
+    """Build the shared :class:`SubsetBinning` for one evaluation batch.
+
+    ``calibration_labels`` may be a
+    :class:`~repro.core.blocks.BlockColumn` of per-shard label blocks;
+    the selection gather then iterates the blocks directly (a gather is
+    exact, so the binning is bit-identical to the flat path).
+    """
     indices = np.asarray(subset_batch.indices)
     weights = np.asarray(subset_batch.weights)
-    labels = np.asarray(calibration_labels, dtype=int)
-    selected_labels = labels[indices]
+    if isinstance(calibration_labels, BlockColumn):
+        selected_labels = np.asarray(calibration_labels[indices], dtype=int)
+    else:
+        selected_labels = np.asarray(calibration_labels, dtype=int)[indices]
     n_test = len(indices)
     rows = np.arange(n_test)[:, None]
     flat_bins = (rows * n_labels + selected_labels).ravel()
@@ -340,6 +349,11 @@ def pvalues_from_binning(
     reduces the weighted tail sums with one label-binned scatter-add
     per tail.  Everything is ``O(n_test * k)`` time and memory — never
     the dense ``n_test * n_labels * k`` of per-label boolean masks.
+
+    ``layout.scores`` may be a
+    :class:`~repro.core.blocks.BlockColumn` (the segment-direct
+    evaluation view); the score gather then iterates per-shard blocks
+    with bit-identical results.
     """
     if weight_mode not in WEIGHT_MODES:
         raise ConfigurationError(f"weight_mode must be one of {WEIGHT_MODES}, got {weight_mode!r}")

@@ -48,8 +48,15 @@ completed apply, never a torn one.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
+from .blocks import (
+    SEGMENT_DIRECT_MIN_ROWS,
+    BlockColumn,
+    segment_direct_supported,
+)
 from .pvalue import LabelGroupedScores, merge_group_counts
 from .weighting import TAU_MAX_ROWS, TAU_SEED
 from .exceptions import ValidationError
@@ -228,6 +235,85 @@ def tau_feature_sample(
     return gather_rows(field.segments, rows)
 
 
+@dataclass(frozen=True)
+class SegmentLayout:
+    """Per-expert calibration-score view for segment-direct evaluation.
+
+    The block-backed stand-in for
+    :class:`~repro.core.pvalue.LabelGroupedScores` on the evaluate hot
+    path: the p-value kernel only reads ``scores`` (gathered at the
+    selected positions) and ``n_labels``, so the view carries exactly
+    those — scores as a :class:`~repro.core.blocks.BlockColumn`, never
+    flattened.
+    """
+
+    scores: BlockColumn
+    n_labels: int
+
+
+@dataclass(frozen=True)
+class EvaluationView:
+    """Calibration state the evaluate kernels consume, block-direct.
+
+    Built by :meth:`SegmentBundle.evaluation_view` over the bundle's
+    per-shard blocks (and duck-typed by the detectors' flat state, so
+    one evaluation code path serves both).  ``labels`` is the p-value
+    grouping column (class labels or cluster pseudo-labels);
+    ``targets`` is present for regression only.  ``shard_ids`` maps
+    each block position to its shard id — the contract the candidate
+    pruner (:mod:`repro.core.pruning`) keys on.
+    """
+
+    features: BlockColumn
+    labels: BlockColumn
+    layouts: tuple
+    n_labels: int
+    targets: BlockColumn | None = None
+    shard_ids: tuple = ()
+
+    def prewarm(self) -> None:
+        """Build every cache a first evaluate would otherwise pay for.
+
+        GEMM panels and row norms of the feature column, and the flat
+        gather bases of the scalar columns.  Called from the serving
+        maintenance plane right after a snapshot is built
+        (:meth:`~repro.core.serving.AsyncServingLoop._build_snapshot`),
+        so the repair work a publish leaves behind — re-gathering the
+        panels that overlap the touched shard — runs on the worker
+        thread and the first decision after the publish lands on a hot
+        view.  Idempotent; every cache build is also safe (and merely
+        redundant) if a decision thread races it.
+        """
+        self.features.panels()
+        self.features.row_norms()
+        scalar_columns = (self.labels, self.targets) + tuple(
+            layout.scores for layout in self.layouts
+        )
+        for column in scalar_columns:
+            if column is not None and len(column.segments) > 1:
+                column.gather_base()
+
+    def restrict(self, positions) -> "EvaluationView":
+        """A view over the block subset at ``positions`` (ascending)."""
+        positions = tuple(int(p) for p in positions)
+        return EvaluationView(
+            features=self.features.restrict(positions),
+            labels=self.labels.restrict(positions),
+            layouts=tuple(
+                SegmentLayout(
+                    scores=layout.scores.restrict(positions),
+                    n_labels=layout.n_labels,
+                )
+                for layout in self.layouts
+            ),
+            n_labels=self.n_labels,
+            targets=(
+                None if self.targets is None else self.targets.restrict(positions)
+            ),
+            shard_ids=tuple(self.shard_ids[p] for p in positions),
+        )
+
+
 class SegmentBundle:
     """The composed per-shard detector state behind one immutable handle.
 
@@ -249,7 +335,16 @@ class SegmentBundle:
     structural sharing between consecutive snapshots.
     """
 
-    __slots__ = ("fields", "score_fields", "group_counts", "label_key", "n_labels")
+    __slots__ = (
+        "fields",
+        "score_fields",
+        "group_counts",
+        "label_key",
+        "n_labels",
+        "_view",
+        "_view_ready",
+        "_inherit_view",
+    )
 
     def __init__(self, fields, score_fields, group_counts, label_key, n_labels):
         self.fields = dict(fields)
@@ -257,6 +352,9 @@ class SegmentBundle:
         self.group_counts = tuple(group_counts)
         self.label_key = label_key
         self.n_labels = int(n_labels)
+        self._view = None
+        self._view_ready = False
+        self._inherit_view = None
 
     @property
     def n_shards(self) -> int:
@@ -291,6 +389,63 @@ class SegmentBundle:
             )
             for expert_scores, counts in zip(scores, self.group_counts)
         ]
+
+    def evaluation_view(self) -> EvaluationView | None:
+        """The segment-direct :class:`EvaluationView`, or ``None``.
+
+        ``None`` means segment-direct evaluation cannot be
+        bit-identical here — the local BLAS failed the runtime probe,
+        the composed set is below
+        :data:`~repro.core.blocks.SEGMENT_DIRECT_MIN_ROWS` (where the
+        canonical GEMM partition is the historical single panel), or
+        the bundle misses a feature field — and the caller must fall
+        back to flat materialization.  Computed once and cached on the
+        (immutable) bundle, so repeated evaluates against one snapshot
+        pay nothing.
+
+        The feature column's GEMM-panel cache is seeded from the
+        field's materialized flat array when one exists (zero-copy
+        views) and inherited from the predecessor bundle's view
+        (``_inherit_view``, wired by the streaming compose) for panels
+        whose blocks survived the mutation — so a publish touching one
+        shard re-gathers only the panels overlapping that shard.
+        """
+        if self._view_ready:
+            return self._view
+        view = None
+        feature_field = self.fields.get("_features")
+        if (
+            feature_field is not None
+            and feature_field.segments
+            and len(feature_field) >= SEGMENT_DIRECT_MIN_ROWS
+            and len(feature_field.trailing_shape) == 1
+            and segment_direct_supported()
+        ):
+            view = EvaluationView(
+                features=BlockColumn(feature_field.segments),
+                labels=BlockColumn(self.fields[self.label_key].segments),
+                layouts=tuple(
+                    SegmentLayout(
+                        scores=BlockColumn(field.segments),
+                        n_labels=self.n_labels,
+                    )
+                    for field in self.score_fields
+                ),
+                n_labels=self.n_labels,
+                targets=(
+                    BlockColumn(self.fields["_targets"].segments)
+                    if "_targets" in self.fields
+                    else None
+                ),
+                shard_ids=tuple(range(len(feature_field.segments))),
+            )
+            view.features.seed_flat(feature_field.cached_flat)
+            if self._inherit_view is not None:
+                view.features.inherit_cache(self._inherit_view.features)
+        self._inherit_view = None
+        self._view = view
+        self._view_ready = True
+        return view
 
     def shared_shards_with(self, previous: "SegmentBundle | None") -> int:
         """Count shards whose every block is shared with ``previous``.
@@ -345,3 +500,74 @@ class BundleComposeHook:
             return
         self._bundle.apply(self._prom)
         self._done = True
+
+    def pending_bundle(self) -> SegmentBundle | None:
+        """The captured bundle while flat state is *not* materialized.
+
+        Segment-direct evaluation keys on this: a pending bundle means
+        an attribute read would trigger the ``O(n)`` flat concat, so
+        the evaluate kernels take the block-direct path instead (and
+        the hook stays pending — the concat never happens).  ``None``
+        once materialized (or frozen already-fresh): the flat arrays
+        exist, so reading them is free.
+        """
+        return None if self._done else self._bundle
+
+
+class TauSketch:
+    """Incremental, bit-identical automatic-tau resolution (DESIGN.md §9).
+
+    ``resolve_tau`` subsamples :data:`~repro.core.weighting.TAU_MAX_ROWS`
+    feature rows with a fixed-seed draw that depends only on the set
+    size ``n``, then takes the median pairwise squared distance.  The
+    sketch exploits that: across store mutations it caches the drawn
+    row indices (per ``n``), the gathered sample, and the resolved tau.
+    On each retune it re-gathers the sampled rows from the segments
+    (``O(max_rows * d)``, no flat concat) and compares values — when no
+    sampled row changed, the cached tau is adopted without recomputing
+    the ``max_rows x max_rows`` distance GEMM and median; when anything
+    changed (or ``n`` changed, which changes the draw itself), the full
+    median kernel reruns on the fresh sample.  Partial GEMM updates are
+    *never* attempted: BLAS row-splits are not bit-stable, so the full
+    recompute is what keeps resolved taus bit-identical to a fresh
+    ``calibrate()`` on the flat state.
+    """
+
+    __slots__ = ("max_rows", "seed", "_n", "_rows", "_sample", "_tau")
+
+    def __init__(self, max_rows: int = TAU_MAX_ROWS, seed: int = TAU_SEED):
+        self.max_rows = int(max_rows)
+        self.seed = seed
+        self._n = -1
+        self._rows = None
+        self._sample = None
+        self._tau = None
+
+    def resolve(self, weighting, field: SegmentedField) -> float:
+        """Resolve ``weighting``'s tau against the segmented features.
+
+        Bit-identical to ``weighting.resolve_tau(field.flat())`` in
+        every case; the cache only ever short-circuits arithmetic whose
+        inputs are verified (by value) to be unchanged.
+        """
+        if weighting.tau is not None:
+            return weighting.resolve_tau(None)  # fixed tau: features unused
+        n = len(field)
+        if n != self._n:
+            self._n = n
+            if n > self.max_rows:
+                self._rows = np.random.default_rng(self.seed).choice(
+                    n, size=self.max_rows, replace=False
+                )
+            else:
+                self._rows = None
+            self._sample = None
+        if self._rows is None:
+            sample = field.flat()
+        else:
+            sample = gather_rows(field.segments, self._rows)
+        if self._sample is not None and np.array_equal(sample, self._sample):
+            return weighting.adopt_tau(self._tau)
+        self._sample = sample
+        self._tau = weighting.resolve_tau(sample)
+        return self._tau

@@ -164,6 +164,18 @@ class ServingStats:
     mutated.  Both stay 0 in single-store mode, where snapshots are
     deep copies.
 
+    ``n_candidates_scored`` / ``n_shards_pruned`` account router-aware
+    shard pruning (DESIGN.md §9) when a
+    :class:`~repro.core.pruning.CandidatePruner` is installed on the
+    detector: total calibration rows in served samples' candidate
+    pools, and total shards those samples skipped.  Both stay 0 when
+    evaluation is unpruned.
+
+    ``last_prewarm_seconds`` / ``total_prewarm_seconds`` account the
+    maintenance-thread view prewarm that follows each segment-composed
+    publish (panel re-gathers, norms, scalar gather bases — the repair
+    work the publish moved off the decision path, DESIGN.md §9).
+
     ``n_retries`` / ``n_dead_lettered`` account the :class:`RetryPolicy`
     (re-executions of failed jobs, and jobs given up on after the last
     attempt).  ``checkpoint_generations`` / ``last_checkpoint_ms`` /
@@ -184,8 +196,12 @@ class ServingStats:
     max_staleness: int = 0
     decisions_served: int = 0
     decisions_during_maintenance: int = 0
+    n_candidates_scored: int = 0
+    n_shards_pruned: int = 0
     last_publish_seconds: float = 0.0
     total_publish_seconds: float = 0.0
+    last_prewarm_seconds: float = 0.0
+    total_prewarm_seconds: float = 0.0
     shard_blocks_shared: int = 0
     shard_blocks_rebuilt: int = 0
     n_retries: int = 0
@@ -404,7 +420,9 @@ class AsyncServingLoop:
         snapshot = self._snapshot
         during_maintenance = self.maintenance_active
         predictions, decisions = snapshot.predict(X)
-        self._count_served(len(np.asarray(predictions)), during_maintenance)
+        self._count_served(
+            len(np.asarray(predictions)), during_maintenance, decisions
+        )
         return predictions, decisions
 
     def evaluate(self, *args, **kwargs):
@@ -412,10 +430,10 @@ class AsyncServingLoop:
         snapshot = self._snapshot
         during_maintenance = self.maintenance_active
         decisions = snapshot.evaluate(*args, **kwargs)
-        self._count_served(len(decisions), during_maintenance)
+        self._count_served(len(decisions), during_maintenance, decisions)
         return decisions
 
-    def _count_served(self, n: int, during_maintenance: bool) -> None:
+    def _count_served(self, n: int, during_maintenance: bool, batch=None) -> None:
         # `+=` on the shared dataclass is a read-modify-write, and two
         # concurrent readers would lose increments permanently — a
         # dedicated lock keeps the stats exact for microseconds per
@@ -425,6 +443,10 @@ class AsyncServingLoop:
             self.stats.decisions_served += n
             if during_maintenance:
                 self.stats.decisions_during_maintenance += n
+            scored = getattr(batch, "n_candidates_scored", None)
+            if scored is not None:
+                self.stats.n_candidates_scored += scored
+                self.stats.n_shards_pruned += batch.n_shards_pruned or 0
 
     # -- write side (queued) ------------------------------------------------------
     def submit_fold(self, X, y) -> bool:
@@ -779,6 +801,20 @@ class AsyncServingLoop:
         elapsed = time.perf_counter() - started
         self.stats.last_publish_seconds = elapsed
         self.stats.total_publish_seconds += elapsed
+        if bundle is not None:
+            # prewarm the segment-direct view here, on the maintenance
+            # thread: the panel re-gathers and norm rebuilds a mutation
+            # leaves behind must not tax the first decision after the
+            # publish (DESIGN.md §9).  Timed apart from the publish —
+            # it is repair work moved off the decision path, not part
+            # of the structural-sharing pointer swap.
+            started = time.perf_counter()
+            view = bundle.evaluation_view()
+            if view is not None:
+                view.prewarm()
+            prewarm = time.perf_counter() - started
+            self.stats.last_prewarm_seconds = prewarm
+            self.stats.total_prewarm_seconds += prewarm
         return snapshot
 
     def _publish(self) -> None:

@@ -249,6 +249,17 @@ class ClusterShardRouter(ShardRouter):
         """Whether K-means centers have been fit (required to route)."""
         return self._kmeans is not None
 
+    @property
+    def centers(self) -> np.ndarray | None:
+        """The fitted per-shard K-means centers (``None`` before ``fit``).
+
+        Row ``i`` is shard ``i``'s center (fewer rows than shards when
+        the fitting batch was small).  The candidate pruner
+        (:mod:`repro.core.pruning`) uses these as shard centroids for
+        spill-neighbor ordering instead of re-deriving block means.
+        """
+        return None if self._kmeans is None else self._kmeans.cluster_centers_
+
     def fit(self, features, labels=None) -> "ClusterShardRouter":
         """Fit K-means centers on a calibration batch.
 

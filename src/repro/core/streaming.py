@@ -78,8 +78,8 @@ from .segments import (
     BundleComposeHook,
     SegmentBundle,
     SegmentedField,
+    TauSketch,
     make_field,
-    tau_feature_sample,
 )
 from .sharding import ShardedCalibrationStore
 from .weighting import median_pairwise_tau
@@ -139,6 +139,36 @@ class _ShardState:
     clusters: np.ndarray | None = field(default=None)
 
 
+class _LiveComposeHook:
+    """The live detector's compose hook, with a pending-bundle probe.
+
+    Calling it materializes the current bundle's flat arrays (the
+    descriptor protocol of
+    :class:`~repro.core.segments.ComposedStateAttr`); the extra
+    :meth:`pending_bundle` accessor lets the evaluate kernels see the
+    un-materialized bundle and run segment-direct *without* triggering
+    the flat concatenation — the same protocol
+    :class:`~repro.core.segments.BundleComposeHook` gives frozen
+    snapshots.
+    """
+
+    __slots__ = ("_wrapper",)
+
+    def __init__(self, wrapper):
+        self._wrapper = wrapper
+
+    def __call__(self) -> None:
+        self._wrapper._materialize_composed()
+
+    def pending_bundle(self):
+        """The bundle whose flat arrays are not materialized yet, or ``None``."""
+        wrapper = self._wrapper
+        bundle = wrapper._bundle
+        if bundle is None or wrapper._bundle_fresh:
+            return None
+        return bundle
+
+
 class _ShardMixin:
     """Shard, segment-compose and snapshot bookkeeping shared by both
     streaming wrappers.
@@ -169,10 +199,13 @@ class _ShardMixin:
         """Wire the detector to the lazy segment compose layer."""
         self._bundle = None
         self._bundle_fresh = True
+        self._tau_sketch = TauSketch()
         # Installed as the detector's compose hook: any state read
         # (evaluate, or a direct prom._features access) materializes
         # the current bundle first, so laziness is never observable.
-        self.prom._compose_hook = self._materialize_composed
+        # The hook object additionally exposes the pending bundle, so
+        # evaluate can run segment-direct without firing it.
+        self.prom._compose_hook = _LiveComposeHook(self)
 
     def _materialize_composed(self) -> None:
         """Install the current bundle's flat arrays on the detector.
@@ -198,18 +231,16 @@ class _ShardMixin:
     def _retune_composed_tau(self, retune_tau: bool, feature_field) -> None:
         """Re-resolve the detector's tau from the feature segments.
 
-        Uses :func:`~repro.core.segments.tau_feature_sample` to gather
-        exactly the rows the flat ``resolve_tau`` would subsample, so
-        the resolved value is bit-identical while the cost stays
-        ``O(max_rows * d)`` instead of forcing the flat concat.
+        Delegates to the wrapper's incremental
+        :class:`~repro.core.segments.TauSketch`: the sketch gathers
+        exactly the rows the flat ``resolve_tau`` would subsample
+        (bit-identical, ``O(max_rows * d)``, no flat concat) and skips
+        the median kernel entirely when no sampled row changed across
+        the mutation.
         """
         if not retune_tau:
             return
-        weighting = self.prom.weighting
-        if weighting.tau is not None:
-            weighting.resolve_tau(None)  # fixed tau: features unused
-        else:
-            weighting.resolve_tau(tau_feature_sample(feature_field))
+        self._tau_sketch.resolve(self.prom.weighting, feature_field)
 
     @property
     def _feature_dim(self) -> int:
@@ -278,6 +309,16 @@ class _ShardMixin:
             label_key=self._compose_label_key,
             n_labels=n_labels,
         )
+        if previous is not None:
+            # Carry the newest built evaluation view across the
+            # mutation (at most one generation is kept alive): panels
+            # over untouched shards are inherited instead of
+            # re-gathered when the new bundle's view is built.
+            self._bundle._inherit_view = (
+                previous._view
+                if previous._view is not None
+                else previous._inherit_view
+            )
         self._bundle_fresh = fresh
         return fields
 

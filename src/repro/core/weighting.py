@@ -13,6 +13,7 @@ import functools
 from dataclasses import dataclass
 
 import numpy as np
+from .blocks import BlockColumn, flat_panels, panel_product
 from .exceptions import ConfigurationError, ValidationError
 
 #: soft bound on the number of float64 cells a distance block may hold
@@ -45,9 +46,21 @@ def iter_squared_distance_chunks(test_features, calibration_features, chunk_size
     computed with the ``||a - b||^2 = ||a||^2 + ||b||^2 - 2 a.b``
     identity: one GEMM per block instead of an ``(n, m, d)`` broadcast,
     with temporary memory bounded by ``chunk * n_calibration`` cells.
+
+    The GEMM follows the canonical fixed-panel partition of the
+    calibration axis (:func:`~repro.core.blocks.panel_bounds`), so
+    ``calibration_features`` may equivalently be a flat array or a
+    :class:`~repro.core.blocks.BlockColumn` of per-shard segments —
+    the segmented backend iterates the blocks directly (no flat
+    concatenation) with bit-identical results; see DESIGN.md §9.
     """
     test = np.asarray(test_features, dtype=float)
-    calibration = np.asarray(calibration_features, dtype=float)
+    segmented = isinstance(calibration_features, BlockColumn)
+    calibration = (
+        calibration_features
+        if segmented
+        else np.asarray(calibration_features, dtype=float)
+    )
     if test.ndim == 1:
         test = test.reshape(1, -1)
     if calibration.ndim != 2 or test.ndim != 2:
@@ -57,12 +70,17 @@ def iter_squared_distance_chunks(test_features, calibration_features, chunk_size
             f"feature dimensionality mismatch: calibration has "
             f"{calibration.shape[1]}, test has {test.shape[1]}"
         )
-    calibration_sq = np.einsum("ij,ij->i", calibration, calibration)
+    if segmented:
+        calibration_sq = calibration.row_norms()
+        panels = calibration.panels()
+    else:
+        calibration_sq = np.einsum("ij,ij->i", calibration, calibration)
+        panels = flat_panels(calibration)
     chunk = _auto_chunk(len(calibration), chunk_size)
     for start in range(0, len(test), chunk):
         stop = min(len(test), start + chunk)
         block_rows = test[start:stop]
-        block = block_rows @ calibration.T
+        block = panel_product(block_rows, panels, len(calibration))
         block *= -2.0
         block += np.einsum("ij,ij->i", block_rows, block_rows)[:, None]
         block += calibration_sq[None, :]
@@ -80,7 +98,10 @@ def squared_distance_matrix(A, B=None, chunk_size=None) -> np.ndarray:
     ``A`` against itself.
     """
     A = np.asarray(A, dtype=float)
-    B = A if B is None else np.asarray(B, dtype=float)
+    if B is None:
+        B = A
+    elif not isinstance(B, BlockColumn):
+        B = np.asarray(B, dtype=float)
     out = np.empty((len(A), len(B)))
     for start, stop, block in iter_squared_distance_chunks(A, B, chunk_size):
         out[start:stop] = block
@@ -234,6 +255,18 @@ class AdaptiveWeighting:
         )
         return self._resolved_tau
 
+    def adopt_tau(self, tau: float) -> float:
+        """Install an externally resolved automatic tau.
+
+        Used by the streaming tau sketch
+        (:class:`~repro.core.segments.TauSketch`) to carry a cached
+        resolution across store mutations whose sampled feature rows
+        did not change; a fixed ``tau`` always wins, exactly as in
+        :meth:`resolve_tau`.
+        """
+        self._resolved_tau = self.tau if self.tau is not None else float(tau)
+        return self._resolved_tau
+
     def select(self, calibration_features: np.ndarray, test_feature: np.ndarray) -> CalibrationSubset:
         """Return the weighted nearest subset for one test feature vector."""
         features = np.asarray(calibration_features, dtype=float)
@@ -278,8 +311,15 @@ class AdaptiveWeighting:
         vectorized ``exp``, so the whole batch costs a handful of NumPy
         kernels instead of ``n_test`` Python iterations of
         :meth:`select`.
+
+        ``calibration_features`` may be a
+        :class:`~repro.core.blocks.BlockColumn`; selection then runs
+        segment-direct (bit-identical — DESIGN.md §9).
         """
-        features = np.asarray(calibration_features, dtype=float)
+        if isinstance(calibration_features, BlockColumn):
+            features = calibration_features
+        else:
+            features = np.asarray(calibration_features, dtype=float)
         test = np.asarray(test_features, dtype=float)
         if test.ndim == 1:
             test = test.reshape(1, -1)
@@ -356,7 +396,10 @@ class UniformWeighting(AdaptiveWeighting):
     def select_batch(
         self, calibration_features, test_features, chunk_size=None
     ) -> CalibrationSubsetBatch:
-        features = np.asarray(calibration_features, dtype=float)
+        if isinstance(calibration_features, BlockColumn):
+            features = calibration_features
+        else:
+            features = np.asarray(calibration_features, dtype=float)
         test = np.asarray(test_features, dtype=float)
         if test.ndim == 1:
             test = test.reshape(1, -1)

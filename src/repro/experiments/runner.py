@@ -41,6 +41,7 @@ from ..core import (
 from ..core.durability import CheckpointWriter, restore_checkpoint
 from ..core.exceptions import CheckpointError
 from ..core.nonconformity import default_classification_functions
+from ..core.pruning import CandidatePruner
 from ..core.serving import AsyncServingLoop, JobError
 from ..models import tlp as tlp_factory
 from ..tasks import DnnCodeGenerationTask
@@ -415,6 +416,13 @@ class StreamStep:
     jobs (async runs with a retry policy), committed checkpoint
     generations, and the wall-clock cost of the newest one (sync runs
     checkpoint inline; async runs ride the maintenance queue).
+
+    ``n_candidates_scored`` / ``n_shards_pruned`` are this batch's
+    shard-pruning counters (DESIGN.md §9): calibration rows actually
+    scored by the GEMM, and ``(test row, skipped shard)`` pairs the
+    pruner excluded.  Both stay 0 unless the run evaluated
+    segment-direct with a :class:`~repro.core.pruning.CandidatePruner`
+    installed (``stream_deployment(..., prune=True)``).
     """
 
     start: int
@@ -437,6 +445,8 @@ class StreamStep:
     n_dead_lettered: int = 0
     checkpoint_generations: int = 0
     last_checkpoint_ms: float = 0.0
+    n_candidates_scored: int = 0
+    n_shards_pruned: int = 0
     decisions: object = field(repr=False, compare=False, default=None)
 
 
@@ -460,6 +470,12 @@ class StreamResult:
     (``restore_from_checkpoint=True``) resumed from (``None`` for cold
     starts) and ``restore_fallbacks`` the reasons newer generations
     were skipped over during that restore.
+
+    ``chunk_size`` / ``prune`` / ``prune_spill`` echo the evaluate
+    configuration the run was launched with (DESIGN.md §9), so result
+    records are self-describing; ``n_candidates_scored`` /
+    ``n_shards_pruned`` total the per-step pruning counters (0 unless
+    pruned segment-direct evaluation was in effect).
     """
 
     steps: list = field(repr=False, default_factory=list)
@@ -480,6 +496,11 @@ class StreamResult:
     checkpoint_generations: int = 0
     restored_generation: int | None = None
     restore_fallbacks: tuple = ()
+    chunk_size: int | None = None
+    prune: bool = False
+    prune_spill: float = 1.0
+    n_candidates_scored: int = 0
+    n_shards_pruned: int = 0
 
 
 def stream_deployment(
@@ -502,6 +523,9 @@ def stream_deployment(
     checkpoint_every: int = 1,
     restore_from_checkpoint: bool = False,
     retry=None,
+    chunk_size: int | None = None,
+    prune: bool = False,
+    prune_spill: float = 1.0,
 ) -> StreamResult:
     """Serve a sample stream end to end: detect, relabel, recalibrate.
 
@@ -585,6 +609,19 @@ def stream_deployment(
             forwarded to the serving loop (async mode only) —
             transient job failures back off and retry instead of
             dead-ending on first error.
+        chunk_size: evaluate-kernel test-row chunk width forwarded to
+            the detector (``None`` keeps the adaptive cell-budget
+            default; see DESIGN.md §9).
+        prune: install a :class:`~repro.core.pruning.CandidatePruner`
+            on the detector so segment-direct evaluation scores each
+            test sample only against its candidate shards.  With
+            ``prune_spill=1.0`` (the default) every shard is a
+            candidate and decisions stay bit-identical to the unpruned
+            path; lower spill trades coverage for a smaller GEMM.
+            Pruning engages only where segment-direct evaluation does —
+            sharded stores serving from a composed bundle.
+        prune_spill: fraction of the non-primary active shards each
+            sample additionally scores, in ``[0, 1]``.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -616,6 +653,20 @@ def stream_deployment(
             else:
                 restored_generation = report.generation
                 restore_fallbacks = report.fallbacks
+    prom = getattr(interface, "prom", None)
+    if prom is not None:
+        if chunk_size is not None:
+            prom._chunk_size = chunk_size
+        if prune:
+            # Snapshot proms are shallow copies of this one, so the
+            # pruner (and chunk size) ride along into every published
+            # generation.
+            router = getattr(
+                getattr(getattr(interface, "streaming", None), "store", None),
+                "router",
+                None,
+            )
+            prom._pruner = CandidatePruner(router=router, spill=prune_spill)
     loop = None
     sync_checkpoint_state = {"since": 0, "generations": 0, "last_ms": 0.0}
     if async_serving:
@@ -665,6 +716,8 @@ def stream_deployment(
     n_dropped_total = 0
     n_lost_total = 0
     n_model_updates = 0
+    scored_total = 0
+    pruned_total = 0
     total_shards = getattr(getattr(interface, "streaming", None), "n_shards", 1)
     stream_started = time.perf_counter()
     try:
@@ -682,6 +735,10 @@ def stream_deployment(
                 during_maintenance = False
                 blocks_shared = 0
                 _, decisions = interface.predict(X_stream[start:stop])
+            step_scored = getattr(decisions, "n_candidates_scored", None) or 0
+            step_pruned = getattr(decisions, "n_shards_pruned", None) or 0
+            scored_total += step_scored
+            pruned_total += step_pruned
             alert = monitor.observe_batch(decisions)
             # captured before any post-update reset clears the window
             window_rate = monitor.rejection_rate
@@ -786,6 +843,8 @@ def stream_deployment(
                     n_dead_lettered=step_dead,
                     checkpoint_generations=step_generations,
                     last_checkpoint_ms=step_checkpoint_ms,
+                    n_candidates_scored=step_scored,
+                    n_shards_pruned=step_pruned,
                     decisions=decisions if record_decisions else None,
                 )
             )
@@ -822,6 +881,11 @@ def stream_deployment(
         checkpoint_generations=total_generations,
         restored_generation=restored_generation,
         restore_fallbacks=restore_fallbacks,
+        chunk_size=chunk_size,
+        prune=prune,
+        prune_spill=prune_spill,
+        n_candidates_scored=scored_total,
+        n_shards_pruned=pruned_total,
     )
 
 
