@@ -46,7 +46,7 @@ import time
 
 import numpy as np
 
-from repro.core import AsyncServingLoop, ModelInterface
+from repro.core import AsyncServingLoop, LoopConfig, ModelInterface, ServingConfig
 from repro.experiments import stream_deployment
 from repro.ml import MLPClassifier
 
@@ -400,19 +400,23 @@ def measure_stream_deployment(n_stream=2000, epochs=10, seed=0, rounds=3) -> dic
     X_b, y_b = make_blobs(n_stream // 2, shift=3.0, blob_seed=2)
     X_stream = np.concatenate([X_a, X_b])
     y_stream = np.concatenate([y_a, y_b])
-    common = dict(batch_size=100, budget_fraction=0.1, epochs=epochs)
+    loop_config = LoopConfig(batch_size=100, budget_fraction=0.1, epochs=epochs)
 
     sync = asynchronous = None
     for _ in range(rounds):
         sync_run = stream_deployment(
-            make_interface(), X_stream, y_stream, **common
+            make_interface(), X_stream, y_stream, loop=loop_config
         )
         if sync is None or (
             sync_run.decisions_per_second > sync.decisions_per_second
         ):
             sync = sync_run
         async_run = stream_deployment(
-            make_interface(), X_stream, y_stream, async_serving=True, **common
+            make_interface(),
+            X_stream,
+            y_stream,
+            loop=loop_config,
+            serving=ServingConfig(),
         )
         if asynchronous is None or (
             async_run.decisions_per_second > asynchronous.decisions_per_second

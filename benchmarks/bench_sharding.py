@@ -27,7 +27,12 @@ import time
 
 import numpy as np
 
-from repro.core import ModelInterface, PromClassifier, StreamingPromClassifier
+from repro.core import (
+    LoopConfig,
+    ModelInterface,
+    PromClassifier,
+    StreamingPromClassifier,
+)
 from repro.experiments import stream_deployment
 from repro.ml import MLPClassifier
 
@@ -196,9 +201,7 @@ def measure_stream_throughput(n_stream=1000, n_shards=4, epochs=30):
             interface,
             X_stream,
             y_stream,
-            batch_size=100,
-            budget_fraction=0.1,
-            epochs=10,
+            loop=LoopConfig(batch_size=100, budget_fraction=0.1, epochs=10),
         )
 
     single = run(1)

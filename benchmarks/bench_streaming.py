@@ -28,7 +28,12 @@ import time
 
 import numpy as np
 
-from repro.core import ModelInterface, PromClassifier, StreamingPromClassifier
+from repro.core import (
+    LoopConfig,
+    ModelInterface,
+    PromClassifier,
+    StreamingPromClassifier,
+)
 from repro.experiments import stream_deployment
 from repro.ml import MLPClassifier
 
@@ -143,9 +148,7 @@ def test_stream_deployment_throughput():
         interface,
         X_stream,
         y_stream,
-        batch_size=100,
-        budget_fraction=0.1,
-        epochs=10,
+        loop=LoopConfig(batch_size=100, budget_fraction=0.1, epochs=10),
     )
     assert result.final_calibration_size <= 200
     assert all(step.calibration_size <= 200 for step in result.steps)
@@ -192,8 +195,10 @@ def _smoke() -> dict:
     interface.train(X_train, y_train)
     X_stream, y_stream = _make_blobs(300, shift=2.0, seed=1)
     result = stream_deployment(
-        interface, X_stream, y_stream, batch_size=50, budget_fraction=0.1,
-        epochs=5,
+        interface,
+        X_stream,
+        y_stream,
+        loop=LoopConfig(batch_size=50, budget_fraction=0.1, epochs=5),
     )
     return {
         "smoke": True,

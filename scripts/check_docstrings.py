@@ -35,9 +35,12 @@ GATED_MODULES = (
     "src/repro/analysis/reporters.py",
     "src/repro/analysis/rules.py",
     "src/repro/analysis/visitor.py",
+    "src/repro/core/config.py",
     "src/repro/core/durability.py",
     "src/repro/core/faults.py",
+    "src/repro/core/multiproc.py",
     "src/repro/core/serving.py",
+    "src/repro/core/shm.py",
     "src/repro/core/sharding.py",
     "src/repro/core/streaming.py",
 )

@@ -315,6 +315,33 @@ class BlockColumn:
                 self._norm_map.setdefault(block_id, norms)
 
 
+def export_block(block) -> np.ndarray:
+    """A C-contiguous ndarray with ``block``'s bytes, ready for export.
+
+    The shared-memory arena (:mod:`repro.core.shm`) copies a block into
+    a mapped buffer with one ``memcpy``; that needs a contiguous source.
+    Compose-layer blocks are already contiguous copies, so this is a
+    no-copy pass-through on the hot path — the copy only happens for a
+    sliced/strided array handed in by a caller outside the compose
+    discipline.
+    """
+    return np.ascontiguousarray(block)
+
+
+def attach_block(buffer, shape, dtype) -> np.ndarray:
+    """A read-only ndarray view over a mapped shared-memory buffer.
+
+    The inverse of :func:`export_block` on the worker side: zero-copy
+    (``np.ndarray(buffer=...)`` maps the bytes in place) and marked
+    non-writeable so the single-writer contract — only the parent
+    process mutates, and it only ever *creates* blocks, never rewrites
+    one — cannot be broken by accident in an evaluator process.
+    """
+    array = np.ndarray(shape, dtype=dtype, buffer=buffer)
+    array.flags.writeable = False
+    return array
+
+
 def _probe() -> bool:
     """Validate panel-kernel interchangeability on the local BLAS."""
     rng = np.random.default_rng(1234)

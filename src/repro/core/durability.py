@@ -301,13 +301,26 @@ def _shard_fingerprint(streaming, shard_id: int, columns) -> tuple | None:
     return tuple(blocks)
 
 
-def _same_fingerprint(current: tuple | None, remembered: tuple | None) -> bool:
+def same_fingerprint(current: tuple | None, remembered: tuple | None) -> bool:
+    """Identity-compare two block fingerprints (see ``_shard_fingerprint``).
+
+    Shared by the checkpoint writer (skip rewriting an untouched
+    shard's files) and the shared-memory arena
+    (:mod:`repro.core.shm` — skip re-exporting an untouched block):
+    both planes rely on the same copy-on-write invariant, *same object
+    implies same bytes*, and both must hold the remembered objects
+    alive so ``id()`` reuse cannot alias a dead block.
+    """
     return (
         current is not None
         and remembered is not None
         and len(current) == len(remembered)
         and all(a is b for a, b in zip(current, remembered))
     )
+
+
+#: pre-PR 9 private spelling, kept for in-tree history/tests
+_same_fingerprint = same_fingerprint
 
 
 class CheckpointWriter:

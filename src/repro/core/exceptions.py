@@ -97,6 +97,17 @@ class LockOrderError(ServingError):
     immediate failure."""
 
 
+class SharedSegmentError(ServingError):
+    """The shared-memory serving tier hit an unusable state: an arena
+    export failed, a name-table block could not be created or attached,
+    a worker found no publishable table, or the process pool was used
+    after :meth:`~repro.core.multiproc.ProcessServingPool.close`.
+
+    Torn name-table reads are *not* errors — readers fall back to the
+    last good table and count the event — so this class marks the
+    conditions with no such fallback."""
+
+
 class CheckpointError(PromError):
     """A checkpoint could not be written, or no generation could be
     restored (bad CRC, missing block, torn manifest with no valid

@@ -514,6 +514,97 @@ class BundleComposeHook:
         return None if self._done else self._bundle
 
 
+def bundle_manifest(bundle: SegmentBundle, export) -> dict:
+    """Serialize a bundle as a name-table manifest (parent side).
+
+    ``export`` is the arena's block exporter
+    (:meth:`~repro.core.shm.SharedSegmentArena.export`): every block of
+    every field becomes a picklable ref, so the manifest is a few
+    hundred bytes regardless of calibration size.  The per-expert group
+    counts are tiny ``(n_labels,)`` integer arrays and ride embedded in
+    the manifest itself rather than as shared segments.
+    """
+    return {
+        "fields": {
+            name: [export(block) for block in field.segments]
+            for name, field in bundle.fields.items()
+        },
+        "score_fields": [
+            [export(block) for block in field.segments]
+            for field in bundle.score_fields
+        ],
+        "group_counts": [np.array(counts) for counts in bundle.group_counts],
+        "label_key": bundle.label_key,
+        "n_labels": bundle.n_labels,
+    }
+
+
+def manifest_refs(manifest: dict) -> list:
+    """Every block ref a manifest references (with duplicates).
+
+    The parent retains/releases exactly this list around a publish, so
+    a ref shared by two fields is counted twice and survives as long
+    as any field needs it.
+    """
+    refs = []
+    for field_refs in manifest["fields"].values():
+        refs.extend(field_refs)
+    for field_refs in manifest["score_fields"]:
+        refs.extend(field_refs)
+    return refs
+
+
+def bundle_from_manifest(manifest: dict, attach) -> SegmentBundle:
+    """Rebuild a :class:`SegmentBundle` over mapped arrays (worker side).
+
+    ``attach`` is the worker's ref resolver
+    (:meth:`~repro.core.shm.SegmentAttacher.get`); the rebuilt bundle's
+    blocks are read-only zero-copy views of the shared segments, so
+    applying it — or evaluating segment-direct against it — touches the
+    same physical pages the parent exported.
+    """
+    return SegmentBundle(
+        fields={
+            name: SegmentedField([attach(ref) for ref in refs])
+            for name, refs in manifest["fields"].items()
+        },
+        score_fields=[
+            SegmentedField([attach(ref) for ref in refs])
+            for refs in manifest["score_fields"]
+        ],
+        group_counts=[np.array(counts) for counts in manifest["group_counts"]],
+        label_key=manifest["label_key"],
+        n_labels=manifest["n_labels"],
+    )
+
+
+def bundle_from_state(prom) -> SegmentBundle:
+    """Synthesize a single-segment bundle from a detector's flat state.
+
+    The export path for non-sharded runtimes, whose store rewrites its
+    buffers in place: every block is an owned copy taken here, so the
+    exported segments stay frozen while the store keeps mutating.
+    Sharded runtimes never take this path — their compose bundle's
+    copy-on-write blocks are exported directly.
+    """
+    regression = state_is_set(prom, "_clusters")
+    label_key = "_clusters" if regression else "_labels"
+    fields = {"_features": SegmentedField([np.array(prom._features)])}
+    fields[label_key] = SegmentedField([np.array(getattr(prom, label_key))])
+    if state_is_set(prom, "_targets"):
+        fields["_targets"] = SegmentedField([np.array(prom._targets)])
+    layouts = prom._layouts
+    return SegmentBundle(
+        fields=fields,
+        score_fields=[
+            SegmentedField([np.array(scores)]) for scores in prom._scores
+        ],
+        group_counts=[np.array(layout.group_counts) for layout in layouts],
+        label_key=label_key,
+        n_labels=layouts[0].n_labels,
+    )
+
+
 class TauSketch:
     """Incremental, bit-identical automatic-tau resolution (DESIGN.md §9).
 

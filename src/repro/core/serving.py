@@ -184,6 +184,14 @@ class ServingStats:
     (DESIGN.md §7): committed generations, the wall-clock cost of the
     newest commit, and failed checkpoint attempts (the loop keeps
     serving; the previous generation keeps restoring).
+
+    The ``workers_*`` / ``table_publishes`` / ``torn_table_reads`` /
+    ``shm_*`` counters account the multi-process tier (DESIGN.md §10)
+    when a :class:`~repro.core.multiproc.ProcessServingPool` is
+    attached: evaluator processes spawned, crashed and respawned; name
+    tables published; torn table reads absorbed by last-good fallback;
+    and the shared-memory arena's cumulative exported/identity-reused
+    block counts and exported bytes.  All stay 0 without a pool.
     """
 
     jobs_submitted: int = 0
@@ -209,6 +217,14 @@ class ServingStats:
     checkpoint_generations: int = 0
     last_checkpoint_ms: float = 0.0
     checkpoint_errors: int = 0
+    workers_spawned: int = 0
+    workers_crashed: int = 0
+    workers_respawned: int = 0
+    table_publishes: int = 0
+    torn_table_reads: int = 0
+    shm_blocks_exported: int = 0
+    shm_blocks_reused: int = 0
+    shm_bytes_exported: int = 0
 
 
 @dataclass(frozen=True)
@@ -308,6 +324,14 @@ class AsyncServingLoop:
             probed before each job application (stage ``"job:<kind>"``)
             — the kill-worker hook of the fault-injection harness.
             ``None`` (default) keeps the maintenance path probe-free.
+        process_pool: optional
+            :class:`~repro.core.multiproc.ProcessServingPool`.  When
+            attached, every snapshot publish also publishes a
+            shared-memory name table so the pool's evaluator processes
+            track the same state the in-process snapshot serves
+            (DESIGN.md §10).  The pool is externally owned — the loop
+            publishes to it but never closes it — and its counters are
+            re-homed onto this loop's ``stats``.
 
     The evaluate path (:meth:`predict` / :meth:`evaluate`) never takes
     a lock: it reads the current :class:`ComposeSnapshot` and runs
@@ -327,6 +351,7 @@ class AsyncServingLoop:
         checkpoint=None,
         checkpoint_every: int = 1,
         faults=None,
+        process_pool=None,
     ):
         if n_workers < 1:
             raise ConfigurationError(
@@ -358,6 +383,7 @@ class AsyncServingLoop:
         self.checkpoint = checkpoint
         self.checkpoint_every = int(checkpoint_every)
         self._faults = faults
+        self.process_pool = process_pool
         self._publishes_since_checkpoint = 0
         self._jobs_since_publish = 0
         self.stats = ServingStats()
@@ -369,6 +395,8 @@ class AsyncServingLoop:
         self._idle = threading.Condition(self._lock)
         self._state_lock = threading.Lock()
         self._stats_lock = threading.Lock()
+        if process_pool is not None:
+            process_pool.bind_stats(self.stats, self._stats_lock)
         self._in_flight = 0
         self._closed = False
         self._publish_pending = False
@@ -818,11 +846,20 @@ class AsyncServingLoop:
         return snapshot
 
     def _publish(self) -> None:
-        """Build the next snapshot aside, then swap the pointer."""
+        """Build the next snapshot aside, then swap the pointer.
+
+        With a :class:`~repro.core.multiproc.ProcessServingPool`
+        attached, the shared-memory name table is published right after
+        the in-process pointer swap — both planes run under the same
+        state lock, so the table always names the state the snapshot
+        serves.
+        """
         snapshot = self._build_snapshot()
         self._snapshot = snapshot  # atomic pointer swap
         self.stats.snapshots_published += 1
         self._jobs_since_publish = 0
+        if self.process_pool is not None:
+            self.process_pool.publish()
 
     # -- lifecycle ----------------------------------------------------------------
     def drain(self, timeout: float | None = None) -> None:

@@ -1,0 +1,408 @@
+"""Shared-memory export of segment blocks (DESIGN.md §10).
+
+The compose layer (:mod:`repro.core.segments`) already holds detector
+state as immutable, copy-on-write per-shard blocks, and the durability
+layer (:mod:`repro.core.durability`) already proved the payoff of
+content-addressing them: an untouched block is the *same object* and
+therefore the same bytes, so it never needs to be written twice.  This
+module applies the same two ideas to ``multiprocessing.shared_memory``
+so evaluator *processes* can map the calibration state instead of
+receiving copies:
+
+* :class:`SharedSegmentArena` — the parent-side exporter.  Each block
+  is copied once into a named shared-memory segment; the name embeds
+  the PR 6 CRC fingerprint of the bytes, and an identity cache (the
+  same ``same_fingerprint`` contract the checkpoint writer uses) makes
+  re-exporting an untouched block free.  Segments are refcounted by
+  the name tables that reference them and unlinked when the last
+  table lets go — POSIX keeps the mapping alive for any worker still
+  attached, so unlink-on-last-detach is safe mid-read.
+* :class:`SegmentNameTable` — the publish primitive.  A publish writes
+  the touched blocks' segments, then swaps one small pickled manifest
+  (block names + shapes + dtypes) into the table's own shared-memory
+  block: payload first, then a ``(version, length, crc32)`` header.
+  A reader that lands inside the swap sees a CRC mismatch — the PR 6
+  torn-manifest trick — and keeps serving its last good table.
+* :class:`SegmentAttacher` — the worker-side importer.  Attaches
+  blocks by name, maps them zero-copy
+  (:func:`~repro.core.blocks.attach_block`) and keeps the mappings
+  cached across table versions so a publish that reuses a block costs
+  the worker nothing.
+
+The ownership model is strictly single-writer: only the parent process
+creates segments, publishes tables and unlinks; workers attach
+read-only and never write a byte of shared state.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from .blocks import attach_block, export_block
+from .exceptions import ConfigurationError, SharedSegmentError
+
+#: name-table header: (version, payload length, payload crc32).  The
+#: version is monotonically increasing and starts at 1 — a zero version
+#: means "never published", which readers treat like a torn read.
+_HEADER = struct.Struct("<QQI")
+
+
+def _attach_untracked(name: str):
+    """Attach an existing segment without resource-tracker registration.
+
+    ``SharedMemory(name=...)`` *attachments* are registered with the
+    resource tracker exactly like creations (bpo-39959, fixed only in
+    3.13's ``track=False``), so a worker exiting would unlink segments
+    the parent still owns — and with the tracker process shared across
+    forked workers, N sibling attachments produce N-1 noisy KeyError
+    tracebacks when their unregistrations race.  Only the creating
+    arena may own cleanup (single-writer model), so attachments
+    suppress the registration call outright; workers are
+    single-threaded at attach time, which makes the swap safe.
+    """
+    register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = register
+
+
+class BlockRef:
+    """A picklable handle to one exported block.
+
+    Carries everything a worker needs to map the block zero-copy: the
+    shared-memory segment name, the array shape and the dtype string.
+    Refs are value objects — equality and hashing follow the name, so
+    manifests can be diffed and refcounted by name.
+    """
+
+    __slots__ = ("name", "shape", "dtype")
+
+    def __init__(self, name: str, shape: tuple, dtype: str):
+        self.name = name
+        self.shape = tuple(shape)
+        self.dtype = dtype
+
+    def __reduce__(self):
+        """Pickle as the constructor call (slots, no ``__dict__``)."""
+        return (BlockRef, (self.name, self.shape, self.dtype))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, BlockRef) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __repr__(self) -> str:
+        return f"BlockRef({self.name!r}, shape={self.shape}, dtype={self.dtype!r})"
+
+
+class SharedSegmentArena:
+    """Parent-side exporter of immutable blocks into named SHM segments.
+
+    Args:
+        prefix: name prefix for every segment this arena creates; must
+            be unique per arena (the process pool derives it from the
+            parent PID and a pool sequence number).
+
+    :meth:`export` copies a block into a fresh segment — or returns the
+    existing ref if the *same object* was exported before, the
+    ``same_fingerprint`` identity contract — and :meth:`retain` /
+    :meth:`release` refcount segments by the name tables referencing
+    them, unlinking on last release.  Only the creating process may
+    call any method; the class is not itself shared.
+    """
+
+    def __init__(self, prefix: str):
+        if not prefix:
+            raise ConfigurationError("arena prefix must be non-empty")
+        self.prefix = prefix
+        self._sequence = 0
+        # name -> [shm, refcount]; the arena owns (created) every entry
+        self._segments: dict = {}
+        # id(block) -> (pinned block, ref): pinning the block object
+        # keeps its id() from being legally reused by a new allocation
+        self._by_block: dict = {}
+        self.blocks_exported = 0
+        self.blocks_reused = 0
+        self.bytes_exported = 0
+        self._closed = False
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise SharedSegmentError("arena is closed")
+
+    def export(self, block) -> BlockRef:
+        """Export one immutable block, reusing the segment if unchanged.
+
+        Returns a :class:`BlockRef`; the new segment starts with
+        refcount zero, so the caller must :meth:`retain` it (normally
+        via the name table it is about to publish) before releasing
+        whatever previously pinned the block.
+        """
+        self._require_open()
+        cached = self._by_block.get(id(block))
+        if cached is not None:
+            self.blocks_reused += 1
+            return cached[1]
+        source = export_block(block)
+        crc = zlib.crc32(source.tobytes())
+        self._sequence += 1
+        name = f"{self.prefix}-{self._sequence:06d}-{crc:08x}"
+        try:
+            shm = shared_memory.SharedMemory(
+                name=name, create=True, size=max(1, source.nbytes)
+            )
+        except OSError as error:
+            raise SharedSegmentError(
+                f"could not create shared segment {name!r}: {error}"
+            ) from error
+        if source.nbytes:
+            np.ndarray(
+                source.shape, dtype=source.dtype, buffer=shm.buf
+            )[...] = source
+        ref = BlockRef(name, source.shape, source.dtype.str)
+        self._segments[name] = [shm, 0]
+        self._by_block[id(block)] = (block, ref)
+        self.blocks_exported += 1
+        self.bytes_exported += source.nbytes
+        return ref
+
+    def retain(self, refs) -> None:
+        """Bump the refcount of every segment named by ``refs``."""
+        self._require_open()
+        for ref in refs:
+            entry = self._segments.get(ref.name)
+            if entry is None:
+                raise SharedSegmentError(
+                    f"retain of unknown segment {ref.name!r}"
+                )
+            entry[1] += 1
+
+    def release(self, refs) -> None:
+        """Drop one reference per ref; unlink segments reaching zero.
+
+        POSIX semantics make the unlink safe while workers are still
+        mapped: the segment disappears from the namespace immediately
+        (a late attach fails, which readers treat as a torn table) but
+        the physical pages live until the last mapping closes.
+        """
+        self._require_open()
+        for ref in refs:
+            entry = self._segments.get(ref.name)
+            if entry is None:
+                continue
+            entry[1] -= 1
+            if entry[1] <= 0:
+                self._drop(ref.name)
+
+    def _drop(self, name: str) -> None:
+        entry = self._segments.pop(name, None)
+        if entry is None:
+            return
+        shm = entry[0]
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - external cleanup
+            pass
+        for block_id, (_, ref) in list(self._by_block.items()):
+            if ref.name == name:
+                del self._by_block[block_id]
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def close(self) -> None:
+        """Unlink every live segment and refuse further exports."""
+        if self._closed:
+            return
+        for name in list(self._segments):
+            self._drop(name)
+        self._by_block.clear()
+        self._closed = True
+
+
+class SegmentNameTable:
+    """The atomically-swappable manifest block of a serving arena.
+
+    One small shared-memory block holding a versioned, CRC-checksummed
+    payload (the pickled bundle manifest).  The parent creates it with
+    :meth:`create` and overwrites it in place on every publish; workers
+    :meth:`attach` once and poll :meth:`version_hint` /
+    :meth:`read` — a read that lands mid-swap fails its CRC and the
+    worker keeps the last table it validated, which the single-writer
+    model guarantees is still fully attached and mapped.
+    """
+
+    def __init__(self, shm, owner: bool):
+        self._shm = shm
+        self._owner = owner
+        self._version = 0
+
+    @classmethod
+    def create(cls, name: str, capacity: int = 1 << 20) -> "SegmentNameTable":
+        """Create the table block (parent side, once per pool)."""
+        if capacity <= _HEADER.size:
+            raise ConfigurationError(
+                f"table capacity must exceed the {_HEADER.size}-byte header"
+            )
+        try:
+            shm = shared_memory.SharedMemory(
+                name=name, create=True, size=capacity
+            )
+        except OSError as error:
+            raise SharedSegmentError(
+                f"could not create name table {name!r}: {error}"
+            ) from error
+        shm.buf[: _HEADER.size] = _HEADER.pack(0, 0, 0)
+        return cls(shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "SegmentNameTable":
+        """Attach an existing table block (worker side)."""
+        try:
+            shm = _attach_untracked(name)
+        except OSError as error:
+            raise SharedSegmentError(
+                f"could not attach name table {name!r}: {error}"
+            ) from error
+        return cls(shm, owner=False)
+
+    @property
+    def name(self) -> str:
+        """The shared-memory name workers attach by."""
+        return self._shm.name
+
+    @property
+    def version(self) -> int:
+        """The last version this side published (writer) or loaded."""
+        return self._version
+
+    def publish(self, payload: bytes) -> int:
+        """Swap a new payload in; returns the new version.
+
+        Payload bytes land first, the header last, so a concurrent
+        reader sees either the old consistent table or a CRC mismatch —
+        never a silently mixed one.
+        """
+        if not self._owner:
+            raise SharedSegmentError("only the creating process may publish")
+        if _HEADER.size + len(payload) > self._shm.size:
+            raise SharedSegmentError(
+                f"manifest payload of {len(payload)} bytes exceeds the "
+                f"table capacity of {self._shm.size - _HEADER.size}"
+            )
+        self._version += 1
+        self._shm.buf[_HEADER.size : _HEADER.size + len(payload)] = payload
+        self._shm.buf[: _HEADER.size] = _HEADER.pack(
+            self._version, len(payload), zlib.crc32(payload)
+        )
+        return self._version
+
+    def version_hint(self) -> int:
+        """A cheap, possibly-torn read of the current version word.
+
+        Workers use it to skip the full payload read + CRC when nothing
+        changed; any value it returns is re-validated by :meth:`read`
+        before being acted on.
+        """
+        version, _, _ = _HEADER.unpack_from(self._shm.buf, 0)
+        return version
+
+    def read(self) -> tuple | None:
+        """Validate and return ``(version, payload bytes)``.
+
+        Returns ``None`` on a torn read (mid-swap CRC mismatch, or a
+        table that was never published); the caller keeps its last good
+        manifest.
+        """
+        version, length, crc = _HEADER.unpack_from(self._shm.buf, 0)
+        if version == 0 or _HEADER.size + length > self._shm.size:
+            return None
+        payload = bytes(self._shm.buf[_HEADER.size : _HEADER.size + length])
+        if zlib.crc32(payload) != crc:
+            return None
+        self._version = version
+        return version, payload
+
+    def close(self) -> None:
+        """Close the mapping; the owner also unlinks the block."""
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+
+class SegmentAttacher:
+    """Worker-side cache of mapped segments, keyed by segment name.
+
+    :meth:`get` attaches and maps a block on first use and reuses the
+    mapping afterwards, so across table versions a worker only ever
+    maps the blocks a publish actually touched.  :meth:`sweep` drops
+    mappings absent from the latest manifest; a mapping whose ndarray
+    views are still referenced cannot be closed yet (``BufferError``)
+    and parks on a zombie list retried at the next sweep.
+    """
+
+    def __init__(self):
+        self._attached: dict = {}
+        self._zombies: list = []
+
+    def get(self, ref: BlockRef) -> np.ndarray:
+        """The read-only mapped array for ``ref`` (zero copy)."""
+        entry = self._attached.get(ref.name)
+        if entry is None:
+            try:
+                shm = _attach_untracked(ref.name)
+            except OSError as error:
+                raise SharedSegmentError(
+                    f"could not attach segment {ref.name!r}: {error}"
+                ) from error
+            array = attach_block(shm.buf, ref.shape, np.dtype(ref.dtype))
+            entry = (shm, array)
+            self._attached[ref.name] = entry
+        return entry[1]
+
+    def sweep(self, live_names) -> None:
+        """Close mappings whose names are no longer referenced."""
+        live = set(live_names)
+        for name in list(self._attached):
+            if name not in live:
+                self._zombies.append(self._attached.pop(name))
+        still_zombie = []
+        for shm, array in self._zombies:
+            try:
+                shm.close()
+            except BufferError:
+                still_zombie.append((shm, array))
+        self._zombies = still_zombie
+
+    def close(self) -> None:
+        """Best-effort close of every mapping (worker shutdown)."""
+        self._zombies.extend(self._attached.values())
+        self._attached.clear()
+        for shm, _ in self._zombies:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - views still alive
+                pass
+        self._zombies = []
+
+
+def dumps_manifest(manifest: dict) -> bytes:
+    """Pickle a manifest for a :meth:`SegmentNameTable.publish`."""
+    return pickle.dumps(manifest, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def loads_manifest(payload: bytes) -> dict:
+    """The inverse of :func:`dumps_manifest` (worker side)."""
+    return pickle.loads(payload)

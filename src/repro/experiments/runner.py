@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import copy
 import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -38,8 +39,15 @@ from ..core import (
     select_relabel_budget,
     split_calibration,
 )
+from ..core.config import (
+    CheckpointConfig,
+    LoopConfig,
+    PruningConfig,
+    ServingConfig,
+)
 from ..core.durability import CheckpointWriter, restore_checkpoint
-from ..core.exceptions import CheckpointError
+from ..core.exceptions import CheckpointError, ConfigurationError
+from ..core.multiproc import ProcessServingPool
 from ..core.nonconformity import default_classification_functions
 from ..core.pruning import CandidatePruner
 from ..core.serving import AsyncServingLoop, JobError
@@ -503,29 +511,112 @@ class StreamResult:
     n_shards_pruned: int = 0
 
 
+#: legacy flat parameters of :func:`stream_deployment` in their
+#: pre-PR 9 positional order, paired with the defaults the shim keeps
+_LEGACY_PARAMS = (
+    ("batch_size", 64),
+    ("budget_fraction", 0.05),
+    ("monitor", None),
+    ("update_on_alert", True),
+    ("epochs", 20),
+    ("async_serving", False),
+    ("serving_workers", 1),
+    ("queue_capacity", 32),
+    ("backpressure", "coalesce"),
+    ("drain_each_step", False),
+    ("record_decisions", False),
+    ("checkpoint_dir", None),
+    ("checkpoint_keep", 3),
+    ("checkpoint_every", 1),
+    ("restore_from_checkpoint", False),
+    ("retry", None),
+    ("chunk_size", None),
+    ("prune", False),
+    ("prune_spill", 1.0),
+)
+
+
+def _resolve_legacy(args: tuple, kwargs: dict) -> dict:
+    """The legacy flat-kwarg spelling, normalized to a full value map.
+
+    Reproduces the pre-PR 9 signature exactly — positional order,
+    defaults, ``TypeError`` on unknown or duplicated names — and fires
+    the one :class:`DeprecationWarning` for the call.
+    """
+    values = dict(_LEGACY_PARAMS)
+    names = tuple(name for name, _ in _LEGACY_PARAMS)
+    if len(args) > len(names):
+        raise TypeError(
+            "stream_deployment() takes at most "
+            f"{3 + len(names)} positional arguments ({3 + len(args)} given)"
+        )
+    for name, value in zip(names, args):
+        values[name] = value
+    positional = frozenset(names[: len(args)])
+    for name, value in kwargs.items():
+        if name not in values:
+            raise TypeError(
+                "stream_deployment() got an unexpected keyword argument "
+                f"{name!r}"
+            )
+        if name in positional:
+            raise TypeError(
+                f"stream_deployment() got multiple values for argument {name!r}"
+            )
+        values[name] = value
+    warnings.warn(
+        "flat stream_deployment keywords are deprecated; pass "
+        "loop=LoopConfig(...), serving=ServingConfig(...), "
+        "checkpointing=CheckpointConfig(...), pruning=PruningConfig(...) "
+        "from repro.core.config instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return values
+
+
+def _configs_from_legacy(values: dict):
+    """Config objects equivalent to a legacy flat-kwarg value map."""
+    loop = LoopConfig(
+        batch_size=values["batch_size"],
+        budget_fraction=values["budget_fraction"],
+        monitor=values["monitor"],
+        update_on_alert=values["update_on_alert"],
+        epochs=values["epochs"],
+    )
+    serving = ServingConfig(
+        asynchronous=values["async_serving"],
+        workers=values["serving_workers"],
+        queue_capacity=values["queue_capacity"],
+        backpressure=values["backpressure"],
+        drain_each_step=values["drain_each_step"],
+        record_decisions=values["record_decisions"],
+    )
+    checkpointing = CheckpointConfig(
+        directory=values["checkpoint_dir"],
+        keep=values["checkpoint_keep"],
+        every=values["checkpoint_every"],
+        restore=values["restore_from_checkpoint"],
+        retry=values["retry"],
+    )
+    pruning = PruningConfig(
+        enabled=values["prune"],
+        spill=values["prune_spill"],
+        chunk_size=values["chunk_size"],
+    )
+    return loop, serving, checkpointing, pruning
+
+
 def stream_deployment(
     interface,
     X_stream,
     oracle_labels,
-    batch_size: int = 64,
-    budget_fraction: float = 0.05,
-    monitor: DriftMonitor | None = None,
-    update_on_alert: bool = True,
-    epochs: int = 20,
-    async_serving: bool = False,
-    serving_workers: int = 1,
-    queue_capacity: int = 32,
-    backpressure: str = "coalesce",
-    drain_each_step: bool = False,
-    record_decisions: bool = False,
-    checkpoint_dir=None,
-    checkpoint_keep: int = 3,
-    checkpoint_every: int = 1,
-    restore_from_checkpoint: bool = False,
-    retry=None,
-    chunk_size: int | None = None,
-    prune: bool = False,
-    prune_spill: float = 1.0,
+    *legacy_args,
+    loop: LoopConfig | None = None,
+    serving: ServingConfig | None = None,
+    checkpointing: CheckpointConfig | None = None,
+    pruning: PruningConfig | None = None,
+    **legacy_kwargs,
 ) -> StreamResult:
     """Serve a sample stream end to end: detect, relabel, recalibrate.
 
@@ -544,92 +635,123 @@ def stream_deployment(
     5. the bounded calibration store evicts down to
        ``max_calibration`` either way.
 
-    With an interface built over a sharded calibration runtime
-    (``n_shards > 1``), step 4's calibration work routes through the
-    shard layer: an ``extend_calibration`` batch folds only into the
-    shards it touches, and every :class:`StreamStep` records
-    ``n_shards_touched`` so shard churn is observable per batch.
-    (Whole-shard rescoring — ``interface.recalibrate_shards`` — is the
-    thread-pooled path when the interface was configured with
-    ``parallel`` workers; the per-batch folds here are far below
-    pool-spawn cost and stay serial.)
-
-    With ``async_serving=True`` the loop runs over an
-    :class:`~repro.core.serving.AsyncServingLoop`: decisions are served
-    lock-free against the published compose snapshot, and step 4's
-    maintenance (folds and model updates) is *submitted* to the bounded
-    work queue instead of applied inline — a recalibrating shard never
-    stalls decision traffic.  Each :class:`StreamStep` then records the
-    queue depth, snapshot staleness and whether the batch was served
-    during in-flight maintenance; worker failures surface in
-    ``StreamResult.errors``.  The equivalence contract: with
-    ``drain_each_step=True`` (apply + publish all maintenance before
-    the next batch) the decision stream is bit-identical to the
-    synchronous loop — see DESIGN.md §5.
+    Configuration arrives as four frozen config objects
+    (:mod:`repro.core.config`), one per plane:
 
     Args:
         interface: trained model interface.
         X_stream: deployment-time inputs, consumed in arrival order.
         oracle_labels: ground truth used *only* for the relabelled
             budget (the user/profiler answering flagged queries).
-        batch_size: micro-batch width (the serving quantum).
-        budget_fraction: share of flagged samples to relabel.
-        monitor: a preconfigured :class:`DriftMonitor`; a default one
-            (window 100, threshold 0.3) is created when omitted.
-        update_on_alert: when True (default) the model itself is only
-            retrained on monitor alerts; when False every relabelled
-            batch triggers a model update.
-        epochs: partial-fit epochs for model updates.
-        async_serving: serve from an
-            :class:`~repro.core.serving.AsyncServingLoop` and queue all
-            maintenance on its background workers.
-        serving_workers / queue_capacity / backpressure: forwarded to
-            the serving loop (async mode only).
-        drain_each_step: apply and publish every queued job before the
-            next batch — the sync-equivalence mode (async only).
-        record_decisions: keep each batch's
-            :class:`~repro.core.committee.DecisionBatch` on its
-            :class:`StreamStep` (memory-heavy; meant for tests).
-        checkpoint_dir: when set, persist the calibration runtime to
-            this directory through a
-            :class:`~repro.core.durability.CheckpointWriter`
-            (DESIGN.md §7) — incrementally, after every
-            ``checkpoint_every``-th mutating step (sync mode) or
-            snapshot publish (async mode, where the checkpoint rides
-            the maintenance queue).  Checkpoint failures are recorded
-            in ``StreamResult.errors``; serving is never interrupted.
-        checkpoint_keep: checkpoint generations to retain.
-        checkpoint_every: mutations/publishes between checkpoints.
-        restore_from_checkpoint: warm-restart the interface from the
-            newest restorable generation in ``checkpoint_dir`` before
-            serving (cold start when the directory holds none; a
-            corrupted newest generation falls back to its predecessor,
-            with the reasons on ``StreamResult.restore_fallbacks``).
-        retry: optional :class:`~repro.core.serving.RetryPolicy`
-            forwarded to the serving loop (async mode only) —
-            transient job failures back off and retry instead of
-            dead-ending on first error.
-        chunk_size: evaluate-kernel test-row chunk width forwarded to
-            the detector (``None`` keeps the adaptive cell-budget
-            default; see DESIGN.md §9).
-        prune: install a :class:`~repro.core.pruning.CandidatePruner`
-            on the detector so segment-direct evaluation scores each
-            test sample only against its candidate shards.  With
-            ``prune_spill=1.0`` (the default) every shard is a
-            candidate and decisions stay bit-identical to the unpruned
-            path; lower spill trades coverage for a smaller GEMM.
-            Pruning engages only where segment-direct evaluation does —
-            sharded stores serving from a composed bundle.
-        prune_spill: fraction of the non-primary active shards each
-            sample additionally scores, in ``[0, 1]``.
+        loop: :class:`~repro.core.config.LoopConfig` — batching,
+            relabel budget, drift monitor, update policy.
+        serving: :class:`~repro.core.config.ServingConfig` — the
+            serving plane.  ``asynchronous=True`` serves from an
+            :class:`~repro.core.serving.AsyncServingLoop` (lock-free
+            snapshot decisions, queued maintenance; worker failures
+            surface in ``StreamResult.errors``); with
+            ``drain_each_step=True`` the decision stream is
+            bit-identical to the synchronous loop (DESIGN.md §5).  A
+            :class:`~repro.core.config.ProcessPoolConfig` on
+            ``serving.pool`` additionally serves decisions from a
+            :class:`~repro.core.multiproc.ProcessServingPool` —
+            evaluator *processes* attached to shared-memory segments,
+            republished on every snapshot publish (DESIGN.md §10).
+        checkpointing: :class:`~repro.core.config.CheckpointConfig` —
+            incremental durability through a
+            :class:`~repro.core.durability.CheckpointWriter` plus warm
+            restart (DESIGN.md §7).  Checkpoint/restore failures are
+            recorded in ``StreamResult.errors``; serving is never
+            interrupted.
+        pruning: :class:`~repro.core.config.PruningConfig` —
+            router-aware shard pruning and evaluate-kernel chunking
+            (DESIGN.md §9); ``spill=1.0`` keeps decisions
+            bit-identical to the unpruned path.
+
+    Sharding note: with an interface built over a sharded calibration
+    runtime (``n_shards > 1``), step 4's calibration work routes
+    through the shard layer — an ``extend_calibration`` batch folds
+    only into the shards it touches, and every :class:`StreamStep`
+    records ``n_shards_touched`` so shard churn is observable per
+    batch.
+
+    Deprecated spelling: the pre-PR 9 flat keywords (``batch_size=``,
+    ``async_serving=``, ``checkpoint_dir=``, ``prune=``, …) are still
+    accepted — they map onto the config objects behind a
+    :class:`DeprecationWarning` and produce bit-identical runs.  Mixing
+    the two spellings in one call raises
+    :class:`~repro.core.exceptions.ConfigurationError`.
     """
-    if batch_size < 1:
-        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    config_spelling = (
+        loop is not None
+        or serving is not None
+        or checkpointing is not None
+        or pruning is not None
+    )
+    if legacy_args or legacy_kwargs:
+        if config_spelling:
+            raise ConfigurationError(
+                "stream_deployment() mixes legacy flat keywords with config "
+                "objects; pass loop=/serving=/checkpointing=/pruning= only"
+            )
+        loop, serving, checkpointing, pruning = _configs_from_legacy(
+            _resolve_legacy(legacy_args, legacy_kwargs)
+        )
+    return _stream_deployment_impl(
+        interface,
+        X_stream,
+        oracle_labels,
+        loop if loop is not None else LoopConfig(),
+        serving if serving is not None else ServingConfig(asynchronous=False),
+        checkpointing if checkpointing is not None else CheckpointConfig(),
+        pruning if pruning is not None else PruningConfig(enabled=False),
+    )
+
+
+def _stream_deployment_impl(
+    interface,
+    X_stream,
+    oracle_labels,
+    loop_config: LoopConfig,
+    serving_config: ServingConfig,
+    checkpoint_config: CheckpointConfig,
+    pruning_config: PruningConfig,
+) -> StreamResult:
+    """The deployment loop proper, over resolved config objects.
+
+    Both public spellings of :func:`stream_deployment` land here, so
+    legacy and config calls are trivially bit-identical.
+    """
+    batch_size = loop_config.batch_size
+    budget_fraction = loop_config.budget_fraction
+    update_on_alert = loop_config.update_on_alert
+    epochs = loop_config.epochs
+    async_serving = serving_config.asynchronous
+    serving_workers = serving_config.workers
+    queue_capacity = serving_config.queue_capacity
+    backpressure = serving_config.backpressure
+    drain_each_step = serving_config.drain_each_step
+    record_decisions = serving_config.record_decisions
+    pool_config = serving_config.pool
+    checkpoint_dir = checkpoint_config.directory
+    checkpoint_keep = checkpoint_config.keep
+    checkpoint_every = checkpoint_config.every
+    restore_from_checkpoint = checkpoint_config.restore
+    retry = checkpoint_config.retry
+    chunk_size = pruning_config.chunk_size
+    prune = pruning_config.enabled
+    prune_spill = pruning_config.spill
+    if pool_config is not None and not async_serving:
+        raise ConfigurationError(
+            "ServingConfig.pool needs asynchronous=True: the process tier is "
+            "published to by the async loop (use repro.serve for a "
+            "stand-alone pool)"
+        )
     X_stream = np.asarray(X_stream)
     oracle_labels = np.asarray(oracle_labels)
     if len(X_stream) != len(oracle_labels):
         raise ValueError("X_stream and oracle_labels must align")
-    monitor = monitor or DriftMonitor()
+    monitor = loop_config.monitor or DriftMonitor()
     writer = None
     restore_errors = []
     restored_generation = None
@@ -668,8 +790,20 @@ def stream_deployment(
             )
             prom._pruner = CandidatePruner(router=router, spill=prune_spill)
     loop = None
+    pool = None
     sync_checkpoint_state = {"since": 0, "generations": 0, "last_ms": 0.0}
     if async_serving:
+        if pool_config is not None:
+            # Created before the loop so the loop can re-home its
+            # process counters and publish into its name table; the
+            # pool constructor publishes the initial calibration state
+            # itself, so workers can serve before the first snapshot.
+            pool = ProcessServingPool(
+                interface,
+                n_workers=pool_config.workers,
+                start_method=pool_config.start_method,
+                table_capacity=pool_config.table_capacity,
+            )
         loop = AsyncServingLoop(
             interface,
             n_workers=serving_workers,
@@ -678,6 +812,7 @@ def stream_deployment(
             retry=retry,
             checkpoint=writer,
             checkpoint_every=checkpoint_every,
+            process_pool=pool,
         )
 
     def _sync_checkpoint(mutated: bool) -> None:
@@ -729,7 +864,10 @@ def stream_deployment(
                 staleness = loop.staleness
                 during_maintenance = loop.maintenance_active
                 blocks_shared = loop.snapshot.blocks_shared
-                _, decisions = loop.predict(X_stream[start:stop])
+                if pool is not None:
+                    _, decisions = pool.predict(X_stream[start:stop])
+                else:
+                    _, decisions = loop.predict(X_stream[start:stop])
             else:
                 queue_depth = staleness = 0
                 during_maintenance = False
@@ -803,6 +941,10 @@ def stream_deployment(
             _sync_checkpoint(len(chosen) > 0)
             if loop is not None and drain_each_step:
                 loop.drain()
+                if pool is not None:
+                    # workers re-attach the table the drain published,
+                    # so the next batch sees the post-maintenance state
+                    pool.sync()
             n_flagged = len(drifting_indices(decisions))
             n_flagged_total += n_flagged
             n_relabelled_total += len(chosen)
@@ -850,9 +992,13 @@ def stream_deployment(
             )
         if loop is not None:
             loop.drain()
+            if pool is not None:
+                pool.sync()
     finally:
         if loop is not None:
             loop.close(drain=False)
+        if pool is not None:
+            pool.close()
     elapsed = time.perf_counter() - stream_started
     errors = tuple(restore_errors)
     if loop is not None:

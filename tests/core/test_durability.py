@@ -23,13 +23,16 @@ import pytest
 
 from repro.core import (
     AsyncServingLoop,
+    CheckpointConfig,
     CheckpointError,
     CheckpointWriter,
     ConfigurationError,
     DriftMonitor,
+    LoopConfig,
     ModelInterface,
     RegressionModelInterface,
     RetryPolicy,
+    ServingConfig,
     list_generations,
     restore_checkpoint,
 )
@@ -477,9 +480,11 @@ def test_stream_deployment_warm_restart_sync(tmp_path):
         live,
         X,
         y,
-        batch_size=50,
-        checkpoint_dir=tmp_path,
-        monitor=DriftMonitor(alert_threshold=1.0),  # folds only
+        loop=LoopConfig(
+            batch_size=50,
+            monitor=DriftMonitor(alert_threshold=1.0),  # folds only
+        ),
+        checkpointing=CheckpointConfig(directory=tmp_path),
     )
     assert result.checkpoint_generations > 0
     assert result.n_model_updates == 0
@@ -493,8 +498,7 @@ def test_stream_deployment_warm_restart_sync(tmp_path):
         restored,
         X[:0],
         y[:0],
-        checkpoint_dir=tmp_path,
-        restore_from_checkpoint=True,
+        checkpointing=CheckpointConfig(directory=tmp_path, restore=True),
     )
     assert warm.restored_generation == result.checkpoint_generations
     assert warm.restore_fallbacks == ()
@@ -509,12 +513,13 @@ def test_stream_deployment_warm_restart_async(tmp_path):
         live,
         X,
         y,
-        batch_size=50,
-        async_serving=True,
-        drain_each_step=True,
-        checkpoint_dir=tmp_path,
-        retry=RetryPolicy(max_attempts=2),
-        monitor=DriftMonitor(alert_threshold=1.0),
+        loop=LoopConfig(
+            batch_size=50, monitor=DriftMonitor(alert_threshold=1.0)
+        ),
+        serving=ServingConfig(drain_each_step=True),
+        checkpointing=CheckpointConfig(
+            directory=tmp_path, retry=RetryPolicy(max_attempts=2)
+        ),
     )
     assert result.errors == ()
     assert result.checkpoint_generations > 0
@@ -527,8 +532,7 @@ def test_stream_deployment_warm_restart_async(tmp_path):
         restored,
         X[:0],
         y[:0],
-        checkpoint_dir=tmp_path,
-        restore_from_checkpoint=True,
+        checkpointing=CheckpointConfig(directory=tmp_path, restore=True),
     )
     assert warm.restored_generation == result.checkpoint_generations
 
@@ -540,9 +544,8 @@ def test_stream_deployment_cold_start_on_empty_dir(tmp_path):
         interface,
         X,
         y,
-        batch_size=50,
-        checkpoint_dir=tmp_path,
-        restore_from_checkpoint=True,
+        loop=LoopConfig(batch_size=50),
+        checkpointing=CheckpointConfig(directory=tmp_path, restore=True),
     )
     assert result.restored_generation is None
     assert result.errors == ()

@@ -530,15 +530,14 @@ class TestStreamPlumbing:
 
         interface = self._interface()
         X_stream, y_stream = self._stream()
+        from repro.core import LoopConfig, PruningConfig
+
         result = stream_deployment(
             interface,
             X_stream,
             y_stream,
-            batch_size=64,
-            epochs=3,
-            chunk_size=512,
-            prune=True,
-            prune_spill=1.0,
+            loop=LoopConfig(batch_size=64, epochs=3),
+            pruning=PruningConfig(spill=1.0, chunk_size=512),
         )
         assert result.chunk_size == 512
         assert result.prune is True
@@ -559,18 +558,25 @@ class TestStreamPlumbing:
     def test_full_spill_stream_matches_unpruned_stream(self):
         from repro.experiments import stream_deployment
 
+        from repro.core import LoopConfig, PruningConfig, ServingConfig
+
         X_stream, y_stream = self._stream()
-        common = dict(batch_size=64, epochs=3, record_decisions=True)
+        loop_config = LoopConfig(batch_size=64, epochs=3)
+        serving_config = ServingConfig(asynchronous=False, record_decisions=True)
         plain = stream_deployment(
-            self._interface(), X_stream, y_stream, **common
+            self._interface(),
+            X_stream,
+            y_stream,
+            loop=loop_config,
+            serving=serving_config,
         )
         pruned = stream_deployment(
             self._interface(),
             X_stream,
             y_stream,
-            prune=True,
-            prune_spill=1.0,
-            **common,
+            loop=loop_config,
+            serving=serving_config,
+            pruning=PruningConfig(spill=1.0),
         )
         assert plain.prune is False and pruned.prune is True
         for a, b in zip(plain.steps, pruned.steps):

@@ -23,9 +23,11 @@ import pytest
 from repro.core import (
     AsyncServingLoop,
     DriftMonitor,
+    LoopConfig,
     ModelInterface,
     PromClassifier,
     RegressionModelInterface,
+    ServingConfig,
     ServingError,
 )
 from repro.experiments import stream_deployment
@@ -76,24 +78,23 @@ def _assert_decisions_identical(a, b):
     assert np.array_equal(a.drifting, b.drifting)
 
 
-def _stream_pair(make_interface, **kwargs):
+def _stream_pair(make_interface):
     """Run the same stream synchronously and async-drained."""
     X_stream, y_stream = _drift_stream()
-    common = dict(
-        batch_size=64,
-        budget_fraction=0.1,
-        epochs=5,
-        record_decisions=True,
-        **kwargs,
+    loop_config = LoopConfig(batch_size=64, budget_fraction=0.1, epochs=5)
+    sync = stream_deployment(
+        make_interface(),
+        X_stream,
+        y_stream,
+        loop=loop_config,
+        serving=ServingConfig(asynchronous=False, record_decisions=True),
     )
-    sync = stream_deployment(make_interface(), X_stream, y_stream, **common)
     asynchronous = stream_deployment(
         make_interface(),
         X_stream,
         y_stream,
-        async_serving=True,
-        drain_each_step=True,
-        **common,
+        loop=loop_config,
+        serving=ServingConfig(drain_each_step=True, record_decisions=True),
     )
     return sync, asynchronous
 
@@ -190,12 +191,16 @@ class TestSyncAsyncEquivalence:
 
         X_stream, _ = _drift_stream(n=400, seed=5)
         y_stream = X_stream[:, 0]
-        common = dict(batch_size=50, budget_fraction=0.1, epochs=4,
-                      record_decisions=True)
-        sync = stream_deployment(make_interface(), X_stream, y_stream, **common)
+        loop_config = LoopConfig(batch_size=50, budget_fraction=0.1, epochs=4)
+        sync = stream_deployment(
+            make_interface(), X_stream, y_stream,
+            loop=loop_config,
+            serving=ServingConfig(asynchronous=False, record_decisions=True),
+        )
         asynchronous = stream_deployment(
             make_interface(), X_stream, y_stream,
-            async_serving=True, drain_each_step=True, **common,
+            loop=loop_config,
+            serving=ServingConfig(drain_each_step=True, record_decisions=True),
         )
         for sync_step, async_step in zip(sync.steps, asynchronous.steps):
             _assert_decisions_identical(
@@ -445,13 +450,13 @@ class TestStalenessBounds:
             interface,
             X_stream,
             y_stream,
-            batch_size=50,
-            budget_fraction=0.3,
-            async_serving=True,
-            queue_capacity=1,
-            backpressure="drop",
-            # never alert: every relabelled batch takes the fold path
-            monitor=DriftMonitor(window=100, alert_threshold=1.0),
+            loop=LoopConfig(
+                batch_size=50,
+                budget_fraction=0.3,
+                # never alert: every relabelled batch takes the fold path
+                monitor=DriftMonitor(window=100, alert_threshold=1.0),
+            ),
+            serving=ServingConfig(queue_capacity=1, backpressure="drop"),
         )
         assert result.serving.jobs_dropped > 0
         assert result.n_lost_to_backpressure > 0
@@ -469,11 +474,8 @@ class TestStalenessBounds:
             interface,
             X_stream,
             y_stream,
-            batch_size=50,
-            budget_fraction=0.1,
-            epochs=3,
-            async_serving=True,
-            queue_capacity=4,
+            loop=LoopConfig(batch_size=50, budget_fraction=0.1, epochs=3),
+            serving=ServingConfig(queue_capacity=4),
         )
         assert result.serving is not None
         assert result.serving.max_staleness <= 4 + 1
@@ -521,13 +523,15 @@ class TestWorkerCrash:
             interface,
             X_stream,
             y_stream,
-            batch_size=50,
-            budget_fraction=0.2,
-            async_serving=True,
-            drain_each_step=True,
-            # a maximal alert threshold keeps the model-update path out
-            # of the way so every relabelled batch takes the fold path
-            monitor=DriftMonitor(window=100, alert_threshold=1.0),
+            loop=LoopConfig(
+                batch_size=50,
+                budget_fraction=0.2,
+                # a maximal alert threshold keeps the model-update path
+                # out of the way so every relabelled batch takes the
+                # fold path
+                monitor=DriftMonitor(window=100, alert_threshold=1.0),
+            ),
+            serving=ServingConfig(drain_each_step=True),
         )
         assert len(result.errors) > 0
         assert all(error.kind == "fold" for error in result.errors)

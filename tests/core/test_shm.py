@@ -1,0 +1,185 @@
+"""Tests for the shared-memory segment arena and name table (DESIGN.md §10).
+
+Parent-side invariants only — everything here runs in one process.
+Worker attach/rebuild behaviour is covered by ``test_multiproc.py``
+under the ``concurrency`` marker.
+"""
+
+import pickle
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BlockRef,
+    ConfigurationError,
+    SegmentAttacher,
+    SegmentNameTable,
+    SharedSegmentArena,
+    SharedSegmentError,
+)
+from repro.core.shm import _HEADER, dumps_manifest, loads_manifest
+
+
+@pytest.fixture
+def arena():
+    arena = SharedSegmentArena("test-shm-arena")
+    yield arena
+    arena.close()
+
+
+class TestBlockRef:
+    def test_value_semantics_follow_the_name(self):
+        a = BlockRef("seg-1", (3, 2), "<f8")
+        b = BlockRef("seg-1", (6,), "<i8")
+        c = BlockRef("seg-2", (3, 2), "<f8")
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_pickles_without_a_dict(self):
+        ref = BlockRef("seg-1", (3, 2), "<f8")
+        clone = pickle.loads(pickle.dumps(ref))
+        assert clone == ref
+        assert clone.shape == (3, 2) and clone.dtype == "<f8"
+
+
+class TestArena:
+    def test_export_embeds_content_fingerprint(self, arena):
+        block = np.arange(12, dtype=np.float64).reshape(3, 4)
+        ref = arena.export(block)
+        assert f"{zlib.crc32(block.tobytes()):08x}" in ref.name
+        assert ref.shape == (3, 4)
+        attacher = SegmentAttacher()
+        try:
+            view = attacher.get(ref)
+            assert np.array_equal(view, block)
+            assert not view.flags.writeable
+        finally:
+            attacher.close()
+
+    def test_same_object_is_exported_once(self, arena):
+        block = np.arange(6, dtype=np.float64)
+        first = arena.export(block)
+        second = arena.export(block)
+        assert first is second
+        assert arena.blocks_exported == 1
+        assert arena.blocks_reused == 1
+        # equal bytes in a *different* object still export fresh — the
+        # identity contract is "same object implies same bytes", never
+        # the converse
+        third = arena.export(np.arange(6, dtype=np.float64))
+        assert third != first
+
+    def test_refcount_unlinks_on_last_release(self, arena):
+        block = np.arange(8, dtype=np.float64)
+        ref = arena.export(block)
+        arena.retain([ref, ref])  # two tables reference the segment
+        arena.release([ref])
+        attacher = SegmentAttacher()
+        try:
+            assert np.array_equal(attacher.get(ref), block)
+        finally:
+            attacher.close()
+        arena.release([ref])  # last reference gone: unlinked
+        fresh = SegmentAttacher()
+        with pytest.raises(SharedSegmentError):
+            fresh.get(ref)
+        # the identity cache is purged with the segment, so the same
+        # object exports into a brand-new segment afterwards
+        again = arena.export(block)
+        assert again != ref
+
+    def test_retain_of_unknown_segment_raises(self, arena):
+        with pytest.raises(SharedSegmentError):
+            arena.retain([BlockRef("test-shm-arena-bogus", (1,), "<f8")])
+
+    def test_closed_arena_refuses_exports(self):
+        arena = SharedSegmentArena("test-shm-closed")
+        arena.close()
+        with pytest.raises(SharedSegmentError):
+            arena.export(np.zeros(3))
+        arena.close()  # idempotent
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SharedSegmentArena("")
+
+
+class TestNameTable:
+    def test_publish_read_roundtrip(self):
+        table = SegmentNameTable.create("test-shm-tbl-rt", capacity=1 << 14)
+        try:
+            assert table.read() is None  # never published
+            version = table.publish(b"alpha")
+            assert version == 1
+            assert table.read() == (1, b"alpha")
+            assert table.publish(b"beta-longer") == 2
+            assert table.read() == (2, b"beta-longer")
+            assert table.version_hint() == 2
+        finally:
+            table.close()
+
+    def test_reader_side_cannot_publish(self):
+        table = SegmentNameTable.create("test-shm-tbl-ro", capacity=1 << 14)
+        try:
+            table.publish(b"payload")
+            reader = SegmentNameTable.attach("test-shm-tbl-ro")
+            assert reader.read() == (1, b"payload")
+            with pytest.raises(SharedSegmentError):
+                reader.publish(b"nope")
+            reader.close()
+        finally:
+            table.close()
+
+    def test_torn_payload_fails_crc_and_is_skipped(self):
+        table = SegmentNameTable.create("test-shm-tbl-torn", capacity=1 << 14)
+        try:
+            table.publish(b"consistent-payload")
+            # simulate a reader landing mid-swap: flip a payload byte
+            # without rewriting the header CRC
+            offset = _HEADER.size + 3
+            table._shm.buf[offset] = table._shm.buf[offset] ^ 0xFF
+            assert table.read() is None
+            table._shm.buf[offset] = table._shm.buf[offset] ^ 0xFF
+            assert table.read() == (1, b"consistent-payload")
+        finally:
+            table.close()
+
+    def test_oversized_payload_rejected(self):
+        table = SegmentNameTable.create("test-shm-tbl-cap", capacity=4096)
+        try:
+            with pytest.raises(SharedSegmentError):
+                table.publish(b"x" * 4096)
+        finally:
+            table.close()
+
+    def test_capacity_must_exceed_header(self):
+        with pytest.raises(ConfigurationError):
+            SegmentNameTable.create("test-shm-tbl-tiny", capacity=4)
+
+
+class TestAttacherAndManifest:
+    def test_attacher_caches_and_sweeps(self, arena):
+        keep = arena.export(np.arange(4, dtype=np.float64))
+        drop = arena.export(np.arange(5, dtype=np.float64))
+        attacher = SegmentAttacher()
+        try:
+            first = attacher.get(keep)
+            attacher.get(drop)
+            assert attacher.get(keep) is first  # cached mapping
+            attacher.sweep([keep.name])
+            assert attacher.get(keep) is first  # survived the sweep
+        finally:
+            attacher.close()
+
+    def test_manifest_roundtrip_preserves_refs(self):
+        manifest = {
+            "fields": {"_features": [BlockRef("a", (2, 3), "<f8")]},
+            "score_fields": [[BlockRef("b", (4,), "<f8")]],
+            "label_key": "_labels",
+        }
+        clone = loads_manifest(dumps_manifest(manifest))
+        assert clone["fields"]["_features"][0] == BlockRef("a", (2, 3), "<f8")
+        assert clone["score_fields"][0][0].shape == (4,)
+        assert clone["label_key"] == "_labels"

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.core import CalibrationError, DriftMonitor, ModelInterface, split_calibration
+from repro.core import (
+    CalibrationError,
+    DriftMonitor,
+    LoopConfig,
+    ModelInterface,
+    split_calibration,
+)
 from repro.experiments import (
     detection_table,
     distribution_summary,
@@ -212,10 +218,12 @@ class TestStreamDeployment:
             trained_interface,
             X_stream,
             y_stream,
-            batch_size=50,
-            budget_fraction=0.2,
-            monitor=DriftMonitor(window=100, alert_threshold=0.3),
-            epochs=10,
+            loop=LoopConfig(
+                batch_size=50,
+                budget_fraction=0.2,
+                monitor=DriftMonitor(window=100, alert_threshold=0.3),
+                epochs=10,
+            ),
         )
         assert result.n_samples == 400
         assert len(result.steps) == 8
@@ -243,7 +251,10 @@ class TestStreamDeployment:
             stream_deployment(trained_interface, np.zeros((10, 6)), np.zeros(5))
         with pytest.raises(ValueError):
             stream_deployment(
-                trained_interface, np.zeros((10, 6)), np.zeros(10), batch_size=0
+                trained_interface,
+                np.zeros((10, 6)),
+                np.zeros(10),
+                loop=LoopConfig(batch_size=0),
             )
 
     def test_sharded_interface_routes_through_shard_layer(self):
@@ -268,10 +279,12 @@ class TestStreamDeployment:
             interface,
             np.concatenate([X_a, X_b]),
             np.concatenate([y_a, y_b]),
-            batch_size=50,
-            budget_fraction=0.2,
-            monitor=DriftMonitor(window=100, alert_threshold=0.3),
-            epochs=10,
+            loop=LoopConfig(
+                batch_size=50,
+                budget_fraction=0.2,
+                monitor=DriftMonitor(window=100, alert_threshold=0.3),
+                epochs=10,
+            ),
         )
         assert result.n_shards == 3
         assert sum(result.final_shard_sizes) == result.final_calibration_size

@@ -1,0 +1,103 @@
+"""Promlint-style guard: no in-tree caller uses the legacy flat kwargs.
+
+The PR 9 API redesign moved ``stream_deployment`` to config objects
+(``loop=`` / ``serving=`` / ``checkpointing=`` / ``pruning=``) and kept
+the old flat spelling alive only behind a ``DeprecationWarning`` shim
+for out-of-tree callers.  This test walks every tracked Python file
+with ``ast`` and fails if any ``stream_deployment``/``deploy`` call
+still passes a legacy keyword (the names in
+``repro.experiments.runner._LEGACY_PARAMS``) or sneaks flags in
+positionally past the three data arguments.
+
+Deliberate legacy calls — the shim's own tests — opt out with a
+``# legacy-kwargs-ok`` comment on any line of the call.
+"""
+
+import ast
+from pathlib import Path
+
+from repro.experiments.runner import _LEGACY_PARAMS
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCANNED_DIRS = ("src", "tests", "benchmarks", "examples", "scripts")
+ENTRY_POINTS = {"stream_deployment", "deploy"}
+LEGACY_NAMES = {name for name, _ in _LEGACY_PARAMS}
+EXEMPT_MARKER = "# legacy-kwargs-ok"
+
+#: positional arguments every entry point legitimately takes
+#: (interface, X_stream, oracle_labels)
+DATA_ARGS = 3
+
+
+def _called_name(node):
+    function = node.func
+    if isinstance(function, ast.Attribute):
+        return function.attr
+    if isinstance(function, ast.Name):
+        return function.id
+    return None
+
+
+def _is_exempt(node, lines):
+    end = getattr(node, "end_lineno", node.lineno)
+    return any(
+        EXEMPT_MARKER in lines[lineno - 1]
+        for lineno in range(node.lineno, min(end, len(lines)) + 1)
+    )
+
+
+def _scan_file(path):
+    source = path.read_text()
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:  # a broken file is its own violation
+        return [f"{path}: unparseable ({error.msg})"]
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if _called_name(node) not in ENTRY_POINTS:
+            continue
+        if _is_exempt(node, lines):
+            continue
+        where = f"{path.relative_to(REPO_ROOT)}:{node.lineno}"
+        legacy = sorted(
+            keyword.arg
+            for keyword in node.keywords
+            if keyword.arg in LEGACY_NAMES
+        )
+        if legacy:
+            violations.append(
+                f"{where}: legacy flat keyword(s) {', '.join(legacy)}; "
+                f"pass config objects instead"
+            )
+        if len(node.args) > DATA_ARGS:
+            violations.append(
+                f"{where}: {len(node.args)} positional arguments; only "
+                f"(interface, X_stream, oracle_labels) may be positional"
+            )
+    return violations
+
+
+def test_no_in_tree_caller_uses_legacy_spelling():
+    scanned = 0
+    violations = []
+    for directory in SCANNED_DIRS:
+        root = REPO_ROOT / directory
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*.py")):
+            scanned += 1
+            violations.extend(_scan_file(path))
+    assert scanned > 20, "scan found suspiciously few Python files"
+    assert not violations, "\n".join(violations)
+
+
+def test_marker_actually_exempts():
+    """The exemption mechanism itself must work, or the guard is moot."""
+    source = "stream_deployment(i, X, y, batch_size=5)  # legacy-kwargs-ok\n"
+    tree = ast.parse(source)
+    call = tree.body[0].value
+    assert _is_exempt(call, source.splitlines())
+    assert not _is_exempt(call, ["stream_deployment(i, X, y, batch_size=5)"])
