@@ -43,6 +43,7 @@ GATED_MODULES = (
     "src/repro/core/shm.py",
     "src/repro/core/sharding.py",
     "src/repro/core/streaming.py",
+    "src/repro/core/triggers.py",
 )
 
 

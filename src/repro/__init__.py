@@ -30,6 +30,7 @@ from .core import (
     PruningConfig,
     ServingConfig,
     TopK,
+    TriggerConfig,
 )
 from .core.serving import AsyncServingLoop
 
@@ -138,6 +139,7 @@ __all__ = [
     "RAPS",
     "ServingConfig",
     "TopK",
+    "TriggerConfig",
     "__version__",
     "deploy",
     "serve",

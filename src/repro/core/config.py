@@ -14,7 +14,10 @@ knobs by the plane that consumes them:
 * :class:`CheckpointConfig` — the durability plane (directory,
   retention, cadence, warm restart, retry policy);
 * :class:`PruningConfig` — the evaluate kernels (router-aware shard
-  pruning, spill, chunk width).
+  pruning, spill, chunk width);
+* :class:`TriggerConfig` — the drift-trigger plane (detection
+  windows, detectors, decision policy, warmup, ensembles, per-shard
+  triggers, cost-aware relabel budget; DESIGN.md §11).
 
 All are frozen and validated at construction
 (:class:`~repro.core.exceptions.ConfigurationError`, which IS-A
@@ -33,6 +36,18 @@ from .exceptions import ConfigurationError
 #: serving-queue policies accepted by ServingConfig.backpressure
 BACKPRESSURE_CHOICES = ("coalesce", "drop", "block")
 
+#: detection-window modes accepted by TriggerConfig.window_mode
+TRIGGER_WINDOW_CHOICES = ("amount", "steps")
+
+#: drift detectors accepted in TriggerConfig.detectors
+TRIGGER_DETECTOR_CHOICES = ("credibility", "p_value", "accuracy_proxy")
+
+#: decision policies accepted by TriggerConfig.policy
+TRIGGER_POLICY_CHOICES = ("static", "quantile", "ewma", "hysteresis")
+
+#: vote-combination modes accepted by TriggerConfig.ensemble
+TRIGGER_ENSEMBLE_CHOICES = ("any", "all", "majority")
+
 
 @dataclass(frozen=True)
 class LoopConfig:
@@ -42,8 +57,14 @@ class LoopConfig:
         batch_size: micro-batch width (the serving quantum).
         budget_fraction: share of flagged samples the oracle relabels.
         monitor: a preconfigured
-            :class:`~repro.core.report.DriftMonitor`; ``None`` creates
-            the default (window 100, threshold 0.3) per run.
+            :class:`~repro.core.report.DriftMonitor` (or any
+            monitor-protocol object); ``None`` builds the trigger stack
+            described by ``triggers``.  Mutually exclusive with
+            ``triggers``.
+        triggers: a :class:`TriggerConfig` describing the drift-trigger
+            stack to assemble per run; ``None`` uses the default stack
+            (decision-identical to the legacy monitor: window 100,
+            threshold 0.3).
         update_on_alert: retrain the model only on monitor alerts
             (default) instead of on every relabelled batch.
         epochs: partial-fit epochs per model update.
@@ -52,6 +73,7 @@ class LoopConfig:
     batch_size: int = 64
     budget_fraction: float = 0.05
     monitor: object = None
+    triggers: object = None
     update_on_alert: bool = True
     epochs: int = 20
 
@@ -67,6 +89,11 @@ class LoopConfig:
         if self.epochs < 1:
             raise ConfigurationError(
                 f"epochs must be >= 1, got {self.epochs}"
+            )
+        if self.monitor is not None and self.triggers is not None:
+            raise ConfigurationError(
+                "monitor and triggers are mutually exclusive: pass a "
+                "prebuilt monitor OR a TriggerConfig, not both"
             )
 
 
@@ -202,4 +229,144 @@ class PruningConfig:
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ConfigurationError(
                 f"chunk_size must be >= 1 or None, got {self.chunk_size}"
+            )
+
+
+@dataclass(frozen=True)
+class TriggerConfig:
+    """The drift-trigger plane (DESIGN.md §11).
+
+    Describes the trigger stack
+    :func:`~repro.core.triggers.build_trigger_stack` assembles per
+    deployment run: detection windows, one trigger per named detector
+    (all sharing the same decision-policy settings), an ensemble rule,
+    optional per-shard instantiation and an optional cost-aware relabel
+    budget.  The all-defaults config builds the stack that is
+    property-tested decision-identical to the legacy ``DriftMonitor``.
+
+    Args:
+        window: current detection-window span (samples or steps).
+        window_mode: ``"amount"`` (last ``window`` samples) or
+            ``"steps"`` (samples of the last ``window`` observe steps —
+            the deterministic logical-time window).
+        reference: reservoir capacity of the reference window.
+        warmup: minimum current-window fill before a trigger may fire;
+            ``None`` uses the legacy ``min(10, window)``.
+        detectors: detector names, from ``"credibility"`` (windowed
+            rejection rate, the legacy metric), ``"p_value"``
+            (two-sample KS on the credibility distribution) and
+            ``"accuracy_proxy"`` (expert-disagreement rate).
+        policy: decision policy — ``"static"``, ``"quantile"``,
+            ``"ewma"`` or ``"hysteresis"``.
+        threshold: static/hysteresis-enter threshold, in (0, 1].
+        quantile: rolling-history quantile (``"quantile"`` policy).
+        history: metric history span (``"quantile"`` policy).
+        ewma_alpha: EWMA smoothing factor (``"ewma"`` policy).
+        ewma_widen: EWMA band width in std deviations.
+        hysteresis_exit: disarm threshold (``"hysteresis"`` policy);
+            ``None`` uses ``threshold / 2``.
+        ensemble: multi-detector vote combination — ``"any"``,
+            ``"all"`` or ``"majority"``.
+        per_shard: instantiate one stack per calibration shard, keyed
+            off the deployment's :class:`~repro.core.sharding.ShardRouter`.
+        seed: base seed for the reference reservoirs (per-shard and
+            per-detector seeds derive from it deterministically).
+        budget_ceiling: when set, attach a
+            :class:`~repro.core.triggers.CostAwareBudgetPolicy` that
+            raises the relabel budget toward this ceiling on fires.
+        spill: the deployment's prune-spill setting, fed to the
+            coverage cost model (1.0 = exact mode, no expected loss).
+    """
+
+    window: int = 100
+    window_mode: str = "amount"
+    reference: int = 256
+    warmup: int | None = None
+    detectors: tuple = ("credibility",)
+    policy: str = "static"
+    threshold: float = 0.3
+    quantile: float = 0.95
+    history: int = 32
+    ewma_alpha: float = 0.3
+    ewma_widen: float = 2.0
+    hysteresis_exit: float | None = None
+    ensemble: str = "any"
+    per_shard: bool = False
+    seed: int = 0
+    budget_ceiling: float | None = None
+    spill: float = 1.0
+
+    def __post_init__(self):
+        object.__setattr__(self, "detectors", tuple(self.detectors))
+        if self.window < 1:
+            raise ConfigurationError(
+                f"window must be >= 1, got {self.window}"
+            )
+        if self.window_mode not in TRIGGER_WINDOW_CHOICES:
+            raise ConfigurationError(
+                f"window_mode must be one of {TRIGGER_WINDOW_CHOICES}, "
+                f"got {self.window_mode!r}"
+            )
+        if self.reference < 1:
+            raise ConfigurationError(
+                f"reference must be >= 1, got {self.reference}"
+            )
+        if self.warmup is not None and self.warmup < 0:
+            raise ConfigurationError(
+                f"warmup must be >= 0 or None, got {self.warmup}"
+            )
+        if not self.detectors:
+            raise ConfigurationError("detectors must name at least one detector")
+        for name in self.detectors:
+            if name not in TRIGGER_DETECTOR_CHOICES:
+                raise ConfigurationError(
+                    f"detectors must be from {TRIGGER_DETECTOR_CHOICES}, "
+                    f"got {name!r}"
+                )
+        if self.policy not in TRIGGER_POLICY_CHOICES:
+            raise ConfigurationError(
+                f"policy must be one of {TRIGGER_POLICY_CHOICES}, "
+                f"got {self.policy!r}"
+            )
+        if not 0.0 < self.threshold <= 1.0:
+            raise ConfigurationError(
+                f"threshold must be in (0, 1], got {self.threshold}"
+            )
+        if not 0.0 < self.quantile < 1.0:
+            raise ConfigurationError(
+                f"quantile must be in (0, 1), got {self.quantile}"
+            )
+        if self.history < 2:
+            raise ConfigurationError(
+                f"history must be >= 2, got {self.history}"
+            )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigurationError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}"
+            )
+        if self.ewma_widen < 0.0:
+            raise ConfigurationError(
+                f"ewma_widen must be >= 0, got {self.ewma_widen}"
+            )
+        if self.hysteresis_exit is not None and not (
+            0.0 <= self.hysteresis_exit <= self.threshold
+        ):
+            raise ConfigurationError(
+                f"hysteresis_exit must be in [0, threshold], "
+                f"got {self.hysteresis_exit}"
+            )
+        if self.ensemble not in TRIGGER_ENSEMBLE_CHOICES:
+            raise ConfigurationError(
+                f"ensemble must be one of {TRIGGER_ENSEMBLE_CHOICES}, "
+                f"got {self.ensemble!r}"
+            )
+        if self.budget_ceiling is not None and not (
+            0.0 < self.budget_ceiling <= 1.0
+        ):
+            raise ConfigurationError(
+                f"budget_ceiling must be in (0, 1], got {self.budget_ceiling}"
+            )
+        if not 0.0 <= self.spill <= 1.0:
+            raise ConfigurationError(
+                f"spill must be in [0, 1], got {self.spill}"
             )

@@ -66,7 +66,7 @@ from pathlib import Path
 import numpy as np
 
 from .clustering import CalibrationClusterer
-from .exceptions import CheckpointError, ConfigurationError
+from .exceptions import CheckpointError, ConfigurationError, ValidationError
 from .pvalue import group_scores_by_label
 from .sharding import ShardedCalibrationStore
 from .streaming import StreamingPromClassifier, _ShardState
@@ -106,12 +106,21 @@ class RestoreReport:
     ``fallbacks`` lists the newer generations that were skipped as
     corrupt (empty for a clean restore of the latest generation) —
     the observable half of the graceful-degradation contract.
+
+    ``trigger_restored`` reports whether the drift-trigger state was
+    recovered from the manifest (DESIGN.md §11).  ``False`` when no
+    trigger target was passed, when the manifest predates the trigger
+    layer, or when the recorded state no longer matches the configured
+    stack — in the latter two cases the stack is deterministically
+    re-warmed instead (``reset(lifetime=True)``), never left holding
+    stale pre-restore observations.
     """
 
     generation: int
     epoch: int
     seconds: float
     fallbacks: tuple = ()
+    trigger_restored: bool = False
 
 
 def _canonical_payload(payload: dict) -> bytes:
@@ -337,18 +346,26 @@ class CheckpointWriter:
             the writer reports the stages ``serialize``,
             ``write_block``, ``write_manifest`` and ``gc`` to it, so
             tests can crash or corrupt any step.
+        triggers: optional drift-trigger stack (any object with a
+            JSON-serializable ``state_dict()``, e.g. a
+            :class:`~repro.core.triggers.TriggerStack`); its state is
+            embedded in every manifest so warm restarts resume the
+            detection windows instead of re-warming (DESIGN.md §11).
 
     :meth:`checkpoint` must see a quiescent runtime — the async serving
     loop runs it as a maintenance job under the maintenance mutex; a
-    synchronous driver simply calls it between steps.
+    synchronous driver simply calls it between steps.  Trigger state is
+    snapshotted through the stack's own lock, so serving threads may
+    keep observing while a checkpoint job captures it.
     """
 
-    def __init__(self, directory, keep: int = 3, faults=None):
+    def __init__(self, directory, keep: int = 3, faults=None, triggers=None):
         if keep < 1:
             raise ConfigurationError(f"keep must be >= 1, got {keep}")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.keep = int(keep)
+        self.triggers = triggers
         self._faults = faults
         self._block_memory: dict = {}
         generations = list_generations(self.directory)
@@ -442,6 +459,9 @@ class CheckpointWriter:
             payload["global"] = {"file": name, "crc": crc}
         else:
             payload["global"] = None
+        payload["triggers"] = (
+            self.triggers.state_dict() if self.triggers is not None else None
+        )
         generation = self._next_generation
         payload["generation"] = generation
         payload["payload_crc"] = zlib.crc32(_canonical_payload(payload))
@@ -664,7 +684,7 @@ def _install(streaming, payload: dict, shard_blobs, global_arrays) -> None:
     streaming._epoch = int(payload["epoch"])
 
 
-def restore_checkpoint(streaming, directory) -> RestoreReport:
+def restore_checkpoint(streaming, directory, triggers=None) -> RestoreReport:
     """Rebuild a streaming runtime from the newest valid generation.
 
     Walks ``directory``'s manifests newest-first and installs the first
@@ -686,6 +706,14 @@ def restore_checkpoint(streaming, directory) -> RestoreReport:
             never calibrated).
         directory: the checkpoint directory a
             :class:`CheckpointWriter` committed generations into.
+        triggers: optional drift-trigger stack to restore alongside the
+            calibration state (the counterpart of the writer's
+            ``triggers``).  When the installed manifest carries a
+            compatible trigger snapshot it is loaded
+            (``RestoreReport.trigger_restored``); a pre-trigger-era or
+            incompatible snapshot deterministically re-warms the stack
+            (``reset(lifetime=True)``) instead — either way the stack
+            never resumes with stale pre-restore observations.
 
     Raises:
         CheckpointError: no generation could be restored, or the
@@ -718,11 +746,29 @@ def restore_checkpoint(streaming, directory) -> RestoreReport:
             continue
         _validate(streaming, payload)
         _install(streaming, payload, shard_blobs, global_arrays)
+        trigger_restored = False
+        if triggers is not None:
+            trigger_state = payload.get("triggers")
+            if trigger_state is not None:
+                try:
+                    triggers.load_state_dict(trigger_state)
+                    trigger_restored = True
+                except ValidationError as err:
+                    # recorded under a different trigger configuration:
+                    # re-warm deterministically rather than fail the
+                    # whole (otherwise valid) calibration restore
+                    fallbacks.append(f"trigger state: {err}")
+                    triggers.reset(lifetime=True)
+            else:
+                # pre-trigger-era manifest (or a writer without a
+                # trigger target): deterministic re-warm
+                triggers.reset(lifetime=True)
         return RestoreReport(
             generation=generation,
             epoch=int(payload["epoch"]),
             seconds=time.perf_counter() - started,
             fallbacks=tuple(fallbacks),
+            trigger_restored=trigger_restored,
         )
     raise CheckpointError(
         f"no valid checkpoint generation in {directory}: "

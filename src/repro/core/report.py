@@ -10,13 +10,13 @@ window with an alert threshold.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .committee import DecisionBatch
 from .exceptions import ConfigurationError, ValidationError
+from .triggers import default_trigger_stack
 
 
 @dataclass(frozen=True)
@@ -124,6 +124,16 @@ class DriftMonitor:
     the windowed rejection rate exceeds ``alert_threshold``.  The
     threshold should sit well above the false-positive rate observed at
     design time (e.g. 2-3x epsilon).
+
+    Since the trigger layer landed (DESIGN.md §11) this class is a thin
+    adapter over the default
+    :class:`~repro.core.triggers.TriggerStack` — a credibility detector
+    with a static threshold and the legacy warmup — which is
+    property-tested decision-identical to the historical deque
+    implementation (``tests/core/test_triggers.py``), so existing
+    callers keep the exact alert/rate semantics while gaining the
+    stack's durability (:meth:`state_dict`) and observability
+    (:attr:`last_decision`) surface.
     """
 
     def __init__(self, window: int = 100, alert_threshold: float = 0.3):
@@ -133,35 +143,31 @@ class DriftMonitor:
             raise ConfigurationError("alert_threshold must be in (0, 1]")
         self.window = window
         self.alert_threshold = alert_threshold
-        self._flags = deque(maxlen=window)
-        self._total_seen = 0
-        self._total_rejected = 0
+        self._stack = default_trigger_stack(
+            window=window, threshold=alert_threshold
+        )
+
+    @property
+    def triggers(self):
+        """The underlying :class:`~repro.core.triggers.TriggerStack`."""
+        return self._stack
 
     def observe(self, decision) -> bool:
         """Record one decision; returns the current alert state."""
-        self._flags.append(bool(decision.drifting))
-        self._total_seen += 1
-        self._total_rejected += int(decision.drifting)
-        return self.alert
+        return self._stack.observe(decision)
 
     def observe_batch(self, decisions) -> bool:
         """Record a batch of decisions; returns the current alert state."""
-        if isinstance(decisions, DecisionBatch):
-            flags = np.asarray(decisions.drifting, dtype=bool)
-            self._flags.extend(map(bool, flags))
-            self._total_seen += len(flags)
-            self._total_rejected += int(flags.sum())
-            return self.alert
-        for decision in decisions:
-            self.observe(decision)
-        return self.alert
+        return self._stack.observe_batch(decisions)
+
+    def observe_stream_batch(self, decisions, raw=None, labels=None) -> bool:
+        """Deployment-loop entry point (routing context is ignored)."""
+        return self._stack.observe_stream_batch(decisions, raw=raw, labels=labels)
 
     @property
     def rejection_rate(self) -> float:
         """Rejection rate over the current window (0 when empty)."""
-        if not self._flags:
-            return 0.0
-        return sum(self._flags) / len(self._flags)
+        return self._stack.rejection_rate
 
     @property
     def alert(self) -> bool:
@@ -171,17 +177,21 @@ class DriftMonitor:
         window size, whichever is smaller) so a single early rejection
         cannot trip the alarm.
         """
-        minimum = min(10, self.window)
-        if len(self._flags) < minimum:
-            return False
-        return self.rejection_rate >= self.alert_threshold
+        return self._stack.alert
 
     @property
     def lifetime_rejection_rate(self) -> float:
         """Rejection rate since the monitor was created."""
-        if self._total_seen == 0:
-            return 0.0
-        return self._total_rejected / self._total_seen
+        return self._stack.lifetime_rejection_rate
+
+    @property
+    def last_decision(self):
+        """The stack's most recent :class:`~repro.core.triggers.TriggerDecision`."""
+        return self._stack.last_decision
+
+    def relabel_budget(self, base_fraction: float) -> float:
+        """The effective relabel budget (pass-through for the default stack)."""
+        return self._stack.relabel_budget(base_fraction)
 
     def reset(self, lifetime: bool = False) -> None:
         """Clear the rolling window (e.g. after a model update).
@@ -189,9 +199,14 @@ class DriftMonitor:
         The lifetime counters (``lifetime_rejection_rate``) deliberately
         survive a window reset so operators keep the whole-deployment
         view across model updates; pass ``lifetime=True`` to zero them
-        too (a brand-new deployment).
+        too (a brand-new deployment, deterministically re-warmed).
         """
-        self._flags.clear()
-        if lifetime:
-            self._total_seen = 0
-            self._total_rejected = 0
+        self._stack.reset(lifetime=lifetime)
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the monitor state (DESIGN.md §7)."""
+        return self._stack.state_dict()
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (warm restart)."""
+        self._stack.load_state_dict(state)

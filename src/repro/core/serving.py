@@ -67,6 +67,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .exceptions import ConfigurationError, RetryExhaustedError, ServingError
+from .triggers import observe_decisions
 
 #: queue backpressure policies accepted by :class:`AsyncServingLoop`
 BACKPRESSURE_POLICIES = ("coalesce", "drop", "block")
@@ -192,6 +193,11 @@ class ServingStats:
     tables published; torn table reads absorbed by last-good fallback;
     and the shared-memory arena's cumulative exported/identity-reused
     block counts and exported bytes.  All stay 0 without a pool.
+
+    ``trigger_observations`` / ``trigger_fires`` account the drift
+    triggers when a trigger stack is attached to the loop
+    (DESIGN.md §11): decisions fed to the stack, and served batches on
+    which the trigger ensemble fired.  Both stay 0 without one.
     """
 
     jobs_submitted: int = 0
@@ -225,6 +231,8 @@ class ServingStats:
     shm_blocks_exported: int = 0
     shm_blocks_reused: int = 0
     shm_bytes_exported: int = 0
+    trigger_observations: int = 0
+    trigger_fires: int = 0
 
 
 @dataclass(frozen=True)
@@ -332,6 +340,17 @@ class AsyncServingLoop:
             (DESIGN.md §10).  The pool is externally owned — the loop
             publishes to it but never closes it — and its counters are
             re-homed onto this loop's ``stats``.
+        triggers: optional drift-trigger stack
+            (:class:`~repro.core.triggers.TriggerStack` or
+            :class:`~repro.core.triggers.PerShardTriggerStack`).  Every
+            served decision batch is fed to it after counting, so
+            direct :meth:`predict`/:meth:`evaluate` callers get trigger
+            observability (``stats.trigger_observations`` /
+            ``stats.trigger_fires``) without a deployment loop.  The
+            stack's own leaf lock serializes observation, so concurrent
+            serving threads are safe; routing for per-shard stacks
+            reads the router snapshot, never the mutating shards
+            (DESIGN.md §11).
 
     The evaluate path (:meth:`predict` / :meth:`evaluate`) never takes
     a lock: it reads the current :class:`ComposeSnapshot` and runs
@@ -352,6 +371,7 @@ class AsyncServingLoop:
         checkpoint_every: int = 1,
         faults=None,
         process_pool=None,
+        triggers=None,
     ):
         if n_workers < 1:
             raise ConfigurationError(
@@ -384,6 +404,7 @@ class AsyncServingLoop:
         self.checkpoint_every = int(checkpoint_every)
         self._faults = faults
         self.process_pool = process_pool
+        self.triggers = triggers
         self._publishes_since_checkpoint = 0
         self._jobs_since_publish = 0
         self.stats = ServingStats()
@@ -451,6 +472,7 @@ class AsyncServingLoop:
         self._count_served(
             len(np.asarray(predictions)), during_maintenance, decisions
         )
+        self._observe_triggers(decisions, raw=X, labels=predictions)
         return predictions, decisions
 
     def evaluate(self, *args, **kwargs):
@@ -459,7 +481,23 @@ class AsyncServingLoop:
         during_maintenance = self.maintenance_active
         decisions = snapshot.evaluate(*args, **kwargs)
         self._count_served(len(decisions), during_maintenance, decisions)
+        self._observe_triggers(decisions)
         return decisions
+
+    def _observe_triggers(self, decisions, raw=None, labels=None) -> None:
+        # the trigger stack's internal lock is a leaf: it is taken here
+        # with no loop lock held, and _stats_lock is taken only after
+        # observation returns, so no ordering edge ever forms between
+        # the two (the lock-order sanitizer stays quiet under stress)
+        if self.triggers is None:
+            return
+        fired = observe_decisions(
+            self.triggers, decisions, raw=raw, labels=labels
+        )
+        with self._stats_lock:
+            self.stats.trigger_observations += len(decisions)
+            if fired:
+                self.stats.trigger_fires += 1
 
     def _count_served(self, n: int, during_maintenance: bool, batch=None) -> None:
         # `+=` on the shared dataclass is a read-modify-write, and two

@@ -31,7 +31,6 @@ import numpy as np
 from ..baselines import BASELINE_FACTORIES
 from ..core import (
     DetectionMetrics,
-    DriftMonitor,
     PromClassifier,
     PromRegressor,
     detection_metrics,
@@ -44,6 +43,7 @@ from ..core.config import (
     LoopConfig,
     PruningConfig,
     ServingConfig,
+    TriggerConfig,
 )
 from ..core.durability import CheckpointWriter, restore_checkpoint
 from ..core.exceptions import CheckpointError, ConfigurationError
@@ -51,6 +51,7 @@ from ..core.multiproc import ProcessServingPool
 from ..core.nonconformity import default_classification_functions
 from ..core.pruning import CandidatePruner
 from ..core.serving import AsyncServingLoop, JobError
+from ..core.triggers import build_trigger_stack, observe_decisions
 from ..models import tlp as tlp_factory
 from ..tasks import DnnCodeGenerationTask
 from ..tasks.base import CaseStudy, Split
@@ -431,6 +432,15 @@ class StreamStep:
     pruner excluded.  Both stay 0 unless the run evaluated
     segment-direct with a :class:`~repro.core.pruning.CandidatePruner`
     installed (``stream_deployment(..., prune=True)``).
+
+    ``trigger_metric`` / ``trigger_threshold`` / ``trigger_detector``
+    expose the trigger plane per step (DESIGN.md §11): the primary
+    detector's drift metric for this batch, the effective threshold it
+    was compared against (dynamic policies move it every step;
+    ``threshold`` is 0 while the policy is still warming), and the
+    detector's name.  ``effective_budget_fraction`` is the relabel
+    budget actually used — equal to the loop's ``budget_fraction``
+    unless a cost-aware budget policy raised it on a fire.
     """
 
     start: int
@@ -455,6 +465,10 @@ class StreamStep:
     last_checkpoint_ms: float = 0.0
     n_candidates_scored: int = 0
     n_shards_pruned: int = 0
+    trigger_metric: float = 0.0
+    trigger_threshold: float = 0.0
+    trigger_detector: str = ""
+    effective_budget_fraction: float = 0.0
     decisions: object = field(repr=False, compare=False, default=None)
 
 
@@ -484,6 +498,15 @@ class StreamResult:
     records are self-describing; ``n_candidates_scored`` /
     ``n_shards_pruned`` total the per-step pruning counters (0 unless
     pruned segment-direct evaluation was in effect).
+
+    ``monitor`` is the run's drift monitor — a
+    :class:`~repro.core.triggers.TriggerStack` (or the legacy-protocol
+    object passed via ``LoopConfig.monitor``); ``n_trigger_fires``
+    counts the steps whose trigger ensemble fired, and
+    ``trigger_restored`` reports whether a warm restart recovered the
+    trigger window state from the checkpoint (``False`` on cold starts
+    and on restores from pre-trigger-era manifests, which re-warm
+    deterministically instead; DESIGN.md §11).
     """
 
     steps: list = field(repr=False, default_factory=list)
@@ -497,7 +520,7 @@ class StreamResult:
     final_calibration_size: int = 0
     n_shards: int = 1
     final_shard_sizes: tuple = ()
-    monitor: DriftMonitor = field(repr=False, default=None)
+    monitor: object = field(repr=False, default=None)
     errors: tuple = ()
     serving: object = field(repr=False, default=None)
     n_lost_to_backpressure: int = 0
@@ -509,6 +532,8 @@ class StreamResult:
     prune_spill: float = 1.0
     n_candidates_scored: int = 0
     n_shards_pruned: int = 0
+    n_trigger_fires: int = 0
+    trigger_restored: bool = False
 
 
 #: legacy flat parameters of :func:`stream_deployment` in their
@@ -625,9 +650,13 @@ def stream_deployment(
     variant).  Per micro-batch:
 
     1. ``interface.predict`` — batch-engine decisions for the window;
-    2. :class:`~repro.core.report.DriftMonitor` ingests the verdicts;
+    2. the drift-trigger stack ingests the verdicts (a
+       :class:`~repro.core.triggers.TriggerStack` built from
+       ``loop.triggers``; the default is decision-identical to the
+       legacy :class:`~repro.core.report.DriftMonitor`);
     3. :func:`~repro.core.incremental.select_relabel_budget` picks the
-       lowest-credibility flagged samples, which the oracle relabels;
+       lowest-credibility flagged samples, which the oracle relabels
+       (a cost-aware budget policy may raise the budget on fires);
     4. the relabelled samples flow back in: a **model update**
        (``incremental_update``) when the monitor alerts — full model +
        calibration rebuild, then the window resets — otherwise an
@@ -644,7 +673,9 @@ def stream_deployment(
         oracle_labels: ground truth used *only* for the relabelled
             budget (the user/profiler answering flagged queries).
         loop: :class:`~repro.core.config.LoopConfig` — batching,
-            relabel budget, drift monitor, update policy.
+            relabel budget, drift triggers
+            (:class:`~repro.core.config.TriggerConfig` or a prebuilt
+            monitor), update policy.
         serving: :class:`~repro.core.config.ServingConfig` — the
             serving plane.  ``asynchronous=True`` serves from an
             :class:`~repro.core.serving.AsyncServingLoop` (lock-free
@@ -751,16 +782,33 @@ def _stream_deployment_impl(
     oracle_labels = np.asarray(oracle_labels)
     if len(X_stream) != len(oracle_labels):
         raise ValueError("X_stream and oracle_labels must align")
-    monitor = loop_config.monitor or DriftMonitor()
+    if loop_config.monitor is not None:
+        monitor = loop_config.monitor
+    else:
+        streaming = getattr(interface, "streaming", None)
+        monitor = build_trigger_stack(
+            loop_config.triggers or TriggerConfig(),
+            router=getattr(getattr(streaming, "store", None), "router", None),
+            n_shards=getattr(streaming, "n_shards", 1),
+            featurizer=getattr(interface, "feature_extraction", None),
+        )
+    # the durability plane checkpoints/restores trigger state alongside
+    # the calibration shards when the monitor supports it (DESIGN.md §11)
+    trigger_target = monitor if hasattr(monitor, "state_dict") else None
     writer = None
     restore_errors = []
     restored_generation = None
     restore_fallbacks = ()
+    trigger_restored = False
     if checkpoint_dir is not None:
-        writer = CheckpointWriter(checkpoint_dir, keep=checkpoint_keep)
+        writer = CheckpointWriter(
+            checkpoint_dir, keep=checkpoint_keep, triggers=trigger_target
+        )
         if restore_from_checkpoint and writer.latest_generation is not None:
             try:
-                report = restore_checkpoint(interface.streaming, checkpoint_dir)
+                report = restore_checkpoint(
+                    interface.streaming, checkpoint_dir, triggers=trigger_target
+                )
             except CheckpointError as err:
                 # Restart must never block on bad state: record the
                 # reason and continue from the interface's own (cold)
@@ -775,6 +823,7 @@ def _stream_deployment_impl(
             else:
                 restored_generation = report.generation
                 restore_fallbacks = report.fallbacks
+                trigger_restored = report.trigger_restored
     prom = getattr(interface, "prom", None)
     if prom is not None:
         if chunk_size is not None:
@@ -865,22 +914,36 @@ def _stream_deployment_impl(
                 during_maintenance = loop.maintenance_active
                 blocks_shared = loop.snapshot.blocks_shared
                 if pool is not None:
-                    _, decisions = pool.predict(X_stream[start:stop])
+                    predictions, decisions = pool.predict(X_stream[start:stop])
                 else:
-                    _, decisions = loop.predict(X_stream[start:stop])
+                    predictions, decisions = loop.predict(X_stream[start:stop])
             else:
                 queue_depth = staleness = 0
                 during_maintenance = False
                 blocks_shared = 0
-                _, decisions = interface.predict(X_stream[start:stop])
+                predictions, decisions = interface.predict(X_stream[start:stop])
             step_scored = getattr(decisions, "n_candidates_scored", None) or 0
             step_pruned = getattr(decisions, "n_shards_pruned", None) or 0
             scored_total += step_scored
             pruned_total += step_pruned
-            alert = monitor.observe_batch(decisions)
+            # raw inputs + predicted labels carry the routing context
+            # per-shard trigger stacks key on (ignored by global stacks
+            # and legacy monitors)
+            alert = observe_decisions(
+                monitor,
+                decisions,
+                raw=X_stream[start:stop],
+                labels=predictions,
+            )
             # captured before any post-update reset clears the window
             window_rate = monitor.rejection_rate
-            chosen = select_relabel_budget(decisions, budget_fraction)
+            trigger_decision = getattr(monitor, "last_decision", None)
+            effective_budget = (
+                monitor.relabel_budget(budget_fraction)
+                if hasattr(monitor, "relabel_budget")
+                else budget_fraction
+            )
+            chosen = select_relabel_budget(decisions, effective_budget)
             updating_model = alert or not update_on_alert
             # In-place model updates keep their class head, and
             # calibration-only extensions score against the current head,
@@ -987,6 +1050,23 @@ def _stream_deployment_impl(
                     last_checkpoint_ms=step_checkpoint_ms,
                     n_candidates_scored=step_scored,
                     n_shards_pruned=step_pruned,
+                    trigger_metric=(
+                        trigger_decision.metric
+                        if trigger_decision is not None
+                        else 0.0
+                    ),
+                    trigger_threshold=(
+                        trigger_decision.threshold
+                        if trigger_decision is not None
+                        and np.isfinite(trigger_decision.threshold)
+                        else 0.0
+                    ),
+                    trigger_detector=(
+                        trigger_decision.detector
+                        if trigger_decision is not None
+                        else ""
+                    ),
+                    effective_budget_fraction=effective_budget,
                     decisions=decisions if record_decisions else None,
                 )
             )
@@ -1032,6 +1112,8 @@ def _stream_deployment_impl(
         prune_spill=prune_spill,
         n_candidates_scored=scored_total,
         n_shards_pruned=pruned_total,
+        n_trigger_fires=sum(1 for step in steps if step.alert),
+        trigger_restored=trigger_restored,
     )
 
 
